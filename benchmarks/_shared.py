@@ -1,0 +1,54 @@
+"""Shared experiment drivers and the report registry for bench modules."""
+
+from __future__ import annotations
+
+REPORTS: list[str] = []
+
+
+def report(title: str, body: str) -> None:
+    """Register a rendered experiment table for the end-of-run summary."""
+    from repro.bench import banner
+
+    REPORTS.append(f"{banner(title)}\n{body}")
+
+
+from repro.bench import (
+    MINSUP,
+    baseline,
+    evaluate,
+    paged,
+    regular_synthetic,
+)
+from repro.core import GreedySegmenter, RandomSegmenter, RCSegmenter
+
+#: Figure 4 sweeps the segment budget over this range (paper: 20..160).
+FIG4_N_USERS = (20, 40, 80, 120, 160)
+
+FIG4_SEGMENTERS = {
+    "greedy": lambda: GreedySegmenter(),
+    "rc": lambda: RCSegmenter(seed=0),
+    "random": lambda: RandomSegmenter(seed=0),
+}
+
+
+def fig4_sweep():
+    """All Figure 4 cells: {algorithm: {n_user: Cell}} plus the baseline.
+
+    One plain-Apriori baseline is shared by every cell, exactly as the
+    paper normalizes both sub-figures against "Apriori without the SSM".
+    """
+    db = regular_synthetic()
+    pages = paged(db)
+    base = baseline(db, MINSUP)
+    cells: dict[str, dict[int, object]] = {}
+    ossms: dict[str, dict[int, object]] = {}
+    for name, factory in FIG4_SEGMENTERS.items():
+        cells[name] = {}
+        ossms[name] = {}
+        for n_user in FIG4_N_USERS:
+            segmentation = factory().segment(pages, n_user)
+            cells[name][n_user] = evaluate(
+                db, segmentation.ossm, base, segmentation
+            )
+            ossms[name][n_user] = segmentation.ossm
+    return {"baseline": base, "cells": cells, "ossms": ossms}

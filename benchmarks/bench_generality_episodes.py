@@ -1,0 +1,121 @@
+"""Ablation A7: generality — the OSSM accelerating episode mining.
+
+The paper's introduction and conclusion claim the OSSM applies to "the
+mining of any of the above classes of patterns", episodes included
+(reference [13]); footnote 1 gives the mapping (a transaction = the
+events of a sliding window). This bench exercises that claim end to
+end on the alarm workload (the paper's Nokia scenario is exactly
+episode-mining territory): one OSSM built over the windowed view,
+pruning both parallel and serial episode candidates.
+
+Shape asserted: identical episode sets with and without the OSSM, and
+fewer candidates counted with it — for both episode flavours.
+"""
+
+import time
+
+import pytest
+
+from _shared import report
+from repro.bench import format_table
+from repro.core import GreedySegmenter
+from repro.data import EventSequence, PagedDatabase
+from repro.mining import (
+    EpisodeMiner,
+    OSSMPruner,
+)
+
+N_WINDOWS = 800
+N_TYPES = 60
+WIDTH = 3
+MINSUP = 0.2
+N_USER = 16
+
+#: Serial counting is quadratically heavier, so its level cap is lower;
+#: the comparison is per-flavour (plain vs +ossm), never across caps.
+MAX_LEVEL = {"parallel": 3, "serial": 2}
+
+
+def _run():
+    from repro.data import AlarmConfig, AlarmStreamGenerator
+
+    alarm_db = AlarmStreamGenerator(
+        AlarmConfig(
+            n_windows=N_WINDOWS,
+            n_alarm_types=N_TYPES,
+            cascade_rate=0.25,
+            background_rate=1.0,
+            drift_period=100,
+            seed=42,
+        )
+    ).generate()
+    sequence = EventSequence.from_database(alarm_db)
+    from repro.data.events import WindowView
+
+    window_db = WindowView(sequence, WIDTH).to_database()
+    paged = PagedDatabase(window_db, page_size=40)
+    ossm = GreedySegmenter().segment(paged, N_USER).ossm
+    pruner = OSSMPruner(ossm)
+
+    rows = {}
+    for kind in ("parallel", "serial"):
+        for label, chosen in ((kind, None), (f"{kind}+ossm", pruner)):
+            miner = EpisodeMiner(
+                WIDTH, kind=kind, pruner=chosen, max_level=MAX_LEVEL[kind]
+            )
+            start = time.perf_counter()
+            result = miner.mine(sequence, MINSUP)
+            rows[label] = (result, time.perf_counter() - start)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def experiment(once):
+    return once("generality_episodes", _run)
+
+
+def test_episode_table(benchmark, experiment):
+    rows = [
+        [
+            label,
+            round(elapsed, 3),
+            result.candidates_counted(),
+            result.n_frequent,
+        ]
+        for label, (result, elapsed) in experiment.items()
+    ]
+    report(
+        "Ablation A7 — OSSM generality: WINEPI episode mining "
+        f"(alarm stream, width={WIDTH}, minsup {MINSUP:.0%})",
+        format_table(
+            ["miner", "runtime_s", "candidates_counted", "frequent"], rows
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_parallel_episodes_pruned_losslessly(benchmark, experiment):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain, _ = experiment["parallel"]
+    fast, _ = experiment["parallel+ossm"]
+    assert fast.frequent == plain.frequent
+    assert fast.candidates_counted() <= plain.candidates_counted()
+
+
+def test_serial_episodes_pruned_losslessly(benchmark, experiment):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain, _ = experiment["serial"]
+    fast, _ = experiment["serial+ossm"]
+    assert fast.frequent == plain.frequent
+    assert fast.candidates_counted() <= plain.candidates_counted()
+
+
+def test_serial_supports_dominated_by_parallel(benchmark, experiment):
+    """The soundness chain the serial pruning rests on."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    parallel, _ = experiment["parallel"]
+    serial, _ = experiment["serial"]
+    for episode, support in serial.frequent.items():
+        shadow = tuple(sorted(set(episode)))
+        if shadow in parallel.frequent:
+            assert support <= parallel.frequent[shadow]

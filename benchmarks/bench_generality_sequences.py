@@ -1,0 +1,121 @@
+"""Ablation A8: generality — OSSM pruning for GSP and correlation mining.
+
+The paper's introduction claims the OSSM serves "sequential patterns
+[4]" and "correlation [6, 7]" mining alike. This bench exercises both:
+
+* **GSP** over a customer-sequence workload, with the OSSM built on the
+  customer-flattened view pruning sequential candidates through their
+  flattened item sets;
+* **chi-squared correlation mining** over the drifting retail workload,
+  with the OSSM pruning the support screen's candidates.
+
+Shape asserted: identical outputs with and without the OSSM, fewer
+candidates counted with it, for both pattern classes.
+"""
+
+import time
+
+import pytest
+
+from _shared import report
+from repro.bench import format_table
+from repro.core import GreedySegmenter
+from repro.data import PagedDatabase, QuestConfig, QuestGenerator
+from repro.data.sequences import SequenceDatabase
+from repro.mining import OSSMPruner
+from repro.mining.correlations import CorrelationMiner
+from repro.mining.gsp import GSP
+
+VISITS = 4
+GSP_MINSUP = 0.3
+CORR_MINSUP = 0.01
+
+
+def _workload():
+    config = QuestConfig(
+        n_transactions=1600,
+        n_items=120,
+        n_patterns=240,
+        n_seasons=4,
+        seasonal_skew=0.7,
+        seed=42,
+    )
+    return QuestGenerator(config).generate()
+
+
+def _run():
+    db = _workload()
+    rows = {}
+
+    # GSP over customers of VISITS transactions each.
+    seqdb = SequenceDatabase.from_transactions(db, VISITS)
+    flat = seqdb.flattened()
+    ossm_seq = GreedySegmenter().segment(
+        PagedDatabase(flat, page_size=20), 16
+    ).ossm
+    for label, pruner in (
+        ("gsp", None),
+        ("gsp+ossm", OSSMPruner(ossm_seq)),
+    ):
+        miner = GSP(pruner=pruner, max_size=2)
+        start = time.perf_counter()
+        result = miner.mine(seqdb, GSP_MINSUP)
+        rows[label] = (
+            result.candidates_counted(),
+            result.n_frequent,
+            time.perf_counter() - start,
+        )
+
+    # Correlation mining over the transactions themselves.
+    ossm_txn = GreedySegmenter().segment(
+        PagedDatabase(db, page_size=40), 16
+    ).ossm
+    for label, pruner in (
+        ("chi-squared", None),
+        ("chi-squared+ossm", OSSMPruner(ossm_txn)),
+    ):
+        miner = CorrelationMiner(pruner=pruner, max_level=2)
+        start = time.perf_counter()
+        correlated, accounting = miner.mine(db, CORR_MINSUP)
+        rows[label] = (
+            accounting.candidates_counted(),
+            len(correlated),
+            time.perf_counter() - start,
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def experiment(once):
+    return once("generality_sequences", _run)
+
+
+def test_sequence_table(benchmark, experiment):
+    rows = [
+        [label, counted, found, round(elapsed, 3)]
+        for label, (counted, found, elapsed) in experiment.items()
+    ]
+    report(
+        "Ablation A8 — OSSM generality: GSP sequential patterns and "
+        "chi-squared correlations",
+        format_table(
+            ["miner", "candidates_counted", "patterns", "runtime_s"], rows
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_gsp_pruned_losslessly(benchmark, experiment):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain = experiment["gsp"]
+    fast = experiment["gsp+ossm"]
+    assert fast[1] == plain[1]       # same pattern count
+    assert fast[0] <= plain[0]       # no more counting
+
+
+def test_correlations_pruned_losslessly(benchmark, experiment):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain = experiment["chi-squared"]
+    fast = experiment["chi-squared+ossm"]
+    assert fast[1] == plain[1]
+    assert fast[0] <= plain[0]

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+Each bench module reproduces one table/figure of the paper (see
+DESIGN.md §4) and registers its rendered rows via ``_shared.report``;
+the terminal-summary hook prints every registered table at the end of
+the run, so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` captures the paper-shaped output alongside
+pytest-benchmark's timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _shared
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _shared.REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            "################ OSSM reproduction: experiment output "
+            "################"
+        )
+        for text in _shared.REPORTS:
+            terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Run an expensive experiment exactly once per session, by key."""
+    cache: dict[str, object] = {}
+
+    def runner(key: str, fn):
+        if key not in cache:
+            cache[key] = fn()
+        return cache[key]
+
+    return runner

@@ -1,0 +1,67 @@
+"""Telecom alarm-correlation mining (the paper's Nokia scenario).
+
+Run:  python examples/alarm_mining.py
+
+The paper's first data set is a proprietary Nokia log: ~5000 windowed
+transactions over ~200 alarm types. This example runs the same shape of
+analysis on our simulator (see DESIGN.md §5): find alarm types that
+co-occur in the same time window far more often than chance — the raw
+material of episode mining and alarm-correlation rules — using DHP with
+an OSSM attached (the Section 7 combination), plus a bubble list to
+keep segmentation focused on the alarms near the threshold.
+"""
+
+from repro import (
+    OSSMPruner,
+    PagedDatabase,
+    RandomGreedySegmenter,
+    bubble_list_for,
+    dhp,
+    generate_alarms,
+    generate_rules,
+)
+
+
+def main() -> None:
+    print("== alarm-correlation mining ==")
+    db = generate_alarms(seed=13)  # paper scale: 5000 windows, 200 types
+    print(f"workload: {db} (avg {db.average_length():.1f} alarms/window)")
+
+    paged = PagedDatabase(db, page_size=50)
+    minsup = 0.05
+
+    # Bubble list: alarms whose frequency sits just above a low
+    # reference threshold; segmentation effort goes where pruning can
+    # actually happen.
+    bubble = bubble_list_for(db, threshold=0.01, size=60)
+    segmentation = RandomGreedySegmenter(
+        n_mid=40, seed=0, items=bubble
+    ).segment(paged, 16)
+    print(
+        f"segmented {paged.n_pages} pages -> 16 segments with a "
+        f"{len(bubble)}-alarm bubble list "
+        f"({segmentation.loss_evaluations} loss evaluations)"
+    )
+
+    plain = dhp(db, minsup, n_buckets=8192, max_level=3)
+    fast = dhp(
+        db, minsup, n_buckets=8192,
+        pruner=OSSMPruner(segmentation.ossm), max_level=3,
+    )
+    assert plain.frequent == fast.frequent
+    print(
+        f"\nfrequent alarm combinations: {fast.n_frequent}; "
+        f"C2 {plain.level(2).candidates_counted} -> "
+        f"{fast.level(2).candidates_counted} with the OSSM"
+    )
+
+    # Correlation rules: which alarms predict which cascades?
+    rules = generate_rules(fast, len(db), min_confidence=0.7)
+    strong = [rule for rule in rules if rule.lift > 2.0]
+    print(f"\nhigh-lift alarm implications (of {len(rules)} rules):")
+    for rule in strong[:8]:
+        print(f"  {rule}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Online OSSM maintenance over an arriving transaction stream.
+
+Run:  python examples/online_stream.py
+
+The OSSM's ancestor (the plain SSM) was designed for online mining with
+Carma (the paper's references [9, 10]): data keeps arriving, and the
+structure must stay useful without re-running segmentation from
+scratch. This example simulates a month of arrivals in daily batches:
+
+* a :class:`~repro.core.incremental.StreamingOSSMBuilder` ingests each
+  day's pages, opening segments while under budget and merging each
+  new page into its loss-closest segment afterwards;
+* at the end of each "week" we snapshot the structure, mine with it,
+  and verify the answers still match a from-scratch run — the bound
+  stays sound at every point of the stream by construction.
+"""
+
+from repro import (
+    OSSMPruner,
+    QuestConfig,
+    QuestGenerator,
+    StreamingOSSMBuilder,
+    TransactionDatabase,
+    apriori,
+)
+
+
+def main() -> None:
+    print("== online OSSM maintenance ==")
+    n_items = 300
+    generator = QuestGenerator(
+        QuestConfig(
+            n_transactions=28_000,  # 28 "days" of 1000 transactions
+            n_items=n_items,
+            n_patterns=600,
+            n_seasons=4,  # the month drifts, week by week
+            seasonal_skew=0.7,
+            seed=11,
+        )
+    )
+    builder = StreamingOSSMBuilder(n_items=n_items, max_segments=40)
+    seen = TransactionDatabase([], n_items=n_items)
+
+    for day in range(1, 29):
+        batch = generator.generate(1000)
+        seen = seen.concatenated(batch)
+        builder.absorb(batch, page_size=100)
+        if day % 7:
+            continue
+
+        # Weekly checkpoint: snapshot, mine, verify.
+        ossm = builder.ossm()
+        plain = apriori(seen, 0.02, max_level=2)
+        fast = apriori(
+            seen, 0.02, pruner=OSSMPruner(ossm), max_level=2
+        )
+        assert plain.frequent == fast.frequent
+        kept = fast.level(2).candidates_counted
+        total = plain.level(2).candidates_counted
+        print(
+            f"day {day:>2}: {len(seen):>6} txns in "
+            f"{ossm.n_segments} segments "
+            f"({builder.pages_consumed} pages consumed); "
+            f"C2 {total} -> {kept} "
+            f"({1 - kept / max(total, 1):.0%} pruned), outputs identical"
+        )
+
+    print(
+        f"\nstream ingested with {builder.loss_evaluations} loss "
+        "evaluations in total — no re-segmentation ever ran."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Partitioned mining with per-partition OSSMs (Section 7).
+
+Run:  python examples/partitioned_mining.py
+
+The Partition algorithm mines each database partition locally, then
+verifies the union of local results in one global scan. On drifting
+data, locally frequent itemsets are often globally infrequent — exactly
+the candidates a global OSSM (the concatenation of the per-partition
+maps) can disprove without counting. This example quantifies both
+enhancement points the paper describes.
+"""
+
+from repro import Partition, QuestConfig, QuestGenerator
+
+
+def main() -> None:
+    print("== partitioned mining with per-partition OSSMs ==")
+    config = QuestConfig(
+        n_transactions=20_000,
+        n_items=400,
+        n_patterns=800,
+        n_seasons=5,
+        seasonal_skew=0.9,  # drift: local != global frequency
+        seed=29,
+    )
+    db = QuestGenerator(config).generate()
+    print(f"workload: {db}, mined in 5 partitions at minsup 2%")
+
+    plain = Partition(n_partitions=5, max_level=3).mine(db, 0.02)
+    enhanced = Partition(
+        n_partitions=5, auto_ossm=10, max_level=3
+    ).mine(db, 0.02)
+
+    assert plain.frequent == enhanced.frequent
+    print(f"\nfrequent itemsets: {plain.n_frequent} (identical outputs)")
+    print(
+        f"{'level':>5}  {'global candidates':>17}  "
+        f"{'counted plain':>13}  {'counted +ossm':>13}"
+    )
+    for k in range(1, max(len(plain.levels), len(enhanced.levels)) + 1):
+        generated = plain.candidates_generated(k)
+        if not generated:
+            continue
+        print(
+            f"{k:>5}  {generated:>17}  "
+            f"{plain.candidates_counted(k):>13}  "
+            f"{enhanced.candidates_counted(k):>13}"
+        )
+    total_plain = plain.candidates_counted()
+    total_fast = enhanced.candidates_counted()
+    print(
+        f"\nphase-2 counting work: {total_plain} -> {total_fast} "
+        f"candidates ({1 - total_fast / total_plain:.0%} disproved by "
+        "the per-partition OSSMs before the global scan)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Interactive threshold exploration with one compile-time OSSM.
+
+Run:  python examples/threshold_exploration.py
+
+Section 3 of the paper: "knowledge discovery is typically an iterative
+process: one first computes certain patterns, investigates them, and
+then re-computes using perhaps different thresholds." The OSSM is
+query-independent — built once, reused at every threshold — unlike
+DHP's hash table or the FP-tree, which are rebuilt per query. This
+example plays a realistic exploration session: an analyst sweeps the
+threshold down until the result set gets interesting, and every query
+reuses the same structure.
+"""
+
+import time
+
+from repro import (
+    GreedySegmenter,
+    OSSMPruner,
+    PagedDatabase,
+    QuestConfig,
+    QuestGenerator,
+    apriori,
+)
+from repro.mining.counting import TidsetCounter
+
+
+def main() -> None:
+    print("== threshold exploration with one OSSM ==")
+    config = QuestConfig(
+        n_transactions=12_000,
+        n_items=600,
+        n_patterns=1200,
+        n_seasons=4,
+        seasonal_skew=0.5,  # a drifting, months-long log
+        seed=17,
+    )
+    db = QuestGenerator(config).generate()
+    paged = PagedDatabase(db, page_size=50)
+
+    start = time.perf_counter()
+    ossm = GreedySegmenter().segment(paged, n_user=60).ossm
+    build_seconds = time.perf_counter() - start
+    print(
+        f"compile-time: built a {ossm.n_segments}-segment OSSM in "
+        f"{build_seconds:.2f}s "
+        f"({ossm.nominal_size_bytes() / 1000:.0f} kB)\n"
+    )
+
+    pruner = OSSMPruner(ossm)
+    header = (
+        f"{'minsup':>8}  {'frequent':>8}  {'C2 plain':>9}  "
+        f"{'C2 ossm':>8}  {'saved':>6}"
+    )
+    print("exploration-time (same OSSM for every query):")
+    print(header)
+    for minsup in (0.05, 0.03, 0.02, 0.01, 0.005):
+        plain = apriori(
+            db, minsup, counter=TidsetCounter(), max_level=3
+        )
+        fast = apriori(
+            db, minsup, pruner=pruner, counter=TidsetCounter(), max_level=3
+        )
+        assert plain.frequent == fast.frequent
+        c2_plain = plain.level(2).candidates_counted
+        c2_fast = fast.level(2).candidates_counted
+        saved = 1 - c2_fast / max(c2_plain, 1)
+        print(
+            f"{minsup:>8.3%}  {fast.n_frequent:>8}  {c2_plain:>9}  "
+            f"{c2_fast:>8}  {saved:>6.0%}"
+        )
+    print("\nall five queries answered by the one structure, losslessly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on environments without the
+``wheel`` package (legacy editable installs run ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

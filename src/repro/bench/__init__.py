@@ -1,0 +1,47 @@
+"""Benchmark harness: workloads, metrics, per-figure experiment runner.
+
+``benchmarks/`` at the repository root contains one module per paper
+table/figure; each builds on this package. See DESIGN.md §4 for the
+experiment index.
+"""
+
+from .harness import Baseline, Cell, baseline, evaluate, segment
+from .metrics import candidate_ratio, ossm_megabytes, pruned_fraction, speedup
+from .reporting import banner, format_cells, format_table
+from .workloads import (
+    BUBBLE_MINSUP,
+    drifting_synthetic_pages,
+    MINSUP,
+    Scale,
+    alarm_stream,
+    current_scale,
+    paged,
+    regular_synthetic,
+    regular_synthetic_pages,
+    skewed_synthetic,
+)
+
+__all__ = [
+    "Baseline",
+    "Cell",
+    "baseline",
+    "evaluate",
+    "segment",
+    "candidate_ratio",
+    "ossm_megabytes",
+    "pruned_fraction",
+    "speedup",
+    "banner",
+    "format_cells",
+    "format_table",
+    "BUBBLE_MINSUP",
+    "drifting_synthetic_pages",
+    "MINSUP",
+    "Scale",
+    "alarm_stream",
+    "current_scale",
+    "paged",
+    "regular_synthetic",
+    "regular_synthetic_pages",
+    "skewed_synthetic",
+]

@@ -1,0 +1,52 @@
+"""Metrics the paper's figures report.
+
+* **Speedup** (Figure 4a, 5, 6b): runtime of the host miner without the
+  OSSM divided by its runtime with the OSSM.
+* **Candidate-2 ratio** (Figure 4b): candidate 2-itemsets counted with
+  the OSSM divided by those counted without (1.0 = no pruning).
+* **OSSM size** (Section 6.2's "0.2 megabytes"): the nominal 2-byte-cell
+  storage of the structure.
+"""
+
+from __future__ import annotations
+
+from ..core.ossm import OSSM
+from ..mining.base import MiningResult
+
+__all__ = ["speedup", "candidate_ratio", "pruned_fraction", "ossm_megabytes"]
+
+
+def speedup(time_without: float, time_with: float) -> float:
+    """Figure 4(a)'s y-axis: baseline runtime over OSSM runtime."""
+    if time_without < 0 or time_with < 0:
+        raise ValueError("times must be non-negative")
+    if time_with == 0:
+        return float("inf") if time_without > 0 else 1.0
+    return time_without / time_with
+
+
+def candidate_ratio(
+    with_ossm: MiningResult,
+    without_ossm: MiningResult,
+    level: int = 2,
+) -> float:
+    """Figure 4(b)'s y-axis: fraction of level-``k`` candidates not pruned."""
+    baseline = without_ossm.candidates_counted(level)
+    if baseline == 0:
+        return 1.0
+    return with_ossm.candidates_counted(level) / baseline
+
+
+def pruned_fraction(result: MiningResult, level: int = 2) -> float:
+    """Fraction of generated level-``k`` candidates the pruner removed."""
+    generated = result.candidates_generated(level)
+    if generated == 0:
+        return 0.0
+    if level > len(result.levels):
+        return 0.0
+    return result.levels[level - 1].candidates_pruned / generated
+
+
+def ossm_megabytes(ossm: OSSM) -> float:
+    """Nominal OSSM size in megabytes (the paper's accounting)."""
+    return ossm.nominal_size_bytes() / 1_000_000

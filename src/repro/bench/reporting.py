@@ -1,0 +1,63 @@
+"""Plain-text table/series rendering for the bench suite.
+
+Every bench target prints the rows/series the corresponding paper
+figure or table reports, in a fixed-width layout that diffs cleanly in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_cells", "banner"]
+
+from .harness import Cell
+
+_CELL_HEADERS = (
+    "algorithm",
+    "n_user",
+    "seg_s",
+    "loss_evals",
+    "base_s",
+    "ossm_s",
+    "speedup",
+    "C2_ratio",
+    "ossm_MB",
+)
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Fixed-width table; floats rendered with three decimals."""
+    rendered = [[_render(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cells(cells: Iterable[Cell]) -> str:
+    """Render harness cells with the standard column set."""
+    return format_table(_CELL_HEADERS, (cell.row() for cell in cells))
+
+
+def banner(title: str) -> str:
+    """Section banner used between experiments in bench output."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"

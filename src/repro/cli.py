@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ossm``.
+
+Subcommands cover the full pipeline:
+
+* ``generate`` — synthesize a workload (quest / skewed / alarms) to a
+  file;
+* ``ossm`` — segment a transaction file and save the resulting OSSM;
+* ``mine`` — run a miner (optionally OSSM-accelerated) over a file;
+* ``recipe`` — print the Figure 7 strategy recommendation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.bubble import bubble_list_for
+from .core.greedy import GreedySegmenter
+from .core.hybrid import RandomGreedySegmenter, RandomRCSegmenter
+from .core.ossm import OSSM
+from .core.random_seg import RandomSegmenter
+from .core.rc import RCSegmenter
+from .core.recipe import RecipeInputs, recommend
+from .data import io as data_io
+from .data.alarms import generate_alarms
+from .data.pages import PagedDatabase
+from .data.quest import generate_quest
+from .data.skewed import generate_skewed
+from .mining.apriori import Apriori
+from .mining.depth_project import DepthProject
+from .mining.dhp import DHP
+from .mining.eclat import Eclat
+from .mining.fpgrowth import FPGrowth
+from .mining.partition import Partition
+from .mining.pruning import NullPruner, OSSMPruner
+
+__all__ = ["main"]
+
+_SEGMENTERS = ("greedy", "rc", "random", "random-rc", "random-greedy")
+_MINERS = (
+    "apriori", "dhp", "fpgrowth", "eclat", "partition", "depthproject",
+    "charm",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ossm",
+        description="OSSM (ICDE 2002) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a workload file")
+    gen.add_argument("--kind", choices=("quest", "skewed", "alarms"),
+                     default="quest")
+    gen.add_argument("--out", required=True, help=".dat/.txt or .npz path")
+    gen.add_argument("--transactions", type=int, default=10_000)
+    gen.add_argument("--items", type=int, default=1000)
+    gen.add_argument("--avg-length", type=float, default=10.0)
+    gen.add_argument("--patterns", type=int, default=2000,
+                     help="quest: potentially-frequent itemset pool size")
+    gen.add_argument("--skew", type=float, default=0.8,
+                     help="skewed: seasonal bias in [0,1]")
+    gen.add_argument("--seed", type=int, default=0)
+
+    ossm = sub.add_parser("ossm", help="segment a workload into an OSSM")
+    ossm.add_argument("--data", required=True)
+    ossm.add_argument("--out", required=True, help="OSSM .npz path")
+    ossm.add_argument("--algorithm", choices=_SEGMENTERS, default="greedy")
+    ossm.add_argument("--segments", type=int, default=40,
+                      help="n_user: number of segments to produce")
+    ossm.add_argument("--page-size", type=int, default=100)
+    ossm.add_argument("--n-mid", type=int, default=200,
+                      help="hybrids: intermediate segment count")
+    ossm.add_argument("--bubble-size", type=int, default=0,
+                      help="bubble-list length (0 = no bubble list)")
+    ossm.add_argument("--bubble-minsup", type=float, default=0.0025)
+    ossm.add_argument("--seed", type=int, default=0)
+
+    mine = sub.add_parser("mine", help="mine frequent itemsets")
+    mine.add_argument("--data", required=True)
+    mine.add_argument("--minsup", type=float, default=0.01,
+                      help="relative support threshold in (0,1]")
+    mine.add_argument("--algorithm", choices=_MINERS, default="apriori")
+    mine.add_argument("--ossm", help="OSSM .npz to prune with")
+    mine.add_argument("--max-level", type=int, default=0,
+                      help="cardinality cap (0 = unbounded)")
+    mine.add_argument("--top", type=int, default=20,
+                      help="itemsets to print (0 = all)")
+
+    recipe = sub.add_parser("recipe", help="Figure 7 recommendation")
+    recipe.add_argument("--n-user", type=int, required=True)
+    recipe.add_argument("--pages", type=int, required=True)
+    recipe.add_argument("--skewed", action="store_true")
+    recipe.add_argument("--cost-matters", action="store_true")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "quest":
+        db = generate_quest(
+            n_transactions=args.transactions,
+            n_items=args.items,
+            avg_transaction_len=args.avg_length,
+            n_patterns=args.patterns,
+            seed=args.seed,
+        )
+    elif args.kind == "skewed":
+        db = generate_skewed(
+            n_transactions=args.transactions,
+            n_items=args.items,
+            avg_transaction_len=args.avg_length,
+            skew=args.skew,
+            seed=args.seed,
+        )
+    else:
+        db = generate_alarms(
+            n_windows=args.transactions,
+            n_alarm_types=args.items,
+            seed=args.seed,
+        )
+    data_io.save(db, args.out)
+    print(f"wrote {len(db)} transactions over {db.n_items} items to {args.out}")
+    return 0
+
+
+def _make_segmenter(args: argparse.Namespace, items) -> object:
+    if args.algorithm == "greedy":
+        return GreedySegmenter(items=items)
+    if args.algorithm == "rc":
+        return RCSegmenter(seed=args.seed, items=items)
+    if args.algorithm == "random":
+        return RandomSegmenter(seed=args.seed, items=items)
+    if args.algorithm == "random-rc":
+        return RandomRCSegmenter(n_mid=args.n_mid, seed=args.seed, items=items)
+    return RandomGreedySegmenter(n_mid=args.n_mid, seed=args.seed, items=items)
+
+
+def _cmd_ossm(args: argparse.Namespace) -> int:
+    db = data_io.load(args.data)
+    paged = PagedDatabase(db, page_size=args.page_size)
+    items = None
+    if args.bubble_size:
+        items = bubble_list_for(db, args.bubble_minsup, args.bubble_size)
+    segmenter = _make_segmenter(args, items)
+    result = segmenter.segment(paged, args.segments)
+    result.ossm.save(args.out)
+    print(
+        f"{result.algorithm}: {paged.n_pages} pages -> "
+        f"{result.n_segments} segments in {result.elapsed_seconds:.2f}s "
+        f"({result.loss_evaluations} loss evaluations); "
+        f"nominal size {result.ossm.nominal_size_bytes() / 1e6:.3f} MB; "
+        f"saved to {args.out}"
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = data_io.load(args.data)
+    max_level = args.max_level or None
+    pruner = NullPruner()
+    if args.ossm:
+        pruner = OSSMPruner(OSSM.load(args.ossm))
+    if args.algorithm == "apriori":
+        miner = Apriori(pruner=pruner, max_level=max_level)
+    elif args.algorithm == "dhp":
+        miner = DHP(pruner=pruner, max_level=max_level)
+    elif args.algorithm == "depthproject":
+        miner = DepthProject(pruner=pruner, max_level=max_level)
+    elif args.algorithm == "partition":
+        miner = Partition(max_level=max_level)
+    elif args.algorithm == "fpgrowth":
+        miner = FPGrowth(max_level=max_level)
+    elif args.algorithm == "charm":
+        from .mining.closed import mine_closed
+
+        result = mine_closed(db, args.minsup, max_level=max_level)
+        miner = None
+    else:
+        miner = Eclat(max_level=max_level)
+    if miner is not None:
+        result = miner.mine(db, args.minsup)
+    print(
+        f"{result.algorithm}: {result.n_frequent} frequent itemsets "
+        f"(minsup {result.min_support} of {len(db)}) "
+        f"in {result.elapsed_seconds:.2f}s; "
+        f"candidates counted {result.candidates_counted()}"
+    )
+    shown = result.sorted_itemsets()
+    if args.top:
+        shown = shown[: args.top]
+    for itemset, support in shown:
+        print(f"  {{{','.join(map(str, itemset))}}}: {support}")
+    return 0
+
+
+def _cmd_recipe(args: argparse.Namespace) -> int:
+    strategy = recommend(
+        RecipeInputs(
+            n_user=args.n_user,
+            n_pages=args.pages,
+            data_is_skewed=args.skewed,
+            segmentation_cost_matters=args.cost_matters,
+        )
+    )
+    print(strategy)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "ossm": _cmd_ossm,
+        "mine": _cmd_mine,
+        "recipe": _cmd_recipe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Segment configurations (Section 4 of the paper).
+
+The *configuration* of a segment is the rank-ordering of its item
+supports: ``(x_{i1} >= x_{i2} >= ... >= x_{im})``. Ties are broken by
+the canonical item enumeration (footnote 4: ``i < i'`` wins), so every
+segment has exactly one configuration and there are at most ``m!``
+syntactic configurations — of which only ``2^m − m`` are *realizable*
+by transaction collections (Theorem 1's counting argument).
+
+Lemma 1: merging two segments of the same configuration preserves the
+configuration and every Equation (1) pair bound; this is the loss-free
+merge the exact minimizer (:mod:`repro.core.minimization`) exploits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "configuration",
+    "configurations",
+    "distinct_configurations",
+    "group_by_configuration",
+    "same_configuration",
+]
+
+Configuration = tuple[int, ...]
+
+
+def configuration(supports: Sequence[int] | np.ndarray) -> Configuration:
+    """The configuration of one segment-support row.
+
+    Items are ordered by decreasing support; equal supports are ordered
+    by increasing item id (the canonical tie-break of footnote 4).
+    Returns the item permutation as a tuple.
+    """
+    row = np.asarray(supports)
+    if row.ndim != 1:
+        raise ValueError("supports must be a 1-D vector")
+    # argsort with 'stable' on item ids already ascending gives the
+    # canonical tie-break once we sort by negated support.
+    order = np.argsort(-row, kind="stable")
+    return tuple(int(item) for item in order)
+
+
+def configurations(matrix: np.ndarray) -> list[Configuration]:
+    """Configurations of every row of a segment-support matrix."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D (segments x items)")
+    return [configuration(row) for row in matrix]
+
+
+def distinct_configurations(matrix: np.ndarray) -> set[Configuration]:
+    """The set of distinct configurations among the rows of *matrix*."""
+    return set(configurations(matrix))
+
+
+def group_by_configuration(matrix: np.ndarray) -> list[list[int]]:
+    """Group row indices by configuration (first-seen order).
+
+    The groups are exactly the loss-free merges allowed by Lemma 1:
+    summing the rows of one group never changes an Equation (1) bound.
+    """
+    groups: dict[Configuration, list[int]] = defaultdict(list)
+    order: list[Configuration] = []
+    for index, config in enumerate(configurations(matrix)):
+        if config not in groups:
+            order.append(config)
+        groups[config].append(index)
+    return [groups[config] for config in order]
+
+
+def same_configuration(
+    a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray
+) -> bool:
+    """True iff two support rows have the same configuration."""
+    return configuration(a) == configuration(b)

@@ -1,0 +1,159 @@
+"""Generalized OSSM (footnote 3 of the paper).
+
+Footnote 3 sketches an alternative way to tighten the Equation (1)
+bound: "generalize the OSSM by storing not only the actual segment
+supports of singleton patterns or itemsets, but also those of itemsets
+of higher cardinalities". This module implements that extension: a map
+from every itemset of size up to ``max_cardinality`` (that occurs at
+all) to its per-segment support vector. The bound becomes::
+
+    sup_hat_k(X) = sum_i  min over subsets S of X, |S| = min(k, |X|)
+                          of sup_i(S)
+
+which dominates the singleton bound (every singleton is a subset) and
+is exact whenever ``|X| <= k``. The price is space: the number of
+stored itemsets grows with the ``k``-th power of the domain, which is
+why the paper's main structure stays at singletons — the ablation bench
+:mod:`benchmarks.bench_ablation_generalized` quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..data.transactions import TransactionDatabase
+
+__all__ = ["GeneralizedOSSM"]
+
+
+class GeneralizedOSSM:
+    """Segment supports for all itemsets up to a cardinality cap.
+
+    Parameters
+    ----------
+    supports:
+        Mapping from itemset (sorted tuple) to an int64 vector of
+        per-segment supports. Itemsets never observed may be absent —
+        absence means zero support in every segment.
+    n_segments, n_items, max_cardinality:
+        Shape metadata.
+    segment_sizes:
+        Optional per-segment transaction counts.
+    """
+
+    def __init__(
+        self,
+        supports: dict[tuple[int, ...], np.ndarray],
+        n_segments: int,
+        n_items: int,
+        max_cardinality: int,
+        segment_sizes: Sequence[int] | None = None,
+    ) -> None:
+        if max_cardinality < 1:
+            raise ValueError("max_cardinality must be >= 1")
+        self._supports = {
+            tuple(sorted(key)): np.asarray(vec, dtype=np.int64)
+            for key, vec in supports.items()
+        }
+        for key, vec in self._supports.items():
+            if len(key) > max_cardinality:
+                raise ValueError(
+                    f"stored itemset {key} exceeds max_cardinality"
+                )
+            if vec.shape != (n_segments,):
+                raise ValueError("support vectors must have n_segments entries")
+        self.n_segments = int(n_segments)
+        self.n_items = int(n_items)
+        self.max_cardinality = int(max_cardinality)
+        self.segment_sizes = (
+            tuple(int(s) for s in segment_sizes)
+            if segment_sizes is not None
+            else None
+        )
+        self._zero = np.zeros(self.n_segments, dtype=np.int64)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_segments(
+        cls,
+        segments: Iterable[TransactionDatabase],
+        max_cardinality: int = 2,
+    ) -> "GeneralizedOSSM":
+        """Count every itemset of size ≤ *max_cardinality* per segment."""
+        segments = list(segments)
+        if not segments:
+            raise ValueError("need at least one segment")
+        n_items = max(segment.n_items for segment in segments)
+        supports: dict[tuple[int, ...], np.ndarray] = {}
+        for index, segment in enumerate(segments):
+            for txn in segment:
+                top = min(max_cardinality, len(txn))
+                for size in range(1, top + 1):
+                    for subset in combinations(txn, size):
+                        vector = supports.get(subset)
+                        if vector is None:
+                            vector = np.zeros(len(segments), dtype=np.int64)
+                            supports[subset] = vector
+                        vector[index] += 1
+        return cls(
+            supports,
+            n_segments=len(segments),
+            n_items=n_items,
+            max_cardinality=max_cardinality,
+            segment_sizes=[len(s) for s in segments],
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def segment_supports(self, itemset: Iterable[int]) -> np.ndarray:
+        """Per-segment supports of a stored itemset (zeros if unseen)."""
+        key = tuple(sorted(set(int(i) for i in itemset)))
+        return self._supports.get(key, self._zero)
+
+    def upper_bound(self, itemset: Iterable[int]) -> int:
+        """Generalized Equation (1) bound using subsets up to the cap."""
+        items = sorted(set(int(i) for i in itemset))
+        if not items:
+            if self.segment_sizes is not None:
+                return int(sum(self.segment_sizes))
+            raise ValueError(
+                "empty-itemset bound needs segment sizes"
+            )
+        size = min(self.max_cardinality, len(items))
+        per_segment = None
+        for subset in combinations(items, size):
+            vector = self._supports.get(subset, self._zero)
+            per_segment = (
+                vector.copy()
+                if per_segment is None
+                else np.minimum(per_segment, vector)
+            )
+        return int(per_segment.sum())
+
+    def upper_bounds(self, itemsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Bounds for many itemsets (no same-size restriction)."""
+        return np.asarray(
+            [self.upper_bound(itemset) for itemset in itemsets],
+            dtype=np.int64,
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    def n_stored_itemsets(self) -> int:
+        """Number of itemsets materialized in the map."""
+        return len(self._supports)
+
+    def nominal_size_bytes(self, cell_bytes: int = 2) -> int:
+        """Storage under the paper's 2-byte-cell accounting."""
+        return self.n_stored_itemsets() * self.n_segments * cell_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedOSSM(k<={self.max_cardinality}, "
+            f"{self.n_segments} segments, "
+            f"{self.n_stored_itemsets()} itemsets)"
+        )

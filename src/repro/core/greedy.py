@@ -1,0 +1,52 @@
+"""The Greedy segmentation algorithm (Figure 2 of the paper).
+
+Seed a priority queue with the Equation (2) loss of every pair of
+initial segments; repeatedly pop the minimum-loss pair, merge it, and
+insert the losses of the merged segment against every survivor —
+recomputation is unavoidable because a merge can produce a segment of a
+*totally different* configuration (Example 3). Stops at ``n_user``
+segments.
+
+Complexity (paper, Section 5.2): ``O(P² m²)`` to seed plus
+``O(P (m² + log P))`` per iteration → ``O(P² m² + P² log P)`` overall;
+our sort-based loss evaluator turns each ``m²`` into ``m log m`` without
+changing any merge decision (see :mod:`repro.core.loss`). The heap uses
+lazy deletion: entries referring to retired segment handles are
+discarded on pop, which implements Step 5 of Figure 2 ("remove all pairs
+involving S_i or S_j") without an indexed queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+
+from .segmentation import MergeState, Segmenter
+
+__all__ = ["GreedySegmenter"]
+
+
+class GreedySegmenter(Segmenter):
+    """Merge the globally cheapest pair until ``n_user`` segments remain.
+
+    Deterministic: ties on loss are broken by (older, older) segment
+    handles, matching a stable priority queue.
+    """
+
+    name = "greedy"
+
+    def _reduce(self, state: MergeState, n_user: int) -> None:
+        heap: list[tuple[int, int, int]] = []
+        for a, b in combinations(state.segment_ids(), 2):
+            heap.append((state.loss(a, b), a, b))
+        heapq.heapify(heap)
+        while state.n_segments > n_user:
+            loss, a, b = heapq.heappop(heap)
+            if not (state.alive(a) and state.alive(b)):
+                continue  # stale entry: a participant was merged away
+            merged = state.merge(a, b)
+            for other in state.segment_ids():
+                if other != merged:
+                    heapq.heappush(
+                        heap, (state.loss(merged, other), other, merged)
+                    )

@@ -1,0 +1,78 @@
+"""Hybrid segmentation strategies (Section 5.4 of the paper).
+
+For a large initial page count ``P``, the quadratic RC/Greedy cost is
+prohibitive. The hybrids spend the first phase running Random to shrink
+``P`` pages to ``n_mid`` segments (``n_user < n_mid ≪ P``), then let the
+elaborate algorithm finish from there — Random-RC and Random-Greedy in
+the paper. Section 6.3 recommends ``n_mid`` between 100 and 500.
+"""
+
+from __future__ import annotations
+
+from .greedy import GreedySegmenter
+from .rc import RCSegmenter
+from .random_seg import RandomSegmenter
+from .segmentation import MergeState, Segmenter
+
+__all__ = ["HybridSegmenter", "RandomRCSegmenter", "RandomGreedySegmenter"]
+
+
+class HybridSegmenter(Segmenter):
+    """Compose two segmenters: *first* down to ``n_mid``, then *second*.
+
+    Both phases operate on the same merge state, so the second phase
+    sees exactly the segments the first produced — including their page
+    groups, which the final OSSM reports.
+    """
+
+    def __init__(
+        self,
+        first: Segmenter,
+        second: Segmenter,
+        n_mid: int,
+        items=None,
+    ) -> None:
+        super().__init__(items=items)
+        if n_mid < 1:
+            raise ValueError("n_mid must be >= 1")
+        self.first = first
+        self.second = second
+        self.n_mid = int(n_mid)
+        self.name = f"{first.name}-{second.name}"
+        # The phases must score losses on the same item restriction as
+        # the composite, or the bubble list would silently not apply.
+        first.items = self.items
+        second.items = self.items
+
+    def _reduce(self, state: MergeState, n_user: int) -> None:
+        # If the budget already exceeds n_mid, the cheap phase carries
+        # the whole reduction (the elaborate phase has nothing to do).
+        midpoint = max(self.n_mid, n_user)
+        if state.n_segments > midpoint:
+            self.first._reduce(state, midpoint)
+        if state.n_segments > n_user:
+            self.second._reduce(state, n_user)
+
+
+class RandomRCSegmenter(HybridSegmenter):
+    """The paper's Random-RC strategy."""
+
+    def __init__(self, n_mid: int = 200, seed: int = 0, items=None) -> None:
+        super().__init__(
+            RandomSegmenter(seed=seed),
+            RCSegmenter(seed=seed + 1),
+            n_mid=n_mid,
+            items=items,
+        )
+
+
+class RandomGreedySegmenter(HybridSegmenter):
+    """The paper's Random-Greedy strategy."""
+
+    def __init__(self, n_mid: int = 200, seed: int = 0, items=None) -> None:
+        super().__init__(
+            RandomSegmenter(seed=seed),
+            GreedySegmenter(),
+            n_mid=n_mid,
+            items=items,
+        )

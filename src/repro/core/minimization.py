@@ -1,0 +1,183 @@
+"""The segment minimization problem (Section 4, Theorem 1, Corollary 1).
+
+How many segments does an OSSM need for the Equation (1) bound to be
+*exact* for every itemset? Theorem 1: if the collection may be
+rearranged, ``n_min = min(N, 2^m − m)`` — the number of segments with
+distinct configurations. The counting argument: a transaction's
+configuration is determined by its itemset, the ``2^m − 1`` non-empty
+itemsets yield ``2^m − 1`` candidate configurations, and exactly the
+``m`` canonical-prefix itemsets ``{x1}, {x1,x2}, …, {x1,…,xm}`` collide
+on the identity configuration, leaving ``2^m − m`` distinct ones
+(counting the empty transaction's configuration among them).
+
+Corollary 1 lifts the result to page granularity: starting from ``P``
+pages, exactness *relative to the page-level map* needs
+``min(P, 2^m − m)`` segments — group pages by configuration.
+
+This module provides the bound, the exact minimizers (transaction and
+page versions), an exactness verifier used heavily in tests, and the
+Example 4 segmentation-count (Stirling numbers of the second kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import chain, combinations
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..data.pages import PagedDatabase
+from ..data.transactions import TransactionDatabase
+from .configuration import group_by_configuration
+from .ossm import OSSM
+
+__all__ = [
+    "n_min_bound",
+    "MinimizationResult",
+    "minimize_transactions",
+    "minimize_pages",
+    "is_exact",
+    "max_bound_error",
+    "count_segmentations",
+]
+
+
+def n_min_bound(n_units: int, n_items: int) -> int:
+    """Theorem 1 / Corollary 1 worst-case ``n_min``: ``min(N, 2^m − m)``.
+
+    *n_units* is the number of transactions (Theorem 1) or pages
+    (Corollary 1); *n_items* is ``m``.
+    """
+    if n_units < 0 or n_items < 0:
+        raise ValueError("counts must be non-negative")
+    return min(n_units, 2**n_items - n_items) if n_items else min(n_units, 1)
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of an exact minimization.
+
+    Attributes
+    ----------
+    ossm:
+        The minimal exact OSSM.
+    groups:
+        Which input units (transactions or pages) each segment merges.
+    n_min:
+        Number of segments actually needed for this collection — at
+        most the Theorem 1 worst case, usually far less.
+    """
+
+    ossm: OSSM
+    groups: list[list[int]]
+    n_min: int
+
+
+def minimize_transactions(
+    database: TransactionDatabase,
+) -> MinimizationResult:
+    """Exact minimal OSSM at transaction granularity (Theorem 1).
+
+    Transactions are grouped by configuration — at this granularity,
+    by identical itemset — and each group becomes one segment. The
+    resulting bound equals the true support for every itemset.
+    """
+    matrix = np.zeros((len(database), database.n_items), dtype=np.int64)
+    for tid, txn in enumerate(database):
+        matrix[tid, list(txn)] = 1
+    groups = group_by_configuration(matrix)
+    rows = (
+        np.vstack([matrix[list(g)].sum(axis=0) for g in groups])
+        if groups
+        else np.zeros((0, database.n_items), dtype=np.int64)
+    )
+    ossm = OSSM(rows, segment_sizes=[len(g) for g in groups])
+    return MinimizationResult(ossm=ossm, groups=groups, n_min=len(groups))
+
+
+def minimize_pages(paged: PagedDatabase) -> MinimizationResult:
+    """Exact minimal OSSM at page granularity (Corollary 1).
+
+    Pages with equal configurations merge without loss relative to the
+    initial ``P``-segment page map (Lemma 1); the result is the fewest
+    segments whose bound matches the page-level bound for every itemset.
+    """
+    page_matrix = paged.page_supports()
+    groups = group_by_configuration(page_matrix)
+    rows = np.vstack([page_matrix[list(g)].sum(axis=0) for g in groups])
+    lengths = paged.page_lengths()
+    sizes = [int(sum(lengths[p] for p in g)) for g in groups]
+    return MinimizationResult(
+        ossm=OSSM(rows, segment_sizes=sizes),
+        groups=groups,
+        n_min=len(groups),
+    )
+
+
+def _all_itemsets(n_items: int, max_size: int | None) -> Iterable[tuple[int, ...]]:
+    sizes = range(1, (max_size or n_items) + 1)
+    return chain.from_iterable(
+        combinations(range(n_items), size) for size in sizes
+    )
+
+
+def is_exact(
+    ossm: OSSM,
+    database: TransactionDatabase,
+    itemsets: Sequence[Sequence[int]] | None = None,
+    max_size: int | None = None,
+) -> bool:
+    """True iff the Equation (1) bound equals the true support.
+
+    Checks the given *itemsets*, or — exhaustively — every non-empty
+    itemset up to *max_size* (default: all ``2^m − 1``; only sensible
+    for small ``m``).
+    """
+    return max_bound_error(ossm, database, itemsets, max_size) == 0
+
+
+def max_bound_error(
+    ossm: OSSM,
+    database: TransactionDatabase,
+    itemsets: Sequence[Sequence[int]] | None = None,
+    max_size: int | None = None,
+) -> int:
+    """Largest ``bound − support`` over the checked itemsets (0 = exact)."""
+    if itemsets is None:
+        itemsets = list(_all_itemsets(database.n_items, max_size))
+    worst = 0
+    for itemset in itemsets:
+        gap = ossm.upper_bound(itemset) - database.support(itemset)
+        if gap < 0:
+            raise AssertionError(
+                f"bound below true support for {tuple(itemset)} — "
+                "the OSSM does not describe this database"
+            )
+        worst = max(worst, gap)
+    return worst
+
+
+@lru_cache(maxsize=None)
+def _stirling2(n: int, k: int) -> int:
+    if k == 0:
+        return 1 if n == 0 else 0
+    if k > n:
+        return 0
+    if k == n or k == 1:
+        return 1
+    return k * _stirling2(n - 1, k) + _stirling2(n - 1, k - 1)
+
+
+def count_segmentations(n_pages: int, n_segments: int) -> int:
+    """Number of ways to form *n_segments* segments from *n_pages* pages.
+
+    Example 4 of the paper: ``(5, 3) → 25``, ``(6, 3) → 90``,
+    ``(7, 3) → 301`` — the Stirling numbers of the second kind
+    ``S(P, n_user)`` (segments are unlabeled, pages distinguishable,
+    no segment empty).
+    """
+    if n_pages < 0 or n_segments < 0:
+        raise ValueError("counts must be non-negative")
+    return _stirling2(n_pages, n_segments)

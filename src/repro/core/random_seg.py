@@ -1,0 +1,42 @@
+"""The Random segmentation algorithm (Section 5.2 of the paper).
+
+Random merges arbitrary segments — no Equation (2) evaluation at all —
+so it runs in ``O(P)`` and serves two roles in the paper: the cost
+baseline against which RC/Greedy must justify themselves, and the fast
+first phase of the hybrid strategies. It also coincides with the plain
+SSM construction of the earlier case study ([10]): an arbitrary/random
+partition of the pages into ``n_user`` segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .segmentation import MergeState, Segmenter
+
+__all__ = ["RandomSegmenter"]
+
+
+class RandomSegmenter(Segmenter):
+    """Partition pages into ``n_user`` segments uniformly at random.
+
+    Pages are shuffled and dealt into ``n_user`` buckets of near-equal
+    size, guaranteeing every segment is non-empty. Deterministic given
+    *seed*. Performs zero loss evaluations.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, items=None) -> None:
+        super().__init__(items=items)
+        self.seed = seed
+
+    def _reduce(self, state: MergeState, n_user: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        ids = state.segment_ids()
+        order = rng.permutation(len(ids))
+        buckets = np.array_split(order, n_user)
+        for bucket in buckets:
+            survivor = ids[int(bucket[0])]
+            for index in bucket[1:]:
+                survivor = state.merge(survivor, ids[int(index)])

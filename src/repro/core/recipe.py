@@ -1,0 +1,90 @@
+"""The recommended recipe (Figure 7 and Section 6.4 of the paper).
+
+A small decision procedure mapping an application's circumstances to a
+segmentation strategy:
+
+* large segment budget (``n_user``) **and** skewed data → **Random** is
+  already sufficient (speedup comes cheap; no loss computation needed);
+* otherwise, if segmentation cost is *not* an issue → **Greedy** (with
+  the bubble list) builds the highest-quality OSSM;
+* otherwise, with a very large initial page count ``P`` → **Random-RC**
+  (cheapest elaborate hybrid);
+* otherwise → **Random-Greedy**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from .greedy import GreedySegmenter
+from .hybrid import RandomGreedySegmenter, RandomRCSegmenter
+from .random_seg import RandomSegmenter
+from .segmentation import Segmenter
+
+__all__ = ["RecipeInputs", "recommend", "recommended_segmenter"]
+
+#: Default decision boundaries. The paper leaves "large" qualitative;
+#: these defaults follow its experiments (n_user ≈ 150 is "a lot of
+#: space", P = 50 000 is "very large").
+LARGE_N_USER = 100
+VERY_LARGE_P = 5000
+
+
+@dataclass(frozen=True)
+class RecipeInputs:
+    """The circumstances Figure 7 branches on."""
+
+    n_user: int
+    n_pages: int
+    data_is_skewed: bool
+    segmentation_cost_matters: bool
+
+    def __post_init__(self) -> None:
+        if self.n_user < 1:
+            raise ValueError("n_user must be >= 1")
+        if self.n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+
+
+def recommend(
+    inputs: RecipeInputs,
+    large_n_user: int = LARGE_N_USER,
+    very_large_p: int = VERY_LARGE_P,
+) -> str:
+    """Figure 7's decision tree; returns a strategy name.
+
+    One of ``"random"``, ``"greedy"``, ``"random-rc"``,
+    ``"random-greedy"``.
+    """
+    if inputs.n_user >= large_n_user and inputs.data_is_skewed:
+        return "random"
+    if not inputs.segmentation_cost_matters:
+        return "greedy"
+    if inputs.n_pages >= very_large_p:
+        return "random-rc"
+    return "random-greedy"
+
+
+def recommended_segmenter(
+    inputs: RecipeInputs,
+    seed: int = 0,
+    items: Sequence[int] | None = None,
+    n_mid: int = 200,
+    large_n_user: int = LARGE_N_USER,
+    very_large_p: int = VERY_LARGE_P,
+) -> Segmenter:
+    """Instantiate the segmenter Figure 7 recommends for *inputs*.
+
+    *items* should be a bubble list whenever an elaborate strategy is
+    recommended (Section 6.4 pairs Greedy and the hybrids with the
+    bubble list).
+    """
+    strategy = recommend(inputs, large_n_user, very_large_p)
+    if strategy == "random":
+        return RandomSegmenter(seed=seed, items=items)
+    if strategy == "greedy":
+        return GreedySegmenter(items=items)
+    if strategy == "random-rc":
+        return RandomRCSegmenter(n_mid=n_mid, seed=seed, items=items)
+    return RandomGreedySegmenter(n_mid=n_mid, seed=seed, items=items)

@@ -1,0 +1,213 @@
+"""Common machinery for the constrained segmentation algorithms.
+
+Every algorithm in Section 5 starts from ``P`` initial segments (the
+pages), repeatedly merges pairs, and stops at ``n_user`` segments. They
+differ only in *which* pair they merge. This module provides:
+
+* :class:`SegmentationResult` — groups, the realized OSSM, and cost
+  accounting (wall time and the number of Equation (2) evaluations,
+  which is the machine-independent cost the complexity analysis in the
+  paper counts);
+* :class:`Segmenter` — the abstract interface;
+* :class:`MergeState` — the shared mutable workspace: live segment
+  rows, the page groups behind each segment, cached ``f`` values, and
+  the loss evaluator (optionally restricted to a bubble list).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.pages import PagedDatabase
+from .loss import pair_bound_sum
+from .ossm import OSSM
+
+__all__ = ["SegmentationResult", "Segmenter", "MergeState", "as_page_matrix"]
+
+
+def as_page_matrix(
+    source: PagedDatabase | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Normalize a segmentation input to ``(page_matrix, page_sizes)``."""
+    if isinstance(source, PagedDatabase):
+        return source.page_supports(), source.page_lengths()
+    matrix = np.asarray(source, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError("page matrix must be 2-D (pages x items)")
+    return matrix, None
+
+
+@dataclass(frozen=True)
+class SegmentationResult:
+    """Outcome of one segmentation run.
+
+    Attributes
+    ----------
+    groups:
+        Page indices merged into each final segment.
+    ossm:
+        The OSSM realized by the grouping.
+    algorithm:
+        Human-readable algorithm name (e.g. ``"greedy"``,
+        ``"random-rc"``).
+    elapsed_seconds:
+        Wall-clock segmentation time — the paper's "segmentation cost".
+    loss_evaluations:
+        Number of Equation (2) pair evaluations performed; the
+        machine-independent cost counted by the paper's complexity
+        analysis (0 for Random).
+    """
+
+    groups: list[list[int]]
+    ossm: OSSM
+    algorithm: str
+    elapsed_seconds: float
+    loss_evaluations: int
+
+    @property
+    def n_segments(self) -> int:
+        """Number of final segments."""
+        return len(self.groups)
+
+
+class MergeState:
+    """Live segments during a run: rows, page groups, and cached ``f``.
+
+    Segment handles are integers; merging retires both operands and
+    allocates a fresh handle, so stale priority-queue entries are
+    recognizably dead (the lazy-deletion pattern the Greedy heap needs).
+    """
+
+    def __init__(
+        self,
+        page_matrix: np.ndarray,
+        items: Sequence[int] | None = None,
+    ) -> None:
+        page_matrix = np.asarray(page_matrix, dtype=np.int64)
+        self._items = (
+            np.asarray(items, dtype=np.int64) if items is not None else None
+        )
+        self.rows: dict[int, np.ndarray] = {
+            i: page_matrix[i].copy() for i in range(page_matrix.shape[0])
+        }
+        self.groups: dict[int, list[int]] = {
+            i: [i] for i in range(page_matrix.shape[0])
+        }
+        self._next_id = page_matrix.shape[0]
+        self._f: dict[int, int] = {}
+        self.loss_evaluations = 0
+
+    # -- loss ------------------------------------------------------------
+
+    def _restricted(self, row: np.ndarray) -> np.ndarray:
+        return row if self._items is None else row[self._items]
+
+    def f_value(self, seg: int) -> int:
+        """Cached ``f(row)`` (sum of pair minima) for a live segment."""
+        value = self._f.get(seg)
+        if value is None:
+            value = pair_bound_sum(self._restricted(self.rows[seg]))
+            self._f[seg] = value
+        return value
+
+    def loss(self, a: int, b: int) -> int:
+        """Equation (2) loss of merging live segments *a* and *b*."""
+        self.loss_evaluations += 1
+        merged = pair_bound_sum(
+            self._restricted(self.rows[a]) + self._restricted(self.rows[b])
+        )
+        return merged - self.f_value(a) - self.f_value(b)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Merge live segments *a* and *b*; return the new handle."""
+        if a == b:
+            raise ValueError("cannot merge a segment with itself")
+        new = self._next_id
+        self._next_id += 1
+        self.rows[new] = self.rows[a] + self.rows[b]
+        self.groups[new] = self.groups[a] + self.groups[b]
+        for old in (a, b):
+            del self.rows[old]
+            del self.groups[old]
+            self._f.pop(old, None)
+        return new
+
+    def alive(self, seg: int) -> bool:
+        """True while *seg* has not been merged away."""
+        return seg in self.rows
+
+    @property
+    def n_segments(self) -> int:
+        """Number of live segments."""
+        return len(self.rows)
+
+    def segment_ids(self) -> list[int]:
+        """Live segment handles in creation order."""
+        return sorted(self.rows)
+
+    # -- finalization ------------------------------------------------------
+
+    def final_groups(self) -> list[list[int]]:
+        """Page groups of the live segments, pages sorted within groups."""
+        return [sorted(self.groups[seg]) for seg in self.segment_ids()]
+
+    def final_matrix(self) -> np.ndarray:
+        """Segment-support rows of the live segments (full item domain)."""
+        return np.vstack([self.rows[seg] for seg in self.segment_ids()])
+
+
+class Segmenter(abc.ABC):
+    """Interface shared by Random, RC, Greedy, and the hybrids.
+
+    Subclasses implement :meth:`_reduce`, which merges a
+    :class:`MergeState` down to ``n_user`` live segments. The public
+    :meth:`segment` handles input normalization, the trivial
+    ``n_user >= P`` case, timing, and OSSM realization.
+    """
+
+    #: Human-readable name used in results and reports.
+    name: str = "abstract"
+
+    def __init__(self, items: Sequence[int] | None = None) -> None:
+        self.items = list(items) if items is not None else None
+
+    @abc.abstractmethod
+    def _reduce(self, state: MergeState, n_user: int) -> None:
+        """Merge segments in *state* until ``state.n_segments == n_user``."""
+
+    def segment(
+        self,
+        source: PagedDatabase | np.ndarray,
+        n_user: int,
+    ) -> SegmentationResult:
+        """Partition the pages of *source* into *n_user* segments."""
+        page_matrix, page_sizes = as_page_matrix(source)
+        n_pages = page_matrix.shape[0]
+        if n_user < 1:
+            raise ValueError("n_user must be >= 1")
+        if n_pages == 0:
+            raise ValueError("cannot segment an empty collection")
+        start = time.perf_counter()
+        state = MergeState(page_matrix, items=self.items)
+        if n_user < n_pages:
+            self._reduce(state, n_user)
+        elapsed = time.perf_counter() - start
+        groups = state.final_groups()
+        sizes = None
+        if page_sizes is not None:
+            sizes = [int(sum(page_sizes[p] for p in g)) for g in groups]
+        ossm = OSSM(state.final_matrix(), segment_sizes=sizes)
+        return SegmentationResult(
+            groups=groups,
+            ossm=ossm,
+            algorithm=self.name,
+            elapsed_seconds=elapsed,
+            loss_evaluations=state.loss_evaluations,
+        )

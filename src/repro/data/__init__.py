@@ -1,0 +1,59 @@
+"""Transaction-data substrate: databases, pages, generators, and IO.
+
+The paper's experiments run over three data sets — a real Nokia alarm
+log (proprietary; simulated here by :mod:`repro.data.alarms`), the IBM
+Quest *regular-synthetic* data (:mod:`repro.data.quest`), and a seasonal
+*skewed-synthetic* set (:mod:`repro.data.skewed`). All of them are
+:class:`~repro.data.transactions.TransactionDatabase` objects, paged by
+:class:`~repro.data.pages.PagedDatabase` for segmentation.
+"""
+
+from .alarms import AlarmConfig, AlarmStreamGenerator, generate_alarms
+from .events import Event, EventSequence, WindowView
+from .io import (
+    load,
+    load_binary,
+    load_fimi,
+    load_spmf,
+    save,
+    save_binary,
+    save_fimi,
+    save_spmf,
+)
+from .pages import PAGE_BYTES, TRANSACTIONS_PER_PAGE, PagedDatabase
+from .quest import QuestConfig, QuestGenerator, generate_quest
+from .sequences import CustomerSequence, SequenceDatabase, contains_sequence
+from .skewed import SkewedConfig, SkewedGenerator, generate_skewed
+from .transactions import Transaction, TransactionDatabase, Vocabulary
+
+__all__ = [
+    "AlarmConfig",
+    "AlarmStreamGenerator",
+    "generate_alarms",
+    "Event",
+    "EventSequence",
+    "WindowView",
+    "load",
+    "load_binary",
+    "load_fimi",
+    "load_spmf",
+    "save_spmf",
+    "save",
+    "save_binary",
+    "save_fimi",
+    "PAGE_BYTES",
+    "TRANSACTIONS_PER_PAGE",
+    "PagedDatabase",
+    "QuestConfig",
+    "QuestGenerator",
+    "generate_quest",
+    "CustomerSequence",
+    "SequenceDatabase",
+    "contains_sequence",
+    "SkewedConfig",
+    "SkewedGenerator",
+    "generate_skewed",
+    "Transaction",
+    "TransactionDatabase",
+    "Vocabulary",
+]

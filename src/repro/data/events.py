@@ -1,0 +1,164 @@
+"""Event sequences and sliding-window views (episode-mining substrate).
+
+The paper's abstract problem covers episodes (Mannila, Toivonen &
+Verkamo 1997, its reference [13]): there, "a transaction corresponds to
+a sequence of events in a sliding time window" (the paper's footnote 1).
+This module provides that substrate: a timestamped
+:class:`EventSequence` and its windowing into a
+:class:`~repro.data.transactions.TransactionDatabase` — after which the
+whole OSSM machinery applies verbatim to parallel episodes, and bounds
+serial episodes too (a serial episode's support is at most its parallel
+shadow's).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .transactions import TransactionDatabase
+
+__all__ = ["Event", "EventSequence", "WindowView"]
+
+Event = tuple[int, int]  # (time, event_type)
+
+
+class EventSequence:
+    """A time-ordered sequence of (time, event_type) pairs.
+
+    Times are non-negative integers (ticks); several events may share a
+    tick. Event types are canonical ids in ``range(n_types)``.
+    """
+
+    def __init__(
+        self, events: Iterable[tuple[int, int]], n_types: int | None = None
+    ) -> None:
+        pairs = sorted((int(t), int(e)) for t, e in events)
+        if pairs and pairs[0][0] < 0:
+            raise ValueError("event times must be non-negative")
+        if any(e < 0 for _, e in pairs):
+            raise ValueError("event types must be non-negative")
+        self._times = [t for t, _ in pairs]
+        self._types = [e for _, e in pairs]
+        observed = max(self._types, default=-1)
+        if n_types is None:
+            n_types = observed + 1
+        elif observed >= n_types:
+            raise ValueError(
+                f"n_types={n_types} but sequence contains type {observed}"
+            )
+        self._n_types = int(n_types)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_database(
+        cls, database: TransactionDatabase, spacing: int = 1
+    ) -> "EventSequence":
+        """Interpret each transaction as the events of one tick."""
+        events = [
+            (tid * spacing, item)
+            for tid, txn in enumerate(database)
+            for item in txn
+        ]
+        return cls(events, n_types=database.n_items)
+
+    # -- basics --------------------------------------------------------
+
+    @property
+    def n_types(self) -> int:
+        """Size of the event-type domain."""
+        return self._n_types
+
+    @property
+    def span(self) -> int:
+        """Last event time + 1 (0 for an empty sequence)."""
+        return (self._times[-1] + 1) if self._times else 0
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(zip(self._times, self._types))
+
+    def __repr__(self) -> str:
+        return (
+            f"EventSequence({len(self)} events, {self._n_types} types, "
+            f"span {self.span})"
+        )
+
+    def events_between(self, start: int, end: int) -> list[Event]:
+        """Events with ``start <= time < end`` in time order."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_right(self._times, end - 1)
+        return list(zip(self._times[lo:hi], self._types[lo:hi]))
+
+    def type_counts(self) -> np.ndarray:
+        """Occurrences of each event type over the whole sequence."""
+        counts = np.zeros(self._n_types, dtype=np.int64)
+        for event_type in self._types:
+            counts[event_type] += 1
+        return counts
+
+
+class WindowView:
+    """All width-``width`` windows of a sequence, WINEPI style.
+
+    Window ``w`` covers times ``[w, w + width)`` for
+    ``w in range(-(width - 1), span)`` — the original definition slides
+    the window so every event is seen by exactly ``width`` windows; the
+    `truncated` option keeps only fully interior windows
+    (``range(0, span - width + 1)``), which is often what a paged
+    transaction view wants.
+    """
+
+    def __init__(
+        self,
+        sequence: EventSequence,
+        width: int,
+        truncated: bool = False,
+    ) -> None:
+        if width < 1:
+            raise ValueError("window width must be >= 1")
+        self.sequence = sequence
+        self.width = int(width)
+        self.truncated = bool(truncated)
+        if truncated:
+            self._starts = range(0, max(sequence.span - width + 1, 0))
+        else:
+            self._starts = range(-(width - 1), sequence.span)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of windows (the denominator of episode frequency)."""
+        return len(self._starts)
+
+    def __len__(self) -> int:
+        return self.n_windows
+
+    def window_events(self, index: int) -> list[Event]:
+        """Events of window *index*, in time order."""
+        start = self._starts[index]
+        return self.sequence.events_between(
+            max(start, 0), start + self.width
+        )
+
+    def iter_windows(self) -> Iterator[list[Event]]:
+        """Iterate the event lists of every window."""
+        for index in range(self.n_windows):
+            yield self.window_events(index)
+
+    def to_database(self) -> TransactionDatabase:
+        """Each window's set of event types as one transaction.
+
+        This is exactly footnote 1's mapping: the OSSM built over this
+        database bounds the support of any *parallel* episode, and by
+        extension any serial episode over the same types.
+        """
+        txns = [
+            tuple(sorted({event_type for _, event_type in events}))
+            for events in self.iter_windows()
+        ]
+        return TransactionDatabase(txns, n_items=self.sequence.n_types)

@@ -1,0 +1,237 @@
+"""IBM Quest–style synthetic transaction generator.
+
+Re-implementation of the well-known synthetic data generator of Agrawal
+& Srikant ("Fast Algorithms for Mining Association Rules", VLDB 1994,
+Section 4.1 / the AAAI'96 book chapter cited by the paper as [3]). The
+paper's *regular-synthetic* data set is produced by the original C
+program; this module reproduces its statistical structure:
+
+* a pool of ``n_patterns`` *potentially frequent itemsets*, whose sizes
+  are Poisson-distributed around ``avg_pattern_len``, whose items are
+  partially inherited from the previous pattern (to model correlated
+  patterns), and which carry exponentially distributed selection
+  weights;
+* per-pattern *corruption levels* (normally distributed around the
+  ``corruption_mean``) that drop items from a pattern when it is
+  inserted into a transaction, modelling imperfect purchases;
+* transactions whose sizes are Poisson-distributed around
+  ``avg_transaction_len`` and are filled by sampling patterns from the
+  pool until full.
+
+Conventional naming: ``T10.I4.D100K`` means avg transaction length 10,
+avg pattern length 4, 100 000 transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .transactions import TransactionDatabase
+
+__all__ = ["QuestConfig", "QuestGenerator", "generate_quest"]
+
+
+@dataclass(frozen=True)
+class QuestConfig:
+    """Parameters of the Quest generator (names follow the 1994 paper).
+
+    The two ``seasonal_*`` fields extend the original generator with
+    popularity drift: patterns are assigned round-robin to
+    ``n_seasons`` groups and a group's selection weight is multiplied
+    by ``1 + seasonal_skew`` during its own era of the stream and by
+    ``1 − seasonal_skew`` otherwise. ``n_seasons=1`` (the default)
+    reproduces the original stationary generator exactly. Drift models
+    what real months-long transaction logs do — item frequencies
+    differing in different parts of the collection, the premise of the
+    OSSM paper.
+    """
+
+    n_transactions: int = 10_000
+    n_items: int = 1000
+    avg_transaction_len: float = 10.0
+    avg_pattern_len: float = 4.0
+    n_patterns: int = 200
+    correlation: float = 0.5
+    corruption_mean: float = 0.5
+    corruption_sd: float = 0.1
+    n_seasons: int = 1
+    seasonal_skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_transactions < 0:
+            raise ValueError("n_transactions must be >= 0")
+        if self.n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if self.n_patterns < 1:
+            raise ValueError("n_patterns must be >= 1")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must lie in [0, 1]")
+        if self.avg_transaction_len <= 0 or self.avg_pattern_len <= 0:
+            raise ValueError("average lengths must be positive")
+        if self.n_seasons < 1:
+            raise ValueError("n_seasons must be >= 1")
+        if not 0.0 <= self.seasonal_skew <= 1.0:
+            raise ValueError("seasonal_skew must lie in [0, 1]")
+
+
+@dataclass
+class _PatternPool:
+    """The pool of potentially frequent itemsets with sampling weights.
+
+    With seasonal drift enabled, each era has its own cumulative
+    distribution (same patterns, reweighted); era 0's distribution is
+    also the stationary one when drift is off.
+    """
+
+    itemsets: list[tuple[int, ...]]
+    weights: np.ndarray
+    corruption: np.ndarray
+    n_seasons: int = 1
+    seasonal_skew: float = 0.0
+    cumulatives: list[np.ndarray] = field(init=False)
+
+    def __post_init__(self) -> None:
+        groups = np.arange(len(self.itemsets)) % self.n_seasons
+        self.cumulatives = []
+        for era in range(self.n_seasons):
+            factors = np.where(
+                groups == era, 1.0 + self.seasonal_skew,
+                1.0 - self.seasonal_skew,
+            )
+            weighted = self.weights * factors
+            total = float(weighted.sum())
+            if total <= 0:  # all weight suppressed: fall back to uniform
+                weighted = np.ones_like(self.weights)
+                total = float(weighted.sum())
+            self.cumulatives.append(np.cumsum(weighted / total))
+
+    def sample(self, rng: np.random.Generator, era: int = 0) -> int:
+        """Draw a pattern index according to the era's weights."""
+        cumulative = self.cumulatives[era % self.n_seasons]
+        return int(np.searchsorted(cumulative, rng.random(), side="right"))
+
+
+class QuestGenerator:
+    """Streaming generator for Quest-style transaction databases.
+
+    The generator is deterministic given ``config.seed``; repeated calls
+    to :meth:`generate` continue the stream (useful for producing the
+    paper's 50 000-page collections without holding them in memory).
+    """
+
+    def __init__(self, config: QuestConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = QuestConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a QuestConfig or keyword overrides")
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._pool = self._build_pool()
+        self._emitted = 0
+
+    # -- pattern pool ------------------------------------------------------
+
+    def _build_pool(self) -> _PatternPool:
+        cfg = self.config
+        rng = self._rng
+        itemsets: list[tuple[int, ...]] = []
+        previous: tuple[int, ...] = ()
+        block = cfg.n_items / cfg.n_seasons
+        for index in range(cfg.n_patterns):
+            size = max(1, int(rng.poisson(cfg.avg_pattern_len)))
+            size = min(size, cfg.n_items)
+            # Fraction of items inherited from the previous pattern is
+            # exponentially distributed with mean `correlation`.
+            inherit_fraction = min(1.0, rng.exponential(cfg.correlation))
+            n_inherit = min(int(round(inherit_fraction * size)), len(previous))
+            inherited = (
+                rng.choice(len(previous), size=n_inherit, replace=False)
+                if n_inherit
+                else np.empty(0, dtype=np.int64)
+            )
+            items = {previous[i] for i in inherited}
+            # With seasonal drift, a pattern's home season also anchors
+            # its catalog block: seasonal baskets are made of seasonal
+            # products (80/20 in/out of block), so item frequencies
+            # drift coherently with the pattern weights.
+            home = index % cfg.n_seasons
+            while len(items) < size:
+                if cfg.n_seasons > 1 and rng.random() < 0.8:
+                    low = int(home * block)
+                    high = max(low + 1, int((home + 1) * block))
+                    items.add(int(rng.integers(low, min(high, cfg.n_items))))
+                else:
+                    items.add(int(rng.integers(cfg.n_items)))
+            pattern = tuple(sorted(items))
+            itemsets.append(pattern)
+            previous = pattern
+        weights = rng.exponential(1.0, size=cfg.n_patterns)
+        corruption = np.clip(
+            rng.normal(cfg.corruption_mean, cfg.corruption_sd, cfg.n_patterns),
+            0.0,
+            1.0,
+        )
+        return _PatternPool(
+            itemsets,
+            weights,
+            corruption,
+            n_seasons=cfg.n_seasons,
+            seasonal_skew=cfg.seasonal_skew,
+        )
+
+    @property
+    def patterns(self) -> list[tuple[int, ...]]:
+        """The potentially frequent itemsets underlying the stream."""
+        return list(self._pool.itemsets)
+
+    # -- transaction stream ------------------------------------------------
+
+    def _era(self) -> int:
+        """Era of the next transaction (eras split the nominal stream)."""
+        cfg = self.config
+        if cfg.n_seasons == 1 or cfg.n_transactions == 0:
+            return 0
+        era_length = max(1, cfg.n_transactions // cfg.n_seasons)
+        return (self._emitted // era_length) % cfg.n_seasons
+
+    def _next_transaction(self) -> tuple[int, ...]:
+        cfg = self.config
+        rng = self._rng
+        era = self._era()
+        self._emitted += 1
+        target = max(1, int(rng.poisson(cfg.avg_transaction_len)))
+        target = min(target, cfg.n_items)
+        items: set[int] = set()
+        # Fill with (possibly corrupted) patterns until the target size
+        # is reached; cap attempts so pathological configs cannot spin.
+        for _ in range(8 * target):
+            if len(items) >= target:
+                break
+            index = self._pool.sample(rng, era)
+            corruption = self._pool.corruption[index]
+            for item in self._pool.itemsets[index]:
+                if rng.random() >= corruption:
+                    items.add(item)
+                if len(items) >= target:
+                    break
+        if not items:
+            # Degenerate draw (all items corrupted away): keep the
+            # transaction non-empty with a uniform singleton.
+            items.add(int(rng.integers(cfg.n_items)))
+        return tuple(sorted(items))
+
+    def generate(self, n_transactions: int | None = None) -> TransactionDatabase:
+        """Generate the next *n_transactions* of the stream as a database."""
+        n = self.config.n_transactions if n_transactions is None else n_transactions
+        if n < 0:
+            raise ValueError("n_transactions must be >= 0")
+        txns = [self._next_transaction() for _ in range(n)]
+        return TransactionDatabase(txns, n_items=self.config.n_items)
+
+
+def generate_quest(**kwargs) -> TransactionDatabase:
+    """One-shot convenience wrapper: ``generate_quest(n_transactions=..., ...)``."""
+    return QuestGenerator(QuestConfig(**kwargs)).generate()

@@ -1,0 +1,171 @@
+"""Customer-sequence databases (sequential-pattern substrate).
+
+The paper's introduction lists sequential patterns (Agrawal & Srikant,
+ICDE 1995 — its reference [4]) among the pattern classes the OSSM
+serves. The data model: each *customer* has a time-ordered sequence of
+transactions (itemsets); a sequential pattern ⟨s₁ … sₖ⟩ is *contained*
+in a customer's sequence when there are transactions at increasing
+times containing s₁, …, sₖ respectively; its support is the number of
+supporting customers.
+
+The OSSM hook rests on flattening: the set of all items a customer ever
+bought is one transaction, and a pattern can only be supported by
+customers whose flattened itemset covers all the pattern's items — so
+an OSSM over the flattened database upper-bounds sequential support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .transactions import Transaction, TransactionDatabase
+
+__all__ = ["CustomerSequence", "SequenceDatabase", "contains_sequence"]
+
+CustomerSequence = tuple[Transaction, ...]
+Pattern = tuple[Transaction, ...]
+
+
+def _canonical_sequence(sequence: Iterable[Iterable[int]]) -> CustomerSequence:
+    elements = []
+    for element in sequence:
+        canonical = tuple(sorted(set(int(i) for i in element)))
+        if canonical:
+            if canonical[0] < 0:
+                raise ValueError("item ids must be non-negative")
+            elements.append(canonical)
+    return tuple(elements)
+
+
+def contains_sequence(
+    customer: CustomerSequence, pattern: Pattern
+) -> bool:
+    """Greedy subsequence test: each pattern element must be a subset
+    of a strictly later customer transaction than the previous match."""
+    position = 0
+    for element in pattern:
+        element_set = set(element)
+        while position < len(customer):
+            if element_set.issubset(customer[position]):
+                position += 1
+                break
+            position += 1
+        else:
+            return False
+    return True
+
+
+class SequenceDatabase:
+    """An ordered collection of customer sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of customer sequences (iterables of item iterables).
+        Empty transactions are dropped; empty customers are kept (they
+        support nothing but count toward the collection size).
+    n_items:
+        Item-domain size; defaults to max observed + 1.
+    """
+
+    def __init__(
+        self,
+        sequences: Iterable[Iterable[Iterable[int]]],
+        n_items: int | None = None,
+    ) -> None:
+        self._sequences = [_canonical_sequence(s) for s in sequences]
+        observed = max(
+            (
+                element[-1]
+                for sequence in self._sequences
+                for element in sequence
+                if element
+            ),
+            default=-1,
+        )
+        if n_items is None:
+            n_items = observed + 1
+        elif observed >= n_items:
+            raise ValueError(
+                f"n_items={n_items} but sequences contain item {observed}"
+            )
+        self._n_items = int(n_items)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_transactions(
+        cls, database: TransactionDatabase, visits_per_customer: int
+    ) -> "SequenceDatabase":
+        """Chunk a transaction stream into fixed-length customer visits.
+
+        A cheap, deterministic way to obtain a sequence workload from
+        any transaction generator: consecutive transactions become the
+        consecutive visits of one customer.
+        """
+        if visits_per_customer < 1:
+            raise ValueError("visits_per_customer must be >= 1")
+        txns = list(database)
+        sequences = [
+            txns[i:i + visits_per_customer]
+            for i in range(0, len(txns), visits_per_customer)
+        ]
+        return cls(sequences, n_items=database.n_items)
+
+    # -- basics --------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item domain."""
+        return self._n_items
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[CustomerSequence]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> CustomerSequence:
+        return self._sequences[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase({len(self)} customers, "
+            f"{self._n_items} items)"
+        )
+
+    def average_visits(self) -> float:
+        """Mean number of transactions per customer."""
+        if not self._sequences:
+            return 0.0
+        return sum(len(s) for s in self._sequences) / len(self)
+
+    # -- supports --------------------------------------------------------
+
+    def support(self, pattern: Sequence[Sequence[int]]) -> int:
+        """Customers containing *pattern* (a sequence of itemsets)."""
+        canonical = _canonical_sequence(pattern)
+        if not canonical:
+            return len(self)
+        return sum(
+            1
+            for customer in self._sequences
+            if contains_sequence(customer, canonical)
+        )
+
+    def flattened(self) -> TransactionDatabase:
+        """One transaction per customer: every item they ever bought.
+
+        The OSSM bound for sequential patterns is built on this view.
+        """
+        txns = [
+            tuple(sorted({item for element in seq for item in element}))
+            for seq in self._sequences
+        ]
+        return TransactionDatabase(txns, n_items=self._n_items)
+
+    def item_supports(self) -> np.ndarray:
+        """Customers containing each item anywhere in their sequence."""
+        return self.flattened().item_supports()

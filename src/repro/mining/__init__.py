@@ -1,0 +1,107 @@
+"""Mining substrate: the host algorithms the OSSM accelerates.
+
+Candidate-based miners (Apriori, DHP, Partition, DepthProject) accept a
+:class:`~repro.mining.pruning.CandidatePruner`; plugging in an
+:class:`~repro.mining.pruning.OSSMPruner` yields the "+OSSM" variants
+the paper evaluates. FP-growth and Eclat are candidate-free baselines
+used as independent correctness oracles and performance references.
+"""
+
+from .apriori import Apriori, apriori
+from .base import LevelStats, MiningResult, resolve_min_count, resolve_min_support
+from .closed import closed_itemsets, maximal_itemsets, mine_closed
+from .constraints import (
+    ConstrainedApriori,
+    Constraint,
+    ExcludesAll,
+    MaxAttribute,
+    MaxSize,
+    MinAttributeAtMost,
+    MinSize,
+    SubsetOf,
+    SupersetOf,
+    constrained_apriori,
+)
+from .correlations import (
+    ContingencyTable,
+    CorrelationMiner,
+    contingency_table,
+    mine_correlations,
+)
+from .counting import SubsetCounter, SupportCounter, TidsetCounter, count_supports
+from .depth_project import DepthProject, depth_project
+from .dhp import DHP, dhp
+from .eclat import Eclat, eclat
+from .episodes import EpisodeMiner, mine_parallel_episodes, mine_serial_episodes
+from .fpgrowth import FPGrowth, fpgrowth
+from .gsp import GSP, gsp
+from .hash_tree import HashTree, HashTreeCounter
+from .itemsets import apriori_gen, is_canonical, join_step, prune_step, subsets_of_size
+from .partition import Partition, partition_mine
+from .pruning import (
+    CandidatePruner,
+    ChainPruner,
+    GeneralizedOSSMPruner,
+    NullPruner,
+    OSSMPruner,
+)
+from .rules import Rule, generate_rules
+
+__all__ = [
+    "Apriori",
+    "apriori",
+    "LevelStats",
+    "MiningResult",
+    "resolve_min_count",
+    "resolve_min_support",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "mine_closed",
+    "ConstrainedApriori",
+    "Constraint",
+    "ExcludesAll",
+    "MaxAttribute",
+    "MaxSize",
+    "MinAttributeAtMost",
+    "MinSize",
+    "SubsetOf",
+    "SupersetOf",
+    "constrained_apriori",
+    "ContingencyTable",
+    "CorrelationMiner",
+    "contingency_table",
+    "mine_correlations",
+    "SubsetCounter",
+    "SupportCounter",
+    "TidsetCounter",
+    "count_supports",
+    "DepthProject",
+    "depth_project",
+    "DHP",
+    "dhp",
+    "Eclat",
+    "eclat",
+    "EpisodeMiner",
+    "mine_parallel_episodes",
+    "mine_serial_episodes",
+    "FPGrowth",
+    "fpgrowth",
+    "GSP",
+    "gsp",
+    "HashTree",
+    "HashTreeCounter",
+    "apriori_gen",
+    "is_canonical",
+    "join_step",
+    "prune_step",
+    "subsets_of_size",
+    "Partition",
+    "partition_mine",
+    "CandidatePruner",
+    "ChainPruner",
+    "GeneralizedOSSMPruner",
+    "NullPruner",
+    "OSSMPruner",
+    "Rule",
+    "generate_rules",
+]

@@ -1,0 +1,122 @@
+"""The classical Apriori algorithm with pluggable candidate pruning.
+
+The level-wise frequent-set miner of Agrawal & Srikant (1994), the host
+algorithm of the paper's experiments. At each level ``k``:
+
+1. generate candidates from the frequent ``(k−1)``-itemsets
+   (:func:`~repro.mining.itemsets.apriori_gen`);
+2. hand them to the configured
+   :class:`~repro.mining.pruning.CandidatePruner` — plain Apriori uses
+   the null pruner, *Apriori+OSSM* the Equation (1) bound;
+3. frequency-count the survivors with the configured engine;
+4. keep those meeting the threshold.
+
+Because OSSM pruning is sound, Apriori and Apriori+OSSM return exactly
+the same frequent sets; the saving is in step 3's work, which the
+per-level stats expose.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..data.transactions import TransactionDatabase
+from .base import MiningResult, resolve_min_support
+from .counting import SubsetCounter, SupportCounter
+from .itemsets import apriori_gen
+from .pruning import CandidatePruner, NullPruner
+
+__all__ = ["Apriori", "apriori"]
+
+
+class Apriori:
+    """Configurable Apriori miner.
+
+    Parameters
+    ----------
+    pruner:
+        Candidate pruner applied before counting (default: none).
+    counter:
+        Counting engine (default: subset enumeration).
+    max_level:
+        Optional cap on itemset cardinality (``None`` = run to fixpoint).
+    """
+
+    name = "apriori"
+
+    def __init__(
+        self,
+        pruner: CandidatePruner | None = None,
+        counter: SupportCounter | None = None,
+        max_level: int | None = None,
+    ) -> None:
+        self.pruner = pruner if pruner is not None else NullPruner()
+        self.counter = counter if counter is not None else SubsetCounter()
+        if max_level is not None and max_level < 1:
+            raise ValueError("max_level must be >= 1 or None")
+        self.max_level = max_level
+
+    def mine(
+        self,
+        database: TransactionDatabase,
+        min_support: float | int,
+    ) -> MiningResult:
+        """Find all frequent itemsets of *database* at *min_support*."""
+        threshold = resolve_min_support(database, min_support)
+        result = MiningResult(
+            frequent={},
+            min_support=threshold,
+            algorithm=self.name + self.pruner.label,
+        )
+        start = time.perf_counter()
+
+        # Level 1: count all singletons directly.
+        supports = database.item_supports()
+        level1 = result.level(1)
+        level1.candidates_generated = database.n_items
+        singletons = [(int(item),) for item in range(database.n_items)]
+        pruned1 = self.pruner.prune(singletons, threshold)
+        level1.candidates_pruned = len(singletons) - len(pruned1)
+        level1.candidates_counted = len(pruned1)
+        frequent_prev = []
+        for itemset in pruned1:
+            support = int(supports[itemset[0]])
+            if support >= threshold:
+                result.frequent[itemset] = support
+                frequent_prev.append(itemset)
+        level1.frequent = len(frequent_prev)
+
+        k = 2
+        while frequent_prev and (self.max_level is None or k <= self.max_level):
+            candidates = apriori_gen(frequent_prev)
+            stats = result.level(k)
+            stats.candidates_generated = len(candidates)
+            if not candidates:
+                break
+            survivors = self.pruner.prune(candidates, threshold)
+            stats.candidates_pruned = len(candidates) - len(survivors)
+            stats.candidates_counted = len(survivors)
+            counts = self.counter.count(database, survivors)
+            frequent_prev = []
+            for itemset, support in counts.items():
+                if support >= threshold:
+                    result.frequent[itemset] = support
+                    frequent_prev.append(itemset)
+            frequent_prev.sort()
+            stats.frequent = len(frequent_prev)
+            k += 1
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def apriori(
+    database: TransactionDatabase,
+    min_support: float | int,
+    pruner: CandidatePruner | None = None,
+    counter: SupportCounter | None = None,
+    max_level: int | None = None,
+) -> MiningResult:
+    """Functional entry point: ``apriori(db, 0.01, pruner=OSSMPruner(ossm))``."""
+    miner = Apriori(pruner=pruner, counter=counter, max_level=max_level)
+    return miner.mine(database, min_support)

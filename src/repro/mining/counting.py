@@ -1,0 +1,141 @@
+"""Support-counting engines.
+
+Counting candidate frequencies against the data is *the* bottleneck the
+OSSM attacks, so the engine is pluggable:
+
+* :class:`SubsetCounter` — the standard per-transaction scheme: trim
+  each transaction to the items that occur in any candidate, enumerate
+  its size-``k`` combinations, and probe a candidate hash table. Cost
+  per transaction is ``C(t', k)`` dictionary probes for a trimmed
+  length ``t'``.
+* :class:`HashTreeCounter` (:mod:`repro.mining.hash_tree`) — the
+  original Apriori hash-tree, provided for fidelity and for workloads
+  with long transactions where subset enumeration explodes.
+
+Both return exact counts and are interchangeable in every miner.
+"""
+
+from __future__ import annotations
+
+import abc
+from itertools import combinations
+from collections.abc import Iterable, Sequence
+
+from ..data.transactions import TransactionDatabase
+
+__all__ = [
+    "SupportCounter",
+    "SubsetCounter",
+    "TidsetCounter",
+    "count_supports",
+]
+
+Itemset = tuple[int, ...]
+
+
+class SupportCounter(abc.ABC):
+    """Interface of a counting engine."""
+
+    @abc.abstractmethod
+    def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        """Exact support of every candidate (all of one cardinality)."""
+
+
+class SubsetCounter(SupportCounter):
+    """Per-transaction subset enumeration against a candidate hash table."""
+
+    def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        counts: dict[Itemset, int] = {
+            candidate: 0 for candidate in candidates
+        }
+        if not counts:
+            return counts
+        k = len(candidates[0])
+        if any(len(candidate) != k for candidate in candidates):
+            raise ValueError("candidates must share one cardinality")
+        useful = frozenset(
+            item for candidate in candidates for item in candidate
+        )
+        for txn in database:
+            if len(txn) < k:
+                continue
+            trimmed = [item for item in txn if item in useful]
+            if len(trimmed) < k:
+                continue
+            if k == 1:
+                for item in trimmed:
+                    key = (item,)
+                    if key in counts:
+                        counts[key] += 1
+                continue
+            for subset in combinations(trimmed, k):
+                if subset in counts:
+                    counts[subset] += 1
+        return counts
+
+
+class TidsetCounter(SupportCounter):
+    """Vertical counting: per-candidate tidset intersection.
+
+    Work is directly proportional to the number of candidates — the
+    property the paper's hash-tree C implementation has and that the
+    speedup experiments rely on (pruned candidates cost literally
+    nothing). This is also how the original Partition algorithm counts.
+    Tidsets are cached per database object, so Apriori's level loop
+    pays the verticalization once.
+    """
+
+    def __init__(self) -> None:
+        self._cache_key: int | None = None
+        self._tidsets: list | None = None
+
+    def _vertical(self, database: TransactionDatabase) -> list:
+        if self._cache_key != id(database) or self._tidsets is None:
+            self._tidsets = database.vertical()
+            self._cache_key = id(database)
+        return self._tidsets
+
+    def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        if not isinstance(database, TransactionDatabase):
+            database = TransactionDatabase(database)
+        counts: dict[Itemset, int] = {}
+        if not candidates:
+            return counts
+        k = len(candidates[0])
+        if any(len(candidate) != k for candidate in candidates):
+            raise ValueError("candidates must share one cardinality")
+        tidsets = self._vertical(database)
+        import numpy as np
+
+        for candidate in candidates:
+            # Intersect rarest-first so the running set shrinks fastest.
+            ordered = sorted(candidate, key=lambda item: len(tidsets[item]))
+            tids = tidsets[ordered[0]]
+            for item in ordered[1:]:
+                if len(tids) == 0:
+                    break
+                tids = np.intersect1d(
+                    tids, tidsets[item], assume_unique=True
+                )
+            counts[candidate] = int(len(tids))
+        return counts
+
+
+def count_supports(
+    database: Iterable[Itemset] | TransactionDatabase,
+    candidates: Sequence[Itemset],
+) -> dict[Itemset, int]:
+    """Convenience wrapper around the default :class:`SubsetCounter`."""
+    return SubsetCounter().count(database, candidates)

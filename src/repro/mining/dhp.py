@@ -1,0 +1,224 @@
+"""DHP — Direct Hashing and Pruning (Park, Chen & Yu, TKDE 1997).
+
+The hash-based Apriori variant the paper combines with the OSSM in
+Section 7. Two devices on top of Apriori:
+
+* **Hash filtering.** While counting pass ``k−1``, every ``k``-subset of
+  each (trimmed) transaction is hashed into a bucket-count table
+  ``H_k``. A ``k``-candidate whose bucket count misses the threshold
+  cannot be frequent and is dropped before counting. The decisive win is
+  at ``k = 2`` — the well-known Apriori bottleneck.
+* **Transaction trimming.** An item can belong to a frequent
+  ``(k+1)``-itemset only if it lies in at least ``k`` of the
+  transaction's candidate ``k``-itemsets; items (and transactions)
+  failing the test are dropped from subsequent passes.
+
+With an OSSM attached (``pruner=OSSMPruner(...)``), candidates are
+bound-pruned *before* the hash filter sees them — "known infrequent
+k-itemsets are not generated in the first place", and the itemsets that
+pass the OSSM can still be pruned by DHP (Section 7). The Section 7
+table's two rows are this class with the null pruner and with an OSSM
+pruner.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+import numpy as np
+
+from ..data.transactions import TransactionDatabase
+from .base import MiningResult, resolve_min_support
+from .itemsets import apriori_gen
+from .pruning import CandidatePruner, NullPruner
+
+__all__ = ["DHP", "dhp"]
+
+Itemset = tuple[int, ...]
+
+_HASH_MULTIPLIER = 131071
+
+
+def _bucket(itemset: Itemset, n_buckets: int) -> int:
+    value = 0
+    for item in itemset:
+        value = (value * _HASH_MULTIPLIER + item + 1) % n_buckets
+    return value
+
+
+class DHP:
+    """DHP miner with pluggable candidate pruning.
+
+    Parameters
+    ----------
+    n_buckets:
+        Size of each hash table (the paper's Section 7 run uses 32 768).
+    hash_passes:
+        Highest level for which a hash table is built. The default (2)
+        builds only ``H_2``, the configuration responsible for nearly
+        all of DHP's benefit; raise it to also hash-filter ``C_3`` etc.
+    pruner:
+        Candidate pruner applied before the hash filter (OSSM here).
+    max_level:
+        Optional cardinality cap.
+    """
+
+    name = "dhp"
+
+    def __init__(
+        self,
+        n_buckets: int = 32768,
+        hash_passes: int = 2,
+        pruner: CandidatePruner | None = None,
+        max_level: int | None = None,
+        trim: bool = True,
+    ) -> None:
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if hash_passes < 2:
+            raise ValueError("hash_passes must be >= 2 (H2 is the point of DHP)")
+        self.n_buckets = n_buckets
+        self.hash_passes = hash_passes
+        self.pruner = pruner if pruner is not None else NullPruner()
+        self.max_level = max_level
+        self.trim = trim
+
+    # -- passes ----------------------------------------------------------
+
+    def _pass_one(
+        self, database: TransactionDatabase
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Count singletons and fill the ``H_2`` bucket table."""
+        supports = np.zeros(database.n_items, dtype=np.int64)
+        buckets = np.zeros(self.n_buckets, dtype=np.int64)
+        for txn in database:
+            supports[list(txn)] += 1
+            for pair in combinations(txn, 2):
+                buckets[_bucket(pair, self.n_buckets)] += 1
+        return supports, buckets
+
+    def _hash_filter(
+        self,
+        candidates: list[Itemset],
+        buckets: np.ndarray | None,
+        threshold: int,
+    ) -> list[Itemset]:
+        if buckets is None:
+            return candidates
+        return [
+            candidate
+            for candidate in candidates
+            if buckets[_bucket(candidate, self.n_buckets)] >= threshold
+        ]
+
+    def _count_pass(
+        self,
+        transactions: list[Itemset],
+        candidates: list[Itemset],
+        k: int,
+        build_next_hash: bool,
+    ) -> tuple[dict[Itemset, int], np.ndarray | None, list[Itemset]]:
+        """Count C_k; optionally build ``H_{k+1}`` and trim transactions."""
+        counts: dict[Itemset, int] = {c: 0 for c in candidates}
+        next_buckets = (
+            np.zeros(self.n_buckets, dtype=np.int64) if build_next_hash else None
+        )
+        trimmed: list[Itemset] = []
+        useful = frozenset(item for c in candidates for item in c)
+        for txn in transactions:
+            items = [item for item in txn if item in useful]
+            hits: dict[int, int] = {}
+            if len(items) >= k:
+                for subset in combinations(items, k):
+                    if subset in counts:
+                        counts[subset] += 1
+                        for item in subset:
+                            hits[item] = hits.get(item, 0) + 1
+            if self.trim:
+                kept = tuple(
+                    item for item in items if hits.get(item, 0) >= k
+                )
+                if len(kept) < k + 1:
+                    continue
+                txn_next = kept
+            else:
+                txn_next = txn
+            trimmed.append(txn_next)
+            if next_buckets is not None and len(txn_next) > k:
+                for subset in combinations(txn_next, k + 1):
+                    next_buckets[_bucket(subset, self.n_buckets)] += 1
+        return counts, next_buckets, trimmed
+
+    # -- driver ------------------------------------------------------------
+
+    def mine(
+        self,
+        database: TransactionDatabase,
+        min_support: float | int,
+    ) -> MiningResult:
+        """Find all frequent itemsets of *database* at *min_support*."""
+        threshold = resolve_min_support(database, min_support)
+        result = MiningResult(
+            frequent={},
+            min_support=threshold,
+            algorithm=self.name + self.pruner.label,
+        )
+        start = time.perf_counter()
+
+        supports, buckets = self._pass_one(database)
+        level1 = result.level(1)
+        level1.candidates_generated = database.n_items
+        singletons = [(int(i),) for i in range(database.n_items)]
+        survivors1 = self.pruner.prune(singletons, threshold)
+        level1.candidates_pruned = len(singletons) - len(survivors1)
+        level1.candidates_counted = len(survivors1)
+        frequent_prev: list[Itemset] = []
+        for itemset in survivors1:
+            support = int(supports[itemset[0]])
+            if support >= threshold:
+                result.frequent[itemset] = support
+                frequent_prev.append(itemset)
+        level1.frequent = len(frequent_prev)
+
+        transactions: list[Itemset] = list(database)
+        k = 2
+        while frequent_prev and (self.max_level is None or k <= self.max_level):
+            raw = apriori_gen(frequent_prev)
+            stats = result.level(k)
+            stats.candidates_generated = len(raw)
+            if not raw:
+                break
+            # OSSM first (Section 7 ordering), then the DHP hash filter.
+            survivors = self.pruner.prune(raw, threshold)
+            survivors = self._hash_filter(survivors, buckets, threshold)
+            stats.candidates_pruned = len(raw) - len(survivors)
+            stats.candidates_counted = len(survivors)
+            build_next = k + 1 <= self.hash_passes
+            counts, buckets, transactions = self._count_pass(
+                transactions, survivors, k, build_next
+            )
+            frequent_prev = sorted(
+                itemset
+                for itemset, support in counts.items()
+                if support >= threshold
+            )
+            for itemset in frequent_prev:
+                result.frequent[itemset] = counts[itemset]
+            stats.frequent = len(frequent_prev)
+            k += 1
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def dhp(
+    database: TransactionDatabase,
+    min_support: float | int,
+    n_buckets: int = 32768,
+    pruner: CandidatePruner | None = None,
+    **kwargs,
+) -> MiningResult:
+    """Functional entry point mirroring :func:`repro.mining.apriori.apriori`."""
+    miner = DHP(n_buckets=n_buckets, pruner=pruner, **kwargs)
+    return miner.mine(database, min_support)

@@ -1,0 +1,231 @@
+"""FP-growth (Han, Pei & Yin, SIGMOD 2000) — the candidate-free baseline.
+
+The paper's related-work foil: a miner that never generates candidates,
+so an OSSM has nothing to prune for it. We implement it (a) to verify
+every candidate-based miner's output against an independent algorithm,
+and (b) to let the benchmarks situate Apriori+OSSM against the
+candidate-free approach. The FP-tree is built *per query* (it depends on
+the support threshold), which is precisely the query-dependence the
+OSSM avoids (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from ..data.transactions import TransactionDatabase
+from .base import MiningResult, resolve_min_support
+
+__all__ = ["FPGrowth", "fpgrowth"]
+
+Itemset = tuple[int, ...]
+
+
+class _Node:
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int, parent: "._Node | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, _Node] = {}
+        self.link: _Node | None = None
+
+
+class _Tree:
+    """One FP-tree: prefix-tree plus per-item node links."""
+
+    def __init__(self) -> None:
+        self.root = _Node(-1, None)
+        self.header: dict[int, _Node] = {}
+        self.item_counts: dict[int, int] = {}
+
+    def insert(self, items: Iterable[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                # Thread the new node onto the front of the item's link
+                # list (order within the list is irrelevant).
+                child.link = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            self.item_counts[item] = self.item_counts.get(item, 0) + count
+            node = child
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of *item*: (path-to-root, count) pairs."""
+        paths = []
+        node = self.header.get(item)
+        while node is not None:
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item != -1:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                path.reverse()
+                paths.append((path, node.count))
+            node = node.link
+        return paths
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """If the tree is one chain, its (item, count) list; else None."""
+        items = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (node,) = node.children.values()
+            items.append((node.item, node.count))
+        return items
+
+
+class FPGrowth:
+    """FP-growth miner.
+
+    Parameters
+    ----------
+    max_level:
+        Optional cap on the size of reported itemsets (for parity with
+        the candidate-based miners' ``max_level``).
+    """
+
+    name = "fp-growth"
+
+    def __init__(self, max_level: int | None = None) -> None:
+        self.max_level = max_level
+
+    def mine(
+        self,
+        database: TransactionDatabase,
+        min_support: float | int,
+    ) -> MiningResult:
+        """Find all frequent itemsets of *database* at *min_support*."""
+        threshold = resolve_min_support(database, min_support)
+        result = MiningResult(
+            frequent={}, min_support=threshold, algorithm=self.name
+        )
+        start = time.perf_counter()
+
+        supports = database.item_supports()
+        frequent_items = [
+            item for item in range(database.n_items)
+            if supports[item] >= threshold
+        ]
+        # FP order: descending support, canonical tie-break.
+        rank = {
+            item: position
+            for position, item in enumerate(
+                sorted(frequent_items, key=lambda i: (-supports[i], i))
+            )
+        }
+        tree = _Tree()
+        for txn in database:
+            ordered = sorted(
+                (item for item in txn if item in rank),
+                key=rank.__getitem__,
+            )
+            if ordered:
+                tree.insert(ordered, 1)
+
+        self._grow(tree, (), threshold, result.frequent)
+        for itemset, support in result.frequent.items():
+            result.level(len(itemset)).frequent += 1
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    def _grow(
+        self,
+        tree: _Tree,
+        suffix: Itemset,
+        threshold: int,
+        out: dict[Itemset, int],
+    ) -> None:
+        if self.max_level is not None and len(suffix) >= self.max_level:
+            return
+        chain = tree.single_path()
+        if chain is not None:
+            self._emit_chain(chain, suffix, threshold, out)
+            return
+        items = [
+            item
+            for item, count in tree.item_counts.items()
+            if count >= threshold
+        ]
+        # Process least-frequent first (classic bottom-up order).
+        items.sort(key=lambda i: (tree.item_counts[i], -i), reverse=False)
+        for item in items:
+            support = tree.item_counts[item]
+            new_suffix = tuple(sorted(suffix + (item,)))
+            out[new_suffix] = support
+            conditional = _Tree()
+            for path, count in tree.prefix_paths(item):
+                conditional.insert(path, count)
+            # Re-filter the conditional tree to frequent items only.
+            pruned = _Tree()
+            keep = {
+                i
+                for i, c in conditional.item_counts.items()
+                if c >= threshold
+            }
+            if keep:
+                for path, count in self._flatten(conditional):
+                    kept = [i for i in path if i in keep]
+                    if kept:
+                        pruned.insert(kept, count)
+                self._grow(pruned, new_suffix, threshold, out)
+
+    @staticmethod
+    def _flatten(tree: _Tree) -> list[tuple[list[int], int]]:
+        """Decompose a tree back into weighted root-to-node paths."""
+        paths: list[tuple[list[int], int]] = []
+
+        def walk(node: _Node, prefix: list[int]) -> None:
+            extended = prefix + [node.item]
+            child_total = sum(c.count for c in node.children.values())
+            own = node.count - child_total
+            if own > 0:
+                paths.append((extended, own))
+            for child in node.children.values():
+                walk(child, extended)
+
+        for child in tree.root.children.values():
+            walk(child, [])
+        return paths
+
+    def _emit_chain(
+        self,
+        chain: list[tuple[int, int]],
+        suffix: Itemset,
+        threshold: int,
+        out: dict[Itemset, int],
+    ) -> None:
+        """All combinations of a single-path tree are frequent at once."""
+        from itertools import combinations
+
+        eligible = [(i, c) for i, c in chain if c >= threshold]
+        limit = len(eligible)
+        if self.max_level is not None:
+            limit = min(limit, self.max_level - len(suffix))
+        for size in range(1, limit + 1):
+            for combo in combinations(eligible, size):
+                support = min(count for _, count in combo)
+                if support >= threshold:
+                    itemset = tuple(
+                        sorted(suffix + tuple(item for item, _ in combo))
+                    )
+                    out[itemset] = support
+
+
+def fpgrowth(
+    database: TransactionDatabase,
+    min_support: float | int,
+    max_level: int | None = None,
+) -> MiningResult:
+    """Functional entry point for :class:`FPGrowth`."""
+    return FPGrowth(max_level=max_level).mine(database, min_support)

@@ -1,0 +1,227 @@
+"""GSP — sequential-pattern mining (Srikant & Agrawal / ICDE'95 [4]).
+
+The level-wise sequential miner, with the OSSM plugged in the same
+place as everywhere else: between candidate generation and support
+counting. A sequential pattern's support is bounded by the support of
+its *flattened* item set over the customer-flattened database
+(:meth:`repro.data.sequences.SequenceDatabase.flattened`), which is in
+turn bounded by Equation (1) — so an OSSM over the flattened view
+prunes sequential candidates before the expensive per-customer
+subsequence scans.
+
+Pattern representation: a tuple of canonical itemset tuples, e.g.
+``((1,), (2, 3))`` = "bought 1, later bought 2 and 3 together". The
+*size* of a pattern is its total item count (GSP's ``k``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from ..data.sequences import SequenceDatabase, contains_sequence
+from .base import MiningResult, resolve_min_count
+from .pruning import CandidatePruner, NullPruner
+
+__all__ = ["GSP", "gsp"]
+
+Pattern = tuple[tuple[int, ...], ...]
+
+
+def _size(pattern: Pattern) -> int:
+    return sum(len(element) for element in pattern)
+
+
+def _drop_first_item(pattern: Pattern) -> Pattern:
+    head = pattern[0][1:]
+    if head:
+        return (head,) + pattern[1:]
+    return pattern[1:]
+
+
+def _drop_last_item(pattern: Pattern) -> Pattern:
+    tail = pattern[-1][:-1]
+    if tail:
+        return pattern[:-1] + (tail,)
+    return pattern[:-1]
+
+
+def _subpatterns(pattern: Pattern) -> Iterable[Pattern]:
+    """All patterns obtained by deleting exactly one item."""
+    for i, element in enumerate(pattern):
+        for j in range(len(element)):
+            shrunk = element[:j] + element[j + 1:]
+            if shrunk:
+                yield pattern[:i] + (shrunk,) + pattern[i + 1:]
+            else:
+                yield pattern[:i] + pattern[i + 1:]
+
+
+def _join(s1: Pattern, s2: Pattern) -> Pattern | None:
+    """GSP join: s1 minus its first item must equal s2 minus its last."""
+    if _drop_first_item(s1) != _drop_last_item(s2):
+        return None
+    last_item = s2[-1][-1]
+    if len(s2[-1]) == 1:
+        # The last item formed its own element: extend with a new one.
+        return s1 + ((last_item,),)
+    # The last item shared s2's final element: merge it into s1's.
+    merged = tuple(sorted(set(s1[-1]) | {last_item}))
+    if merged == s1[-1]:
+        return None  # the item was already there; not a valid growth
+    return s1[:-1] + (merged,)
+
+
+def _level2_candidates(items: list[int]) -> list[Pattern]:
+    """The special k=2 generation: ⟨{x}{y}⟩ (all ordered pairs,
+    repeats allowed) and ⟨{x,y}⟩ (unordered, x < y)."""
+    candidates: list[Pattern] = []
+    for x in items:
+        for y in items:
+            candidates.append(((x,), (y,)))
+    for i, x in enumerate(items):
+        for y in items[i + 1:]:
+            candidates.append(((x, y),))
+    return candidates
+
+
+class GSP:
+    """Level-wise sequential-pattern miner with pluggable pruning.
+
+    Parameters
+    ----------
+    pruner:
+        Candidate pruner consulted (through the pattern's flattened
+        item set) before counting. Build its OSSM over
+        ``sequence_db.flattened()``.
+    max_size:
+        Optional cap on total pattern item count.
+    """
+
+    name = "gsp"
+
+    def __init__(
+        self,
+        pruner: CandidatePruner | None = None,
+        max_size: int | None = None,
+    ) -> None:
+        self.pruner = pruner if pruner is not None else NullPruner()
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 or None")
+        self.max_size = max_size
+
+    def _prune(self, candidates: list[Pattern], threshold: int, stats):
+        """Bound-prune through flattened item sets, by size class."""
+        if isinstance(self.pruner, NullPruner):
+            stats.candidates_counted = len(candidates)
+            return candidates
+        shadows = [
+            tuple(sorted({i for element in c for i in element}))
+            for c in candidates
+        ]
+        by_size: dict[int, list[tuple[int, ...]]] = {}
+        for shadow in set(shadows):
+            by_size.setdefault(len(shadow), []).append(shadow)
+        kept: set[tuple[int, ...]] = set()
+        for group in by_size.values():
+            kept.update(self.pruner.prune(sorted(group), threshold))
+        survivors = [
+            candidate
+            for candidate, shadow in zip(candidates, shadows)
+            if shadow in kept
+        ]
+        stats.candidates_pruned = len(candidates) - len(survivors)
+        stats.candidates_counted = len(survivors)
+        return survivors
+
+    def _count(
+        self, database: SequenceDatabase, candidates: list[Pattern]
+    ) -> dict[Pattern, int]:
+        counts = {candidate: 0 for candidate in candidates}
+        for customer in database:
+            for candidate in candidates:
+                if contains_sequence(customer, candidate):
+                    counts[candidate] += 1
+        return counts
+
+    def mine(
+        self,
+        database: SequenceDatabase,
+        min_support: float | int,
+    ) -> MiningResult:
+        """All frequent sequential patterns of *database*.
+
+        Float thresholds are relative to the number of customers.
+        """
+        threshold = resolve_min_count(max(len(database), 1), min_support)
+        result = MiningResult(
+            frequent={},
+            min_support=threshold,
+            algorithm=self.name + self.pruner.label,
+        )
+        start = time.perf_counter()
+
+        # k = 1: customers containing each item anywhere.
+        supports = database.item_supports()
+        level1 = result.level(1)
+        level1.candidates_generated = database.n_items
+        singles: list[Pattern] = [
+            ((item,),) for item in range(database.n_items)
+        ]
+        survivors = self._prune(singles, threshold, level1)
+        frequent_prev: list[Pattern] = []
+        for pattern in survivors:
+            support = int(supports[pattern[0][0]])
+            if support >= threshold:
+                result.frequent[pattern] = support
+                frequent_prev.append(pattern)
+        level1.frequent = len(frequent_prev)
+        frequent_items = [p[0][0] for p in frequent_prev]
+
+        k = 2
+        while frequent_prev and (self.max_size is None or k <= self.max_size):
+            if k == 2:
+                candidates = _level2_candidates(frequent_items)
+            else:
+                prior = set(frequent_prev)
+                joined = set()
+                for s1 in frequent_prev:
+                    for s2 in frequent_prev:
+                        candidate = _join(s1, s2)
+                        if candidate is not None:
+                            joined.add(candidate)
+                candidates = sorted(
+                    candidate
+                    for candidate in joined
+                    if all(
+                        sub in prior for sub in _subpatterns(candidate)
+                    )
+                )
+            stats = result.level(k)
+            stats.candidates_generated = len(candidates)
+            if not candidates:
+                break
+            candidates = self._prune(candidates, threshold, stats)
+            counts = self._count(database, candidates)
+            frequent_prev = sorted(
+                pattern
+                for pattern, support in counts.items()
+                if support >= threshold
+            )
+            for pattern in frequent_prev:
+                result.frequent[pattern] = counts[pattern]
+            stats.frequent = len(frequent_prev)
+            k += 1
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def gsp(
+    database: SequenceDatabase,
+    min_support: float | int,
+    pruner: CandidatePruner | None = None,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Functional entry point for :class:`GSP`."""
+    return GSP(pruner=pruner, max_size=max_size).mine(database, min_support)

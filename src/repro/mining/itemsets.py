@@ -1,0 +1,84 @@
+"""Itemset utilities: canonical ordering and Apriori candidate generation.
+
+The candidate generator is the classical ``apriori-gen`` of Agrawal &
+Srikant (1994): join frequent ``(k−1)``-itemsets sharing a ``(k−2)``
+prefix, then prune joins with an infrequent ``(k−1)``-subset. All
+itemsets are sorted tuples under the canonical item enumeration, so the
+prefix join is a simple tuple comparison.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "apriori_gen",
+    "join_step",
+    "prune_step",
+    "subsets_of_size",
+    "is_canonical",
+]
+
+Itemset = tuple[int, ...]
+
+
+def is_canonical(itemset: Sequence[int]) -> bool:
+    """True iff *itemset* is strictly increasing (sorted, no repeats)."""
+    return all(a < b for a, b in zip(itemset, itemset[1:]))
+
+
+def subsets_of_size(itemset: Sequence[int], k: int) -> Iterable[Itemset]:
+    """All size-*k* subsets of a canonical itemset, in canonical order."""
+    return combinations(itemset, k)
+
+
+def join_step(frequent: Sequence[Itemset]) -> list[Itemset]:
+    """Join ``(k−1)``-itemsets sharing a ``(k−2)``-prefix into ``k``-itemsets.
+
+    *frequent* must be sorted lexicographically (canonical tuples sort
+    that way naturally); the output is then sorted too.
+    """
+    candidates: list[Itemset] = []
+    n = len(frequent)
+    for i in range(n):
+        head = frequent[i]
+        prefix = head[:-1]
+        for j in range(i + 1, n):
+            other = frequent[j]
+            if other[:-1] != prefix:
+                break  # sorted input: no later itemset shares the prefix
+            candidates.append(head + (other[-1],))
+    return candidates
+
+
+def prune_step(
+    candidates: Iterable[Itemset], frequent_prior: frozenset[Itemset] | set[Itemset]
+) -> list[Itemset]:
+    """Drop candidates with an infrequent ``(k−1)``-subset (monotonicity)."""
+    survivors = []
+    for candidate in candidates:
+        if all(
+            subset in frequent_prior
+            for subset in combinations(candidate, len(candidate) - 1)
+        ):
+            survivors.append(candidate)
+    return survivors
+
+
+def apriori_gen(frequent_prior: Iterable[Itemset]) -> list[Itemset]:
+    """Classical apriori-gen: join then subset-prune.
+
+    Takes the frequent ``(k−1)``-itemsets, returns the candidate
+    ``k``-itemsets, sorted lexicographically.
+    """
+    prior = sorted(frequent_prior)
+    if not prior:
+        return []
+    k_minus_1 = len(prior[0])
+    if any(len(itemset) != k_minus_1 for itemset in prior):
+        raise ValueError("all prior itemsets must share one cardinality")
+    joined = join_step(prior)
+    if k_minus_1 == 1:
+        return joined  # every 1-subset of a pair is frequent by construction
+    return prune_step(joined, frozenset(prior))

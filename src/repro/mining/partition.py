@@ -1,0 +1,199 @@
+"""The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB 1995).
+
+Two database scans:
+
+* **Phase 1 (local).** Split the collection into ``p`` partitions and
+  mine each at the scaled-down local threshold. Any globally frequent
+  itemset is locally frequent in at least one partition, so the union
+  of the local results is a complete global candidate set.
+* **Phase 2 (global).** One counting scan of the full collection over
+  the union; keep the candidates meeting the global threshold.
+
+Section 7 of the OSSM paper describes two enhancement points, both
+implemented here:
+
+* a per-partition OSSM prunes *local* candidates inside each phase-1
+  run (``local_pruner_factory``);
+* the concatenation of the per-partition OSSMs is a global OSSM, whose
+  bound prunes *global* candidates — locally frequent but provably
+  globally infrequent — before the phase-2 scan (``global_pruner``, or
+  automatically when ``auto_ossm`` is set).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable
+
+from ..core.ossm import OSSM
+from ..data.transactions import TransactionDatabase
+from .apriori import Apriori
+from .base import MiningResult, resolve_min_support
+from .counting import SubsetCounter
+from .pruning import CandidatePruner, NullPruner, OSSMPruner
+
+__all__ = ["Partition", "partition_mine"]
+
+Itemset = tuple[int, ...]
+
+#: Signature of a factory producing the local pruner for one partition.
+LocalPrunerFactory = Callable[[TransactionDatabase, int], CandidatePruner]
+
+
+class Partition:
+    """Two-phase partitioned miner with optional OSSM enhancement.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of phase-1 partitions.
+    local_pruner_factory:
+        Called as ``factory(partition_db, index)`` to obtain the pruner
+        used inside that partition's local mining run.
+    global_pruner:
+        Pruner applied to the union of local results before phase 2.
+    auto_ossm:
+        If given (a segment count), build a per-partition OSSM with that
+        many segments for each partition, use it locally, and use the
+        concatenation of all of them as the global pruner. Mutually
+        exclusive with the two explicit arguments.
+    max_level:
+        Optional cardinality cap forwarded to the local miners.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        n_partitions: int = 4,
+        local_pruner_factory: LocalPrunerFactory | None = None,
+        global_pruner: CandidatePruner | None = None,
+        auto_ossm: int | None = None,
+        max_level: int | None = None,
+    ) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if auto_ossm is not None and (
+            local_pruner_factory is not None or global_pruner is not None
+        ):
+            raise ValueError(
+                "auto_ossm replaces explicit pruners; pass one or the other"
+            )
+        if auto_ossm is not None and auto_ossm < 1:
+            raise ValueError("auto_ossm (segments per partition) must be >= 1")
+        self.n_partitions = n_partitions
+        self.local_pruner_factory = local_pruner_factory
+        self.global_pruner = global_pruner
+        self.auto_ossm = auto_ossm
+        self.max_level = max_level
+
+    # -- OSSM auto-construction ------------------------------------------
+
+    def _auto_structures(
+        self, partitions: list[TransactionDatabase]
+    ) -> tuple[list[CandidatePruner], CandidatePruner]:
+        """Per-partition OSSM pruners plus the concatenated global pruner."""
+        import numpy as np
+
+        local_pruners: list[CandidatePruner] = []
+        all_rows = []
+        all_sizes: list[int] = []
+        n_items = max(p.n_items for p in partitions)
+        for part in partitions:
+            n_segments = min(self.auto_ossm, max(len(part), 1))
+            if len(part) == 0:
+                rows = np.zeros((1, n_items), dtype=np.int64)
+                sizes = [0]
+            else:
+                bounds = np.linspace(0, len(part), n_segments + 1).astype(int)
+                rows = np.zeros((n_segments, n_items), dtype=np.int64)
+                sizes = []
+                for s, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+                    segment = part[int(lo):int(hi)]
+                    supports = segment.item_supports()
+                    rows[s, : len(supports)] = supports
+                    sizes.append(len(segment))
+            ossm = OSSM(rows, segment_sizes=sizes)
+            local_pruners.append(OSSMPruner(ossm))
+            all_rows.append(rows)
+            all_sizes.extend(sizes)
+        global_ossm = OSSM(np.vstack(all_rows), segment_sizes=all_sizes)
+        return local_pruners, OSSMPruner(global_ossm)
+
+    # -- driver ------------------------------------------------------------
+
+    def mine(
+        self,
+        database: TransactionDatabase,
+        min_support: float | int,
+    ) -> MiningResult:
+        """Find all frequent itemsets of *database* at *min_support*."""
+        threshold = resolve_min_support(database, min_support)
+        relative = threshold / max(len(database), 1)
+        partitions = database.split(min(self.n_partitions, max(len(database), 1)))
+
+        if self.auto_ossm is not None:
+            local_pruners, global_pruner = self._auto_structures(partitions)
+        else:
+            factory = self.local_pruner_factory
+            local_pruners = [
+                factory(part, i) if factory else NullPruner()
+                for i, part in enumerate(partitions)
+            ]
+            global_pruner = self.global_pruner or NullPruner()
+
+        label = global_pruner.label or (
+            local_pruners[0].label if local_pruners else ""
+        )
+        result = MiningResult(
+            frequent={},
+            min_support=threshold,
+            algorithm=self.name + label,
+        )
+        start = time.perf_counter()
+
+        # Phase 1: local mining.
+        candidates: set[Itemset] = set()
+        for part, pruner in zip(partitions, local_pruners):
+            if len(part) == 0:
+                continue
+            local_threshold = max(1, math.ceil(relative * len(part)))
+            local = Apriori(pruner=pruner, max_level=self.max_level).mine(
+                part, local_threshold
+            )
+            candidates.update(local.frequent)
+
+        # Phase 2: one global counting scan, level by level.
+        counter = SubsetCounter()
+        by_size: dict[int, list[Itemset]] = {}
+        for candidate in candidates:
+            by_size.setdefault(len(candidate), []).append(candidate)
+        for k in sorted(by_size):
+            level = result.level(k)
+            level_candidates = sorted(by_size[k])
+            level.candidates_generated = len(level_candidates)
+            survivors = global_pruner.prune(level_candidates, threshold)
+            level.candidates_pruned = (
+                len(level_candidates) - len(survivors)
+            )
+            level.candidates_counted = len(survivors)
+            counts = counter.count(database, survivors)
+            for itemset, support in counts.items():
+                if support >= threshold:
+                    result.frequent[itemset] = support
+                    level.frequent += 1
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def partition_mine(
+    database: TransactionDatabase,
+    min_support: float | int,
+    n_partitions: int = 4,
+    **kwargs,
+) -> MiningResult:
+    """Functional entry point for :class:`Partition`."""
+    miner = Partition(n_partitions=n_partitions, **kwargs)
+    return miner.mine(database, min_support)

@@ -1,0 +1,118 @@
+"""Candidate pruners: the hook the OSSM plugs into.
+
+A *pruner* sits between candidate generation and frequency counting: it
+removes candidates that are provably infrequent, so the counter never
+touches them. Any structure yielding a sound support upper bound fits:
+
+* :class:`NullPruner` — prunes nothing (plain Apriori);
+* :class:`OSSMPruner` — Equation (1) bounds from an
+  :class:`~repro.core.ossm.OSSM`;
+* :class:`GeneralizedOSSMPruner` — tighter bounds from the footnote-3
+  generalized map;
+* :class:`ChainPruner` — composition (e.g. OSSM *then* a DHP hash
+  filter, the Section 7 combination).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from ..core.generalized import GeneralizedOSSM
+from ..core.ossm import OSSM
+
+__all__ = [
+    "CandidatePruner",
+    "NullPruner",
+    "OSSMPruner",
+    "GeneralizedOSSMPruner",
+    "ChainPruner",
+]
+
+Itemset = tuple[int, ...]
+
+
+class CandidatePruner(abc.ABC):
+    """Removes provably infrequent candidates before counting."""
+
+    #: Suffix appended to a miner's name, e.g. ``"+ossm"``; empty for
+    #: the null pruner.
+    label: str = ""
+
+    @abc.abstractmethod
+    def prune(
+        self, candidates: Sequence[Itemset], min_support: int
+    ) -> list[Itemset]:
+        """Return the candidates whose bound reaches *min_support*."""
+
+
+class NullPruner(CandidatePruner):
+    """Prunes nothing; the plain-miner baseline."""
+
+    label = ""
+
+    def prune(
+        self, candidates: Sequence[Itemset], min_support: int
+    ) -> list[Itemset]:
+        return list(candidates)
+
+
+class OSSMPruner(CandidatePruner):
+    """Prune by the OSSM's Equation (1) upper bound.
+
+    Sound: the bound dominates the true support, so no frequent
+    candidate is ever removed — the miner's output is unchanged, only
+    its counting work shrinks.
+    """
+
+    label = "+ossm"
+
+    def __init__(self, ossm: OSSM) -> None:
+        self.ossm = ossm
+
+    def prune(
+        self, candidates: Sequence[Itemset], min_support: int
+    ) -> list[Itemset]:
+        survivors, _mask = self.ossm.prune(candidates, min_support)
+        return survivors
+
+
+class GeneralizedOSSMPruner(CandidatePruner):
+    """Prune by the generalized (higher-cardinality) OSSM bound."""
+
+    label = "+gossm"
+
+    def __init__(self, gossm: GeneralizedOSSM) -> None:
+        self.gossm = gossm
+
+    def prune(
+        self, candidates: Sequence[Itemset], min_support: int
+    ) -> list[Itemset]:
+        if not candidates:
+            return []
+        bounds = self.gossm.upper_bounds(candidates)
+        return [
+            candidate
+            for candidate, bound in zip(candidates, bounds)
+            if bound >= min_support
+        ]
+
+
+class ChainPruner(CandidatePruner):
+    """Apply several pruners in sequence (intersection of survivors)."""
+
+    def __init__(self, pruners: Sequence[CandidatePruner]) -> None:
+        if not pruners:
+            raise ValueError("need at least one pruner")
+        self.pruners = list(pruners)
+        self.label = "".join(pruner.label for pruner in self.pruners)
+
+    def prune(
+        self, candidates: Sequence[Itemset], min_support: int
+    ) -> list[Itemset]:
+        survivors = list(candidates)
+        for pruner in self.pruners:
+            if not survivors:
+                break
+            survivors = pruner.prune(survivors, min_support)
+        return survivors

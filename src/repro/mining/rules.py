@@ -1,0 +1,120 @@
+"""Association-rule generation from frequent itemsets.
+
+The classical second stage of association mining ([2] in the paper):
+from every frequent itemset ``Z`` and non-empty proper subset ``X``,
+emit ``X → Z∖X`` when its confidence ``sup(Z)/sup(X)`` reaches the
+threshold. Uses the standard monotonicity shortcut (if a consequent
+fails, none of its supersets can succeed for the same ``Z``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from collections.abc import Iterable
+
+from .base import MiningResult
+
+__all__ = ["Rule", "generate_rules"]
+
+Itemset = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One association rule ``antecedent → consequent``.
+
+    Support is relative (fraction of transactions containing the whole
+    itemset); lift compares the rule's confidence against the
+    consequent's baseline frequency (>1 means positive correlation).
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        lhs = ",".join(map(str, self.antecedent))
+        rhs = ",".join(map(str, self.consequent))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(sup={self.support:.4f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def _subtract(itemset: Itemset, subset: Itemset) -> Itemset:
+    removed = set(subset)
+    return tuple(item for item in itemset if item not in removed)
+
+
+def generate_rules(
+    result: MiningResult,
+    n_transactions: int,
+    min_confidence: float = 0.5,
+) -> list[Rule]:
+    """All confident rules derivable from *result*'s frequent itemsets.
+
+    Parameters
+    ----------
+    result:
+        A mining result whose ``frequent`` map is *downward closed*
+        (every miner in this package produces such maps).
+    n_transactions:
+        Collection size, to scale supports and lifts.
+    min_confidence:
+        Confidence threshold in ``(0, 1]``.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must lie in (0, 1]")
+    if n_transactions < 1:
+        raise ValueError("n_transactions must be >= 1")
+    frequent = result.frequent
+    rules: list[Rule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        # Grow consequents level-wise; prune by confidence monotonicity.
+        consequents: Iterable[Itemset] = [
+            (item,) for item in itemset
+        ]
+        while consequents:
+            surviving: list[Itemset] = []
+            for consequent in consequents:
+                antecedent = _subtract(itemset, consequent)
+                if not antecedent:
+                    continue
+                antecedent_support = frequent.get(antecedent)
+                if antecedent_support is None:
+                    raise ValueError(
+                        "frequent map is not downward closed: "
+                        f"missing {antecedent}"
+                    )
+                confidence = support / antecedent_support
+                if confidence >= min_confidence:
+                    consequent_support = frequent[consequent]
+                    rules.append(
+                        Rule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=support / n_transactions,
+                            confidence=confidence,
+                            lift=(
+                                confidence
+                                / (consequent_support / n_transactions)
+                            ),
+                        )
+                    )
+                    surviving.append(consequent)
+            # Join surviving consequents into the next size up.
+            surviving.sort()
+            consequents = [
+                a + (b[-1],)
+                for i, a in enumerate(surviving)
+                for b in surviving[i + 1:]
+                if a[:-1] == b[:-1] and len(a) + 1 < len(itemset)
+            ]
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.antecedent))
+    return rules

@@ -1,0 +1,79 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import baseline, evaluate, format_cells, segment
+from repro.core import OSSM, RandomSegmenter
+from repro.data import PagedDatabase
+
+
+class TestBaseline:
+    def test_result_and_timing(self, quest_db):
+        base = baseline(quest_db, 0.05, max_level=2)
+        assert base.seconds > 0
+        assert base.result.max_level <= 2
+        assert base.min_support == 0.05
+
+    def test_repeats_take_best(self, quest_db):
+        single = baseline(quest_db, 0.05, max_level=2, repeats=1)
+        multi = baseline(quest_db, 0.05, max_level=2, repeats=3)
+        assert multi.result.same_itemsets(single.result)
+
+
+class TestEvaluate:
+    def test_cell_fields(self, quest_db, quest_paged):
+        base = baseline(quest_db, 0.05, max_level=2)
+        seg = segment(quest_paged, RandomSegmenter(seed=0), 5)
+        cell = evaluate(quest_db, seg.ossm, base, seg)
+        assert cell.algorithm == "random"
+        assert cell.n_user == 5
+        assert cell.speedup == pytest.approx(
+            cell.baseline_seconds / cell.mining_seconds
+        )
+        assert 0 < cell.c2_ratio <= 1.0
+        assert cell.ossm_mb > 0
+
+    def test_unsound_ossm_rejected(self, quest_db):
+        base = baseline(quest_db, 0.05, max_level=2)
+        # An OSSM that does not describe the data will (generically)
+        # under-bound some candidate and change the output.
+        bogus = OSSM(
+            np.zeros((2, quest_db.n_items), dtype=np.int64),
+            segment_sizes=[0, 0],
+        )
+        with pytest.raises(AssertionError, match="unsound"):
+            evaluate(quest_db, bogus, base)
+
+    def test_without_segmentation_metadata(self, quest_db):
+        base = baseline(quest_db, 0.05, max_level=2)
+        ossm = OSSM.single_segment(quest_db)
+        cell = evaluate(quest_db, ossm, base)
+        assert cell.algorithm == "given"
+        assert cell.segmentation_seconds == 0.0
+
+
+class TestReporting:
+    def test_format_cells_renders_columns(self, quest_db, quest_paged):
+        base = baseline(quest_db, 0.05, max_level=2)
+        seg = segment(quest_paged, RandomSegmenter(seed=0), 4)
+        cell = evaluate(quest_db, seg.ossm, base, seg)
+        text = format_cells([cell])
+        assert "speedup" in text
+        assert "random" in text
+
+    def test_format_table_alignment(self):
+        from repro.bench import format_table
+
+        text = format_table(
+            ["a", "bbb"], [[1, 2.5], [10, 0.125]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bbb")
+        assert "0.125" in lines[3]
+
+    def test_banner(self):
+        from repro.bench import banner
+
+        assert "Figure 4" in banner("Figure 4")

@@ -1,0 +1,72 @@
+"""Tests for the bench metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bench import candidate_ratio, ossm_megabytes, pruned_fraction, speedup
+from repro.core import OSSM
+from repro.mining import MiningResult
+from repro.mining.base import LevelStats
+
+
+def result_with_levels(counted, generated=None, pruned=None):
+    levels = []
+    for k, count in enumerate(counted, start=1):
+        stats = LevelStats(level=k, candidates_counted=count)
+        if generated:
+            stats.candidates_generated = generated[k - 1]
+        if pruned:
+            stats.candidates_pruned = pruned[k - 1]
+        levels.append(stats)
+    return MiningResult(
+        frequent={}, min_support=1, algorithm="test", levels=levels
+    )
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_denominator(self):
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(-1.0, 2.0)
+
+
+class TestCandidateRatio:
+    def test_level_two_default(self):
+        with_ossm = result_with_levels([10, 30])
+        without = result_with_levels([10, 100])
+        assert candidate_ratio(with_ossm, without) == 0.3
+
+    def test_explicit_level(self):
+        with_ossm = result_with_levels([5, 30, 4])
+        without = result_with_levels([10, 100, 8])
+        assert candidate_ratio(with_ossm, without, level=3) == 0.5
+
+    def test_zero_baseline(self):
+        assert candidate_ratio(
+            result_with_levels([0]), result_with_levels([0]), level=1
+        ) == 1.0
+
+
+class TestPrunedFraction:
+    def test_basic(self):
+        result = result_with_levels([60], generated=[100], pruned=[40])
+        assert pruned_fraction(result, level=1) == 0.4
+
+    def test_missing_level(self):
+        assert pruned_fraction(result_with_levels([5]), level=7) == 0.0
+
+    def test_zero_generated(self):
+        result = result_with_levels([0], generated=[0])
+        assert pruned_fraction(result, level=1) == 0.0
+
+
+class TestOssmMegabytes:
+    def test_paper_number(self):
+        ossm = OSSM(np.zeros((100, 1000), dtype=np.int64))
+        assert ossm_megabytes(ossm) == pytest.approx(0.2)

@@ -1,0 +1,50 @@
+"""Tests for the bench table renderer."""
+
+from repro.bench import banner, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["alpha", "b"], [])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("alpha")
+        assert len(lines) == 2  # header + rule only
+
+    def test_floats_three_decimals(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_ints_unmodified(self):
+        text = format_table(["x"], [[1234567]])
+        assert "1234567" in text
+
+    def test_columns_right_aligned(self):
+        text = format_table(["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert lines[2].endswith("   1")
+        assert lines[3].endswith("1000")
+
+    def test_wide_value_stretches_column(self):
+        text = format_table(["c"], [["a-very-long-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_mixed_types(self):
+        text = format_table(
+            ["name", "count", "ratio"], [["greedy", 40, 0.5]]
+        )
+        assert "greedy" in text and "40" in text and "0.500" in text
+
+
+class TestBanner:
+    def test_contains_title(self):
+        assert "Figure 9" in banner("Figure 9")
+
+    def test_bar_at_least_title_width(self):
+        lines = banner("A much longer experiment title").splitlines()
+        bar = lines[1]
+        assert len(bar) >= len("A much longer experiment title")
+
+    def test_minimum_bar(self):
+        lines = banner("ab").splitlines()
+        assert len(lines[1]) >= 8

@@ -1,0 +1,80 @@
+"""Tests for the bench workload registry."""
+
+import pytest
+
+from repro.bench import workloads
+
+
+class TestScaleSelection:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert workloads.current_scale().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert workloads.current_scale().name == "smoke"
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            workloads.current_scale()
+
+    def test_n_pages_derived(self):
+        scale = workloads.current_scale()
+        assert scale.n_pages == -(-scale.n_transactions // scale.page_size)
+
+
+class TestWorkloads:
+    def test_regular_synthetic_smoke_shape(self):
+        db = workloads.regular_synthetic("smoke")
+        assert len(db) == 2000
+        assert db.n_items == 200
+
+    def test_skewed_synthetic_smoke_shape(self):
+        db = workloads.skewed_synthetic("smoke")
+        assert len(db) == 2000
+
+    def test_alarm_stream_smoke_shape(self):
+        db = workloads.alarm_stream("smoke")
+        assert len(db) == 1000
+        assert db.n_items == 200
+
+    def test_caching(self):
+        assert workloads.regular_synthetic("smoke") is workloads.regular_synthetic(
+            "smoke"
+        )
+
+    def test_paged_uses_scale_page_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        db = workloads.regular_synthetic("smoke")
+        paged = workloads.paged(db)
+        assert paged.page_size == 25
+
+    def test_paged_explicit_page_size(self):
+        db = workloads.regular_synthetic("smoke")
+        assert workloads.paged(db, page_size=10).page_size == 10
+
+    def test_regular_synthetic_pages_sized_exactly(self):
+        from repro.bench.workloads import regular_synthetic_pages
+
+        paged = regular_synthetic_pages(8, "smoke")
+        assert paged.n_pages == 8
+        assert len(paged.database) == 8 * paged.page_size
+
+    def test_drifting_synthetic_pages_drift(self):
+        from repro.bench.workloads import drifting_synthetic_pages
+
+        paged = drifting_synthetic_pages(40, "smoke")
+        assert paged.n_pages == 40
+        db = paged.database
+        half = len(db) // 2
+        first = db[:half].item_supports().astype(float) + 1
+        second = db[half:].item_supports().astype(float) + 1
+        assert (first / second).max() > 1.5  # non-stationary by design
+
+    def test_regime_average_item_support_near_threshold(self):
+        """The OSSM-relevant regime: typical items sit near minsup."""
+        db = workloads.regular_synthetic("smoke")
+        supports = db.item_supports()
+        mean_support = supports.mean() / len(db)
+        assert 0.2 * workloads.MINSUP < mean_support < 10 * workloads.MINSUP

@@ -1,0 +1,105 @@
+"""Shared fixtures and reference oracles for the test suite."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.data import PagedDatabase, TransactionDatabase, generate_quest
+
+
+def brute_force_frequent(
+    database: TransactionDatabase,
+    min_count: int,
+    max_level: int | None = None,
+) -> dict[tuple[int, ...], int]:
+    """Exhaustive frequent-itemset oracle (tiny databases only).
+
+    Counts every subset of every transaction (up to *max_level*) and
+    keeps those meeting the absolute threshold. Quadratic and proud of
+    it — the point is independence from all production code paths.
+    """
+    counts: dict[tuple[int, ...], int] = {}
+    for txn in database:
+        top = len(txn) if max_level is None else min(max_level, len(txn))
+        for size in range(1, top + 1):
+            for subset in combinations(txn, size):
+                counts[subset] = counts.get(subset, 0) + 1
+    return {
+        itemset: count
+        for itemset, count in counts.items()
+        if count >= min_count
+    }
+
+
+@pytest.fixture
+def example1_matrix() -> np.ndarray:
+    """Paper Example 1: items a,b,c (columns) over 4 segments (rows)."""
+    return np.array(
+        [
+            [20, 40, 40],
+            [10, 40, 20],
+            [40, 40, 20],
+            [40, 10, 20],
+        ],
+        dtype=np.int64,
+    )
+
+
+@pytest.fixture
+def example2_db() -> TransactionDatabase:
+    """Paper Example 2: six transactions over items a=0, b=1."""
+    return TransactionDatabase(
+        [(0,), (0, 1), (0,), (0,), (1,), (1,)], n_items=2
+    )
+
+
+@pytest.fixture
+def tiny_db() -> TransactionDatabase:
+    """A small hand-written database used across modules."""
+    return TransactionDatabase(
+        [
+            (0, 1, 2),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 1, 2, 3),
+            (3,),
+            (0, 3),
+            (1, 2, 3),
+        ],
+        n_items=4,
+    )
+
+
+@pytest.fixture
+def quest_db() -> TransactionDatabase:
+    """A modest Quest workload shared by the slower tests."""
+    return generate_quest(
+        n_transactions=600,
+        n_items=60,
+        avg_transaction_len=6,
+        n_patterns=120,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def quest_paged(quest_db) -> PagedDatabase:
+    return PagedDatabase(quest_db, page_size=30)
+
+
+def random_database(
+    rng: np.random.Generator,
+    n_transactions: int,
+    n_items: int,
+    density: float = 0.3,
+) -> TransactionDatabase:
+    """Uniform random database for property tests."""
+    txns = []
+    for _ in range(n_transactions):
+        mask = rng.random(n_items) < density
+        txns.append(tuple(int(i) for i in np.flatnonzero(mask)))
+    return TransactionDatabase(txns, n_items=n_items)

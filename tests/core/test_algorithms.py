@@ -1,0 +1,210 @@
+"""Tests for the Greedy, RC, Random, and hybrid segmentation algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GreedySegmenter,
+    HybridSegmenter,
+    RandomGreedySegmenter,
+    RandomRCSegmenter,
+    RandomSegmenter,
+    RCSegmenter,
+    cumulative_loss,
+    merge_loss,
+)
+from repro.data import PagedDatabase
+
+
+def segmentation_loss(page_matrix: np.ndarray, groups) -> int:
+    """Total Equation (2) loss of a grouping, against the page matrix."""
+    return sum(
+        cumulative_loss(page_matrix[list(group)])
+        for group in groups
+        if len(group) > 1
+    )
+
+
+@pytest.fixture
+def pages():
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 12, (12, 6)).astype(np.int64)
+
+
+class TestGreedy:
+    def test_reaches_requested_size(self, pages):
+        result = GreedySegmenter().segment(pages, 4)
+        assert result.n_segments == 4
+
+    def test_merges_zero_loss_pairs_first(self):
+        """Same-configuration pages merge for free before any lossy merge."""
+        pages = np.array(
+            [
+                [4, 2, 1],
+                [8, 4, 2],   # same config as page 0
+                [1, 2, 4],
+                [2, 4, 8],   # same config as page 2
+            ]
+        )
+        result = GreedySegmenter().segment(pages, 2)
+        groups = {frozenset(g) for g in result.groups}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3})}
+        assert segmentation_loss(pages, result.groups) == 0
+
+    def test_deterministic(self, pages):
+        a = GreedySegmenter().segment(pages, 3)
+        b = GreedySegmenter().segment(pages, 3)
+        assert a.groups == b.groups
+
+    def test_loss_evaluations_counted(self, pages):
+        result = GreedySegmenter().segment(pages, 11)
+        # Single merge: seeding the queue costs C(12,2) evaluations,
+        # then the merged segment is scored against the 10 survivors.
+        assert result.loss_evaluations == 66 + 10
+
+    def test_finds_optimal_pair_merge(self, pages):
+        """One merge: Greedy must pick the global-minimum loss pair."""
+        result = GreedySegmenter().segment(pages, 11)
+        merged = next(g for g in result.groups if len(g) == 2)
+        best = min(
+            merge_loss(pages[i], pages[j])
+            for i in range(12)
+            for j in range(i + 1, 12)
+        )
+        assert merge_loss(pages[merged[0]], pages[merged[1]]) == best
+
+
+class TestRC:
+    def test_reaches_requested_size(self, pages):
+        result = RCSegmenter(seed=0).segment(pages, 5)
+        assert result.n_segments == 5
+
+    def test_deterministic_given_seed(self, pages):
+        a = RCSegmenter(seed=3).segment(pages, 4)
+        b = RCSegmenter(seed=3).segment(pages, 4)
+        assert a.groups == b.groups
+
+    def test_seed_changes_outcome(self, pages):
+        groupings = {
+            tuple(map(tuple, RCSegmenter(seed=s).segment(pages, 4).groups))
+            for s in range(10)
+        }
+        assert len(groupings) > 1  # the random anchor matters
+
+    def test_merges_closest_to_anchor(self):
+        """With 3 pages, RC must merge the drawn anchor with its closest."""
+        pages = np.array([[9, 1, 0], [8, 2, 0], [0, 5, 9]])
+        result = RCSegmenter(seed=0).segment(pages, 2)
+        groups = {frozenset(g) for g in result.groups}
+        # Replay the algorithm's RNG to learn which anchor it drew.
+        anchor = int(np.random.default_rng(0).integers(3))
+        closest = min(
+            (other for other in range(3) if other != anchor),
+            key=lambda other: (merge_loss(pages[anchor], pages[other]), other),
+        )
+        assert frozenset({anchor, closest}) in groups
+
+    def test_fewer_loss_evaluations_than_greedy(self, pages):
+        greedy = GreedySegmenter().segment(pages, 3)
+        rc = RCSegmenter(seed=0).segment(pages, 3)
+        assert rc.loss_evaluations < greedy.loss_evaluations
+
+
+class TestRandom:
+    def test_reaches_requested_size(self, pages):
+        result = RandomSegmenter(seed=0).segment(pages, 5)
+        assert result.n_segments == 5
+
+    def test_no_loss_evaluations(self, pages):
+        result = RandomSegmenter(seed=0).segment(pages, 3)
+        assert result.loss_evaluations == 0
+
+    def test_balanced_buckets(self, pages):
+        result = RandomSegmenter(seed=1).segment(pages, 4)
+        sizes = sorted(len(g) for g in result.groups)
+        assert sizes == [3, 3, 3, 3]
+
+    def test_deterministic_given_seed(self, pages):
+        a = RandomSegmenter(seed=5).segment(pages, 4)
+        b = RandomSegmenter(seed=5).segment(pages, 4)
+        assert a.groups == b.groups
+
+
+class TestHybrids:
+    def test_names(self):
+        assert RandomRCSegmenter().name == "random-rc"
+        assert RandomGreedySegmenter().name == "random-greedy"
+
+    def test_reaches_requested_size(self, pages):
+        result = RandomGreedySegmenter(n_mid=8, seed=0).segment(pages, 3)
+        assert result.n_segments == 3
+
+    def test_first_phase_skipped_when_pages_below_n_mid(self, pages):
+        # 12 pages < n_mid=50: the Random phase is a no-op and the
+        # elaborate phase does all the work, same as pure Greedy.
+        hybrid = RandomGreedySegmenter(n_mid=50, seed=0).segment(pages, 4)
+        pure = GreedySegmenter().segment(pages, 4)
+        assert hybrid.groups == pure.groups
+
+    def test_n_user_above_n_mid_runs_cheap_phase_only(self, pages):
+        # Budget exceeds n_mid: Random carries the whole reduction and
+        # the elaborate phase never evaluates a loss.
+        result = RandomGreedySegmenter(n_mid=4, seed=0).segment(pages, 6)
+        assert result.n_segments == 6
+        assert result.loss_evaluations == 0
+
+    def test_invalid_n_mid(self):
+        with pytest.raises(ValueError):
+            RandomRCSegmenter(n_mid=0)
+
+    def test_custom_composition(self, pages):
+        hybrid = HybridSegmenter(
+            RandomSegmenter(seed=0), RCSegmenter(seed=1), n_mid=6
+        )
+        assert hybrid.name == "random-rc"
+        result = hybrid.segment(pages, 3)
+        assert result.n_segments == 3
+
+    def test_item_restriction_propagates_to_phases(self, pages):
+        hybrid = HybridSegmenter(
+            RandomSegmenter(seed=0),
+            GreedySegmenter(),
+            n_mid=6,
+            items=[0, 1],
+        )
+        assert hybrid.first.items == [0, 1]
+        assert hybrid.second.items == [0, 1]
+
+
+class TestQualityOrdering:
+    """The paper's headline comparison: Greedy <= RC <= Random in loss."""
+
+    def test_loss_ordering_on_structured_pages(self):
+        rng = np.random.default_rng(11)
+        # Structured pages: two latent "seasons" with noise, so there
+        # is real signal for the loss-guided algorithms to find.
+        season_a = rng.integers(20, 40, (10, 8))
+        season_a[:, 4:] //= 8
+        season_b = rng.integers(20, 40, (10, 8))
+        season_b[:, :4] //= 8
+        pages = np.vstack([season_a, season_b]).astype(np.int64)
+        order = rng.permutation(20)
+        pages = pages[order]
+
+        greedy = GreedySegmenter().segment(pages, 4)
+        rc = RCSegmenter(seed=0).segment(pages, 4)
+        random = RandomSegmenter(seed=0).segment(pages, 4)
+
+        loss_greedy = segmentation_loss(pages, greedy.groups)
+        loss_rc = segmentation_loss(pages, rc.groups)
+        loss_random = segmentation_loss(pages, random.groups)
+        assert loss_greedy <= loss_rc <= loss_random
+
+    def test_loss_guided_beats_random_on_seasonal_data(self, quest_db):
+        paged = PagedDatabase(quest_db, page_size=20)
+        matrix = paged.page_supports()
+        greedy = GreedySegmenter().segment(paged, 5)
+        random = RandomSegmenter(seed=0).segment(paged, 5)
+        assert segmentation_loss(matrix, greedy.groups) <= segmentation_loss(
+            matrix, random.groups
+        )

@@ -1,0 +1,87 @@
+"""Tests for the bubble-list heuristic (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedySegmenter, bubble_list, bubble_list_for
+from repro.data import PagedDatabase, TransactionDatabase
+
+
+class TestSelection:
+    def test_barely_satisfying_items_first(self):
+        supports = np.array([50, 11, 10, 30, 9])
+        # threshold 0.10 of 100 -> min count 10; satisfying: 0,1,2,3
+        chosen = bubble_list(supports, 100, 0.10, size=2)
+        assert chosen.tolist() == [1, 2]  # supports 11 and 10: closest above
+
+    def test_padding_with_closest_below(self):
+        supports = np.array([50, 9, 3, 7])
+        chosen = bubble_list(supports, 100, 0.10, size=3)
+        # Only item 0 satisfies; pad with the closest below (9 then 7).
+        assert set(chosen.tolist()) == {0, 1, 3}
+
+    def test_size_clamped_to_domain(self):
+        supports = np.array([5, 6])
+        assert len(bubble_list(supports, 10, 0.1, size=10)) == 2
+
+    def test_output_sorted(self):
+        supports = np.array([10, 90, 11, 12, 80])
+        chosen = bubble_list(supports, 100, 0.10, size=4)
+        assert chosen.tolist() == sorted(chosen.tolist())
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            bubble_list(np.array([1]), 10, 0.0, 1)
+        with pytest.raises(ValueError):
+            bubble_list(np.array([1]), 10, 1.5, 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            bubble_list(np.array([1]), 10, 0.5, 0)
+
+    def test_ties_break_canonically(self):
+        supports = np.array([10, 10, 10])
+        chosen = bubble_list(supports, 100, 0.10, size=2)
+        assert chosen.tolist() == [0, 1]
+
+
+class TestConvenienceWrapper:
+    def test_from_database(self, tiny_db):
+        chosen = bubble_list_for(tiny_db, threshold=0.5, size=2)
+        # supports [5,5,5,4] of 8; min count 4: all satisfy; item 3 is
+        # the closest above the bubble, then the 5s canonically.
+        assert chosen.tolist() == [0, 3]
+
+    def test_from_paged_database(self, tiny_db):
+        paged = PagedDatabase(tiny_db, page_size=3)
+        direct = bubble_list_for(tiny_db, 0.5, 3)
+        via_pages = bubble_list_for(paged, 0.5, 3)
+        assert direct.tolist() == via_pages.tolist()
+
+
+class TestEffectOnSegmentation:
+    def test_bubble_reduces_work_not_validity(self, quest_db):
+        paged = PagedDatabase(quest_db, page_size=30)
+        bubble = bubble_list_for(quest_db, threshold=0.02, size=10)
+        full = GreedySegmenter().segment(paged, 5)
+        restricted = GreedySegmenter(items=bubble).segment(paged, 5)
+        assert restricted.n_segments == 5
+        # Same number of evaluations — each is just cheaper — and the
+        # result is still a valid partition realizing a sound OSSM.
+        assert restricted.loss_evaluations == full.loss_evaluations
+        seen = sorted(p for g in restricted.groups for p in g)
+        assert seen == list(range(paged.n_pages))
+
+    def test_segmentation_usable_at_other_thresholds(self, quest_db):
+        """Built at 0.25%-style threshold, queried at another (Sec 6.3)."""
+        from repro.mining import OSSMPruner, apriori
+
+        paged = PagedDatabase(quest_db, page_size=30)
+        bubble = bubble_list_for(quest_db, threshold=0.01, size=12)
+        ossm = GreedySegmenter(items=bubble).segment(paged, 6).ossm
+        for minsup in (0.02, 0.05, 0.1):
+            plain = apriori(quest_db, minsup, max_level=2)
+            fast = apriori(
+                quest_db, minsup, pruner=OSSMPruner(ossm), max_level=2
+            )
+            assert plain.same_itemsets(fast)

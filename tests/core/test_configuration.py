@@ -1,0 +1,105 @@
+"""Unit tests for segment configurations (Section 4 / Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OSSM,
+    configuration,
+    configurations,
+    distinct_configurations,
+    group_by_configuration,
+    merge_loss,
+    same_configuration,
+)
+
+
+class TestConfiguration:
+    def test_orders_by_descending_support(self):
+        assert configuration([5, 20, 10]) == (1, 2, 0)
+
+    def test_canonical_tie_break(self):
+        """Footnote 4: ties broken by the canonical item enumeration."""
+        assert configuration([7, 7, 7]) == (0, 1, 2)
+        assert configuration([3, 9, 9]) == (1, 2, 0)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            configuration(np.zeros((2, 2)))
+
+    def test_single_transaction_config_determined_by_itemset(self):
+        """At transaction granularity, config == membership pattern."""
+        txn_a = np.array([1, 0, 1, 0])  # items {0, 2}
+        txn_b = np.array([1, 0, 1, 0])
+        txn_c = np.array([1, 1, 0, 0])  # items {0, 1}
+        assert configuration(txn_a) == configuration(txn_b) == (0, 2, 1, 3)
+        assert configuration(txn_c) == (0, 1, 2, 3)
+
+    def test_prefix_itemsets_share_identity_configuration(self):
+        """Theorem 1's counting: {x1}, {x1,x2}, ... collide."""
+        identity = tuple(range(4))
+        for size in range(1, 5):
+            row = np.array([1] * size + [0] * (4 - size))
+            assert configuration(row) == identity
+
+
+class TestMatrixHelpers:
+    def test_configurations_per_row(self, example1_matrix):
+        configs = configurations(example1_matrix)
+        assert configs[0] == (1, 2, 0)  # 20,40,40 -> b,c tie, then a
+        assert configs[3] == (0, 2, 1)  # 40,10,20 -> a,c,b
+
+    def test_configurations_requires_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            configurations(np.zeros(3))
+
+    def test_distinct_configurations(self):
+        matrix = np.array([[1, 2], [2, 4], [5, 1]])
+        assert distinct_configurations(matrix) == {(1, 0), (0, 1)}
+
+    def test_group_by_configuration_first_seen_order(self):
+        matrix = np.array([[1, 2], [5, 1], [2, 4], [9, 0]])
+        groups = group_by_configuration(matrix)
+        assert groups == [[0, 2], [1, 3]]
+
+    def test_same_configuration(self):
+        assert same_configuration([1, 2, 3], [10, 20, 30])
+        assert not same_configuration([1, 2], [2, 1])
+
+
+class TestLemma1:
+    """Merging same-configuration segments is loss-free."""
+
+    def test_merge_preserves_configuration(self):
+        a = np.array([4, 1, 0])
+        b = np.array([8, 3, 1])
+        assert same_configuration(a, b)
+        assert configuration(a + b) == configuration(a)
+
+    def test_merge_preserves_pair_bound(self):
+        """The Example 2 phenomenon, stated for general rows."""
+        a = np.array([4, 1])
+        b = np.array([2, 0])  # both config (0, 1)
+        separated = OSSM(np.vstack([a, b]))
+        merged = OSSM((a + b)[np.newaxis, :])
+        assert separated.upper_bound([0, 1]) == merged.upper_bound([0, 1])
+
+    def test_merge_loss_zero_iff_same_configuration(self):
+        same_a, same_b = np.array([5, 3, 1]), np.array([10, 4, 2])
+        diff_a, diff_b = np.array([5, 3, 1]), np.array([1, 3, 5])
+        assert merge_loss(same_a, same_b) == 0
+        assert merge_loss(diff_a, diff_b) > 0
+
+    def test_example2_wrong_split_loses_accuracy(self, example2_db):
+        """Moving t1 from segment A to B makes the bound inexact."""
+        good = OSSM.from_segments([example2_db[:4], example2_db[4:]])
+        assert good.upper_bound([0, 1]) == example2_db.support([0, 1]) == 1
+        # The paper's perturbed split: t1 moved to the second segment.
+        txns = list(example2_db)
+        bad = OSSM.from_segments(
+            [
+                type(example2_db)(txns[1:4], n_items=2),
+                type(example2_db)([txns[0]] + txns[4:], n_items=2),
+            ]
+        )
+        assert bad.upper_bound([0, 1]) == 2  # the paper's value

@@ -1,0 +1,128 @@
+"""Tests for the generalized (footnote-3) OSSM."""
+
+import numpy as np
+import pytest
+
+from repro.core import OSSM, GeneralizedOSSM
+from repro.data import TransactionDatabase
+
+
+@pytest.fixture
+def segments(tiny_db):
+    return [tiny_db[:4], tiny_db[4:]]
+
+
+class TestConstruction:
+    def test_counts_per_segment(self, segments, tiny_db):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        vec = gossm.segment_supports([0, 1])
+        assert vec.tolist() == [
+            segments[0].support([0, 1]),
+            segments[1].support([0, 1]),
+        ]
+
+    def test_unseen_itemsets_are_zero(self, segments):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        # items 3 appears, but pair (0, 0) is not a thing; use a pair
+        # that never co-occurs in the data.
+        db = segments[0].concatenated(segments[1])
+        never = None
+        from itertools import combinations
+
+        for pair in combinations(range(db.n_items), 2):
+            if db.support(pair) == 0:
+                never = pair
+                break
+        if never is not None:
+            assert gossm.segment_supports(never).tolist() == [0, 0]
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(ValueError):
+            GeneralizedOSSM({}, n_segments=1, n_items=2, max_cardinality=0)
+
+    def test_oversized_stored_itemset_rejected(self):
+        with pytest.raises(ValueError, match="max_cardinality"):
+            GeneralizedOSSM(
+                {(0, 1): np.array([1])},
+                n_segments=1,
+                n_items=2,
+                max_cardinality=1,
+            )
+
+    def test_vector_length_checked(self):
+        with pytest.raises(ValueError, match="n_segments"):
+            GeneralizedOSSM(
+                {(0,): np.array([1, 2])},
+                n_segments=1,
+                n_items=1,
+                max_cardinality=1,
+            )
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedOSSM.from_segments([])
+
+
+class TestBound:
+    def test_cardinality_1_equals_classic_ossm(self, segments, tiny_db):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=1)
+        classic = OSSM.from_segments(segments)
+        from itertools import combinations
+
+        for size in (1, 2, 3):
+            for itemset in combinations(range(tiny_db.n_items), size):
+                assert gossm.upper_bound(itemset) == classic.upper_bound(
+                    itemset
+                )
+
+    def test_exact_up_to_stored_cardinality(self, segments, tiny_db):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        from itertools import combinations
+
+        for itemset in combinations(range(tiny_db.n_items), 2):
+            assert gossm.upper_bound(itemset) == tiny_db.support(itemset)
+
+    def test_sound_above_stored_cardinality(self, segments, tiny_db):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        from itertools import combinations
+
+        for itemset in combinations(range(tiny_db.n_items), 3):
+            assert gossm.upper_bound(itemset) >= tiny_db.support(itemset)
+
+    def test_higher_cardinality_tightens(self, segments, tiny_db):
+        g1 = GeneralizedOSSM.from_segments(segments, max_cardinality=1)
+        g2 = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        from itertools import combinations
+
+        for size in (2, 3, 4):
+            for itemset in combinations(range(tiny_db.n_items), size):
+                assert g2.upper_bound(itemset) <= g1.upper_bound(itemset)
+
+    def test_empty_itemset(self, segments, tiny_db):
+        gossm = GeneralizedOSSM.from_segments(segments)
+        assert gossm.upper_bound([]) == len(tiny_db)
+
+    def test_batch(self, segments):
+        gossm = GeneralizedOSSM.from_segments(segments)
+        itemsets = [(0,), (0, 1), (0, 1, 2)]
+        assert gossm.upper_bounds(itemsets).tolist() == [
+            gossm.upper_bound(i) for i in itemsets
+        ]
+
+
+class TestAccounting:
+    def test_stored_itemsets_grow_with_cardinality(self, segments):
+        g1 = GeneralizedOSSM.from_segments(segments, max_cardinality=1)
+        g2 = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        assert g2.n_stored_itemsets() > g1.n_stored_itemsets()
+
+    def test_nominal_size(self, segments):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=1)
+        assert (
+            gossm.nominal_size_bytes()
+            == gossm.n_stored_itemsets() * gossm.n_segments * 2
+        )
+
+    def test_repr(self, segments):
+        gossm = GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        assert "k<=2" in repr(gossm)

@@ -1,0 +1,117 @@
+"""Tests for online/incremental OSSM maintenance."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core import OSSM
+from repro.core.incremental import StreamingOSSMBuilder, extend_ossm
+from repro.data import PagedDatabase, TransactionDatabase, generate_quest
+
+
+class TestStreamingBuilder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingOSSMBuilder(0, 4)
+        with pytest.raises(ValueError):
+            StreamingOSSMBuilder(4, 0)
+        builder = StreamingOSSMBuilder(3, 2)
+        with pytest.raises(ValueError, match="shape"):
+            builder.add_page_row(np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            builder.add_page_row(np.array([-1, 0, 0]))
+
+    def test_snapshot_requires_data(self):
+        with pytest.raises(ValueError, match="no pages"):
+            StreamingOSSMBuilder(3, 2).ossm()
+
+    def test_under_budget_pages_become_segments(self):
+        builder = StreamingOSSMBuilder(2, 4)
+        builder.add_page_row(np.array([1, 0]), size=5)
+        builder.add_page_row(np.array([0, 1]), size=5)
+        ossm = builder.ossm()
+        assert ossm.n_segments == 2
+        assert (ossm.matrix == np.array([[1, 0], [0, 1]])).all()
+        assert ossm.segment_sizes == (5, 5)
+        assert builder.loss_evaluations == 0
+
+    def test_over_budget_merges_closest(self):
+        builder = StreamingOSSMBuilder(2, 2)
+        builder.add_page_row(np.array([9, 1]))   # config (0,1)
+        builder.add_page_row(np.array([1, 9]))   # config (1,0)
+        joined = builder.add_page_row(np.array([8, 2]))  # closest to seg 0
+        assert joined == 0
+        assert (builder.ossm().matrix[0] == np.array([17, 3])).all()
+
+    def test_streaming_bound_is_sound(self, quest_db):
+        builder = StreamingOSSMBuilder(quest_db.n_items, 8)
+        builder.absorb(quest_db, page_size=25)
+        ossm = builder.ossm()
+        for itemset in combinations(range(12), 2):
+            assert ossm.upper_bound(itemset) >= quest_db.support(itemset)
+
+    def test_streaming_totals_match(self, quest_db):
+        builder = StreamingOSSMBuilder(quest_db.n_items, 8)
+        builder.absorb(quest_db, page_size=25)
+        assert (
+            builder.ossm().item_supports() == quest_db.item_supports()
+        ).all()
+        assert sum(builder.ossm().segment_sizes) == len(quest_db)
+
+    def test_large_budget_matches_batch_paging(self, quest_db):
+        builder = StreamingOSSMBuilder(quest_db.n_items, 1000)
+        builder.absorb(quest_db, page_size=30)
+        paged = PagedDatabase(quest_db, page_size=30)
+        assert (
+            builder.ossm().matrix == paged.page_supports()
+        ).all()
+
+    def test_bubble_restriction_used_in_assignment(self):
+        builder = StreamingOSSMBuilder(4, 2, items=[0, 1])
+        builder.add_page_row(np.array([9, 1, 0, 0]))
+        builder.add_page_row(np.array([1, 9, 0, 0]))
+        # Differs wildly in items 2-3, but the bubble only sees 0-1,
+        # where it matches segment 0's configuration exactly.
+        joined = builder.add_page_row(np.array([90, 10, 99, 99]))
+        assert joined == 0
+
+    def test_pages_consumed_counter(self, quest_db):
+        builder = StreamingOSSMBuilder(quest_db.n_items, 4)
+        builder.absorb(quest_db[:100], page_size=10)
+        assert builder.pages_consumed == 10
+
+
+class TestExtendOssm:
+    def test_appends_fresh_segments(self, quest_db):
+        old, new = quest_db[:400], quest_db[400:]
+        ossm = OSSM.from_segments([old[:200], old[200:]])
+        grown = extend_ossm(ossm, new, page_size=50)
+        assert grown.n_segments == 2 + (len(new) + 49) // 50
+        assert (
+            grown.item_supports()
+            == old.item_supports() + new.item_supports()
+        ).all()
+
+    def test_grown_bound_sound_for_union(self, quest_db):
+        old, new = quest_db[:400], quest_db[400:]
+        ossm = OSSM.from_segments([old[:200], old[200:]])
+        grown = extend_ossm(ossm, new, page_size=50)
+        union = old.concatenated(new)
+        for itemset in combinations(range(10), 2):
+            assert grown.upper_bound(itemset) >= union.support(itemset)
+
+    def test_recoarsen_to_budget(self, quest_db):
+        old, new = quest_db[:400], quest_db[400:]
+        ossm = OSSM.from_segments([old[:200], old[200:]])
+        grown = extend_ossm(ossm, new, page_size=30, recoarsen_to=4)
+        assert grown.n_segments == 4
+        assert (
+            grown.item_supports() == quest_db.item_supports()
+        ).all()
+
+    def test_new_items_rejected(self):
+        ossm = OSSM(np.array([[1, 2]]))
+        wide = TransactionDatabase([(0, 4)], n_items=5)
+        with pytest.raises(ValueError, match="beyond"):
+            extend_ossm(ossm, wide)

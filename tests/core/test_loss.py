@@ -1,0 +1,147 @@
+"""Unit tests for Equation (2) and its two evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cumulative_loss,
+    cumulative_loss_naive,
+    merge_loss,
+    merge_loss_naive,
+    pair_bound_sum,
+    pair_bound_sum_naive,
+    pairwise_merge_losses,
+)
+
+
+class TestPairBoundSum:
+    def test_hand_computed(self):
+        # pairs of (3,1,2): min(3,1)+min(3,2)+min(1,2) = 1+2+1 = 4
+        assert pair_bound_sum(np.array([3, 1, 2])) == 4
+        assert pair_bound_sum_naive(np.array([3, 1, 2])) == 4
+
+    def test_short_vectors(self):
+        assert pair_bound_sum(np.array([], dtype=np.int64)) == 0
+        assert pair_bound_sum(np.array([7])) == 0
+
+    def test_fast_equals_naive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            u = rng.integers(0, 100, size=rng.integers(2, 30))
+            assert pair_bound_sum(u) == pair_bound_sum_naive(u)
+
+    def test_item_restriction(self):
+        u = np.array([5, 100, 3, 100])
+        assert pair_bound_sum(u, items=[0, 2]) == 3
+        assert pair_bound_sum_naive(u, items=[0, 2]) == 3
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pair_bound_sum(np.zeros((2, 2)))
+
+
+class TestMergeLoss:
+    def test_equation_2_hand_example(self):
+        """The Section 4.2 swap argument: adjacent ranks swapped."""
+        a = np.array([3, 1])  # config (0, 1)
+        b = np.array([1, 3])  # config (1, 0)
+        # merged bound min(4,4)=4; separated min(3,1)+min(1,3)=2
+        assert merge_loss(a, b) == 2
+        assert merge_loss_naive(a, b) == 2
+
+    def test_zero_for_same_configuration(self):
+        a = np.array([9, 4, 2])
+        b = np.array([5, 3, 0])
+        assert merge_loss(a, b) == 0
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            m = int(rng.integers(2, 15))
+            a = rng.integers(0, 50, m)
+            b = rng.integers(0, 50, m)
+            assert merge_loss(a, b) >= 0
+
+    def test_fast_equals_naive(self):
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            m = int(rng.integers(2, 20))
+            a = rng.integers(0, 50, m)
+            b = rng.integers(0, 50, m)
+            assert merge_loss(a, b) == merge_loss_naive(a, b)
+
+    def test_symmetry(self):
+        a = np.array([4, 0, 7])
+        b = np.array([2, 5, 1])
+        assert merge_loss(a, b) == merge_loss(b, a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            merge_loss(np.array([1, 2]), np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="equal length"):
+            merge_loss_naive(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_bubble_restriction_can_hide_loss(self):
+        """Loss outside the bubble list is invisible by design."""
+        a = np.array([3, 1, 0, 0])
+        b = np.array([1, 3, 0, 0])
+        assert merge_loss(a, b) > 0
+        assert merge_loss(a, b, items=[2, 3]) == 0
+
+
+class TestCumulativeLoss:
+    def test_factorization_matches_literal_equation(self):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            k = int(rng.integers(2, 6))
+            m = int(rng.integers(2, 10))
+            rows = rng.integers(0, 30, (k, m))
+            assert cumulative_loss(rows) == cumulative_loss_naive(rows)
+
+    def test_lemma2a_zero_for_uniform_configs(self):
+        rows = np.array([[6, 4, 2], [3, 2, 1], [12, 8, 4]])
+        assert cumulative_loss(rows) == 0
+
+    def test_lemma2b_positive_with_differing_configs(self):
+        rows = np.array([[6, 4, 2], [2, 4, 6]])
+        assert cumulative_loss(rows) > 0
+
+    def test_lemma2c_monotone_under_superset(self):
+        rng = np.random.default_rng(4)
+        rows = rng.integers(0, 30, (5, 8))
+        for k in range(2, 5):
+            assert cumulative_loss(rows[:k]) <= cumulative_loss(rows[: k + 1])
+
+    def test_two_segment_case_equals_merge_loss(self):
+        a = np.array([5, 1, 3])
+        b = np.array([2, 6, 0])
+        assert cumulative_loss(np.vstack([a, b])) == merge_loss(a, b)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            cumulative_loss(np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="2-D"):
+            cumulative_loss_naive(np.array([1, 2, 3]))
+
+    def test_item_restriction(self):
+        rows = np.array([[3, 1, 9], [1, 3, 9]])
+        assert cumulative_loss(rows, items=[0, 1]) == merge_loss(
+            rows[0, :2], rows[1, :2]
+        )
+
+
+class TestPairwiseMatrix:
+    def test_matches_individual_losses(self):
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, 20, (4, 6))
+        losses = pairwise_merge_losses(rows)
+        for i in range(4):
+            assert losses[i, i] == 0
+            for j in range(i + 1, 4):
+                assert losses[i, j] == merge_loss(rows[i], rows[j])
+                assert losses[i, j] == losses[j, i]
+
+    def test_item_restriction(self):
+        rows = np.array([[3, 1, 5], [1, 3, 5]])
+        restricted = pairwise_merge_losses(rows, items=[2])
+        assert restricted[0, 1] == 0

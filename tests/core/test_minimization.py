@@ -1,0 +1,170 @@
+"""Unit tests for the segment minimization problem (Theorem 1 etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    count_segmentations,
+    is_exact,
+    max_bound_error,
+    minimize_pages,
+    minimize_transactions,
+    n_min_bound,
+)
+from repro.data import PagedDatabase, TransactionDatabase
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        # 2^m - m for small m
+        assert n_min_bound(10**6, 2) == 2
+        assert n_min_bound(10**6, 3) == 5
+        assert n_min_bound(10**6, 4) == 12
+        assert n_min_bound(10**6, 10) == 1014
+
+    def test_capped_by_transactions(self):
+        assert n_min_bound(3, 10) == 3
+
+    def test_zero_items(self):
+        assert n_min_bound(5, 0) == 1
+        assert n_min_bound(0, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            n_min_bound(-1, 2)
+
+
+class TestPaperExample2:
+    def test_two_segments_suffice(self, example2_db):
+        result = minimize_transactions(example2_db)
+        assert result.n_min == 2
+        assert is_exact(result.ossm, example2_db)
+
+    def test_segment_composition_matches_paper(self, example2_db):
+        """Segment 1 = transactions containing a; segment 2 = b-only."""
+        result = minimize_transactions(example2_db)
+        groups = {frozenset(g) for g in result.groups}
+        assert groups == {frozenset({0, 1, 2, 3}), frozenset({4, 5})}
+
+    def test_upper_bound_values(self, example2_db):
+        result = minimize_transactions(example2_db)
+        assert result.ossm.upper_bound([0, 1]) == 1  # min(4,1)+min(0,2)
+
+
+class TestMinimizeTransactions:
+    def test_exactness_on_random_database(self):
+        rng = np.random.default_rng(0)
+        txns = [
+            tuple(np.flatnonzero(rng.random(5) < 0.4)) for _ in range(40)
+        ]
+        db = TransactionDatabase([t for t in txns if t], n_items=5)
+        result = minimize_transactions(db)
+        assert is_exact(result.ossm, db)
+
+    def test_n_min_respects_theorem_bound(self):
+        rng = np.random.default_rng(1)
+        txns = [
+            tuple(np.flatnonzero(rng.random(4) < 0.5)) for _ in range(60)
+        ]
+        db = TransactionDatabase([t for t in txns if t], n_items=4)
+        result = minimize_transactions(db)
+        assert result.n_min <= n_min_bound(len(db), db.n_items)
+
+    def test_duplicates_collapse_to_one_segment(self):
+        db = TransactionDatabase([(0, 1)] * 5, n_items=2)
+        result = minimize_transactions(db)
+        assert result.n_min == 1
+        assert result.ossm.segment_sizes == (5,)
+
+    def test_groups_partition_transactions(self, tiny_db):
+        result = minimize_transactions(tiny_db)
+        seen = sorted(t for g in result.groups for t in g)
+        assert seen == list(range(len(tiny_db)))
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=3)
+        result = minimize_transactions(db)
+        assert result.n_min == 0
+
+    def test_all_distinct_configurations_need_all_segments(self):
+        """2 items: {a}, {b}, {a,b} -> 2^2-2 = 2 distinct configs."""
+        db = TransactionDatabase([(0,), (1,), (0, 1)], n_items=2)
+        result = minimize_transactions(db)
+        # {a} and {a,b} share the identity configuration (the paper's
+        # prefix collision); {b} differs.
+        assert result.n_min == 2 == n_min_bound(3, 2)
+
+
+class TestMinimizePages:
+    def test_exact_relative_to_page_map(self, tiny_db):
+        paged = PagedDatabase(tiny_db, page_size=2)
+        result = minimize_pages(paged)
+        # Corollary 1: the minimized map matches the page-level map's
+        # bound (not necessarily the true support).
+        from repro.core import OSSM
+
+        page_map = OSSM(paged.page_supports())
+        from itertools import combinations
+
+        for size in (1, 2, 3):
+            for itemset in combinations(range(tiny_db.n_items), size):
+                assert result.ossm.upper_bound(itemset) == page_map.upper_bound(
+                    itemset
+                )
+
+    def test_identical_pages_merge(self):
+        db = TransactionDatabase([(0, 1), (2,)] * 6, n_items=3)
+        paged = PagedDatabase(db, page_size=2)
+        result = minimize_pages(paged)
+        assert result.n_min == 1
+
+    def test_respects_corollary_bound(self, quest_db):
+        paged = PagedDatabase(quest_db, page_size=50)
+        result = minimize_pages(paged)
+        assert result.n_min <= paged.n_pages
+
+
+class TestExactnessVerifier:
+    def test_max_bound_error_zero_when_exact(self, example2_db):
+        result = minimize_transactions(example2_db)
+        assert max_bound_error(result.ossm, example2_db) == 0
+
+    def test_max_bound_error_positive_when_lossy(self, example2_db):
+        from repro.core import OSSM
+
+        single = OSSM.single_segment(example2_db)
+        assert max_bound_error(single, example2_db) > 0
+
+    def test_wrong_ossm_raises(self, example2_db, tiny_db):
+        from repro.core import OSSM
+
+        foreign = OSSM(np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(AssertionError, match="does not describe"):
+            max_bound_error(foreign, example2_db)
+
+    def test_explicit_itemsets_only(self, example2_db):
+        from repro.core import OSSM
+
+        single = OSSM.single_segment(example2_db)
+        assert max_bound_error(single, example2_db, itemsets=[(0,)]) == 0
+
+    def test_max_size_restriction(self, tiny_db):
+        result = minimize_transactions(tiny_db)
+        assert is_exact(result.ossm, tiny_db, max_size=2)
+
+
+class TestExample4Counting:
+    def test_paper_values(self):
+        assert count_segmentations(5, 3) == 25
+        assert count_segmentations(6, 3) == 90
+        assert count_segmentations(7, 3) == 301
+
+    def test_degenerate_cases(self):
+        assert count_segmentations(4, 4) == 1
+        assert count_segmentations(4, 1) == 1
+        assert count_segmentations(3, 5) == 0
+        assert count_segmentations(0, 0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            count_segmentations(-1, 2)

@@ -1,0 +1,92 @@
+"""Tests for the Figure 7 recipe."""
+
+import pytest
+
+from repro.core import (
+    GreedySegmenter,
+    RandomGreedySegmenter,
+    RandomRCSegmenter,
+    RandomSegmenter,
+    RecipeInputs,
+    recommend,
+    recommended_segmenter,
+)
+
+
+def inputs(**overrides) -> RecipeInputs:
+    base = dict(
+        n_user=40,
+        n_pages=500,
+        data_is_skewed=False,
+        segmentation_cost_matters=True,
+    )
+    base.update(overrides)
+    return RecipeInputs(**base)
+
+
+class TestDecisionTree:
+    def test_large_budget_and_skewed_gives_random(self):
+        assert recommend(inputs(n_user=150, data_is_skewed=True)) == "random"
+
+    def test_large_budget_alone_is_not_enough(self):
+        assert recommend(inputs(n_user=150)) != "random"
+
+    def test_skew_alone_is_not_enough(self):
+        assert recommend(inputs(data_is_skewed=True)) != "random"
+
+    def test_cost_no_object_gives_greedy(self):
+        assert (
+            recommend(inputs(segmentation_cost_matters=False)) == "greedy"
+        )
+
+    def test_very_large_p_gives_random_rc(self):
+        assert recommend(inputs(n_pages=50_000)) == "random-rc"
+
+    def test_moderate_p_gives_random_greedy(self):
+        assert recommend(inputs(n_pages=500)) == "random-greedy"
+
+    def test_custom_boundaries(self):
+        assert (
+            recommend(inputs(n_pages=500), very_large_p=100) == "random-rc"
+        )
+        assert (
+            recommend(
+                inputs(n_user=40, data_is_skewed=True), large_n_user=30
+            )
+            == "random"
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            inputs(n_user=0)
+        with pytest.raises(ValueError):
+            inputs(n_pages=0)
+
+
+class TestSegmenterFactory:
+    def test_instantiates_each_strategy(self):
+        assert isinstance(
+            recommended_segmenter(inputs(n_user=150, data_is_skewed=True)),
+            RandomSegmenter,
+        )
+        assert isinstance(
+            recommended_segmenter(inputs(segmentation_cost_matters=False)),
+            GreedySegmenter,
+        )
+        assert isinstance(
+            recommended_segmenter(inputs(n_pages=50_000)),
+            RandomRCSegmenter,
+        )
+        assert isinstance(
+            recommended_segmenter(inputs()), RandomGreedySegmenter
+        )
+
+    def test_bubble_list_forwarded(self):
+        segmenter = recommended_segmenter(
+            inputs(segmentation_cost_matters=False), items=[1, 2, 3]
+        )
+        assert segmenter.items == [1, 2, 3]
+
+    def test_n_mid_forwarded_to_hybrids(self):
+        segmenter = recommended_segmenter(inputs(n_pages=50_000), n_mid=333)
+        assert segmenter.n_mid == 333

@@ -1,0 +1,91 @@
+"""Tests for the telecom alarm-stream simulator (Nokia substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data import AlarmConfig, AlarmStreamGenerator, generate_alarms
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            AlarmConfig(n_windows=-1)
+        with pytest.raises(ValueError):
+            AlarmConfig(n_alarm_types=0)
+        with pytest.raises(ValueError):
+            AlarmConfig(n_fault_classes=0)
+        with pytest.raises(ValueError):
+            AlarmConfig(drift_period=0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            AlarmConfig(background_rate=-1.0)
+
+
+class TestGeneration:
+    def test_paper_scale_defaults(self):
+        cfg = AlarmConfig()
+        assert cfg.n_windows == 5000
+        assert cfg.n_alarm_types == 200
+
+    def test_shape_and_determinism(self):
+        a = generate_alarms(n_windows=300, n_alarm_types=50, seed=1)
+        b = generate_alarms(n_windows=300, n_alarm_types=50, seed=1)
+        assert len(a) == 300
+        assert a.n_items == 50
+        assert a == b
+
+    def test_windows_never_empty(self):
+        db = generate_alarms(n_windows=500, n_alarm_types=40, seed=2)
+        assert all(len(txn) >= 1 for txn in db)
+
+    def test_cascades_produce_cooccurrence(self):
+        gen = AlarmStreamGenerator(
+            AlarmConfig(
+                n_windows=3000,
+                n_alarm_types=200,
+                cascade_rate=0.3,
+                background_rate=0.5,
+                n_fault_classes=6,
+                seed=3,
+            )
+        )
+        db = gen.generate()
+        cascade = gen.cascades[0]
+        primary, secondary = cascade[0], cascade[1]
+        joint = db.support([primary, secondary])
+        # Secondary fires with p=0.8 given the primary's cascade; joint
+        # support must be far above the independence baseline.
+        independent = (
+            db.support([primary]) * db.support([secondary]) / len(db)
+        )
+        assert joint > 2 * independent
+
+    def test_frequencies_drift_over_the_stream(self):
+        db = generate_alarms(
+            n_windows=2000, n_alarm_types=80, drift_period=500, seed=4
+        )
+        half = len(db) // 2
+        first = db[:half].item_supports().astype(float) + 1
+        second = db[half:].item_supports().astype(float) + 1
+        ratio = first / second
+        # Non-stationarity: some alarms are strongly era-specific.
+        assert ratio.max() > 2.0
+        assert ratio.min() < 0.5
+
+    def test_active_classes_rotate(self):
+        gen = AlarmStreamGenerator(AlarmConfig(drift_period=10, seed=5))
+        era0 = set(gen._active_classes(0).tolist())
+        era1 = set(gen._active_classes(10).tolist())
+        assert era0 != era1
+
+    def test_zipf_background_is_heavy_tailed(self):
+        db = generate_alarms(
+            n_windows=3000,
+            n_alarm_types=100,
+            cascade_rate=0.0,
+            background_rate=3.0,
+            seed=6,
+        )
+        supports = np.sort(db.item_supports())[::-1]
+        assert supports[0] > 5 * supports[30]

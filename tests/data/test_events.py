@@ -1,0 +1,95 @@
+"""Tests for event sequences and sliding windows."""
+
+import pytest
+
+from repro.data import EventSequence, TransactionDatabase, WindowView
+
+
+@pytest.fixture
+def sequence():
+    # times:  0    1    2    3    5
+    # types:  a    b    a    c    b      (a=0, b=1, c=2)
+    return EventSequence(
+        [(0, 0), (1, 1), (2, 0), (3, 2), (5, 1)], n_types=3
+    )
+
+
+class TestEventSequence:
+    def test_events_sorted_by_time(self):
+        seq = EventSequence([(5, 1), (0, 0)])
+        assert list(seq) == [(0, 0), (5, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventSequence([(-1, 0)])
+        with pytest.raises(ValueError, match="non-negative"):
+            EventSequence([(0, -2)])
+        with pytest.raises(ValueError, match="n_types"):
+            EventSequence([(0, 5)], n_types=3)
+
+    def test_span_and_len(self, sequence):
+        assert len(sequence) == 5
+        assert sequence.span == 6
+        assert EventSequence([]).span == 0
+
+    def test_events_between(self, sequence):
+        assert sequence.events_between(1, 4) == [(1, 1), (2, 0), (3, 2)]
+        assert sequence.events_between(4, 5) == []
+
+    def test_type_counts(self, sequence):
+        assert sequence.type_counts().tolist() == [2, 2, 1]
+
+    def test_from_database(self):
+        db = TransactionDatabase([(0, 1), (2,)], n_items=3)
+        seq = EventSequence.from_database(db, spacing=10)
+        assert list(seq) == [(0, 0), (0, 1), (10, 2)]
+        assert seq.n_types == 3
+
+
+class TestWindowView:
+    def test_window_count_winepi(self, sequence):
+        # WINEPI: span + width - 1 windows.
+        view = WindowView(sequence, width=3)
+        assert view.n_windows == sequence.span + 3 - 1
+
+    def test_window_count_truncated(self, sequence):
+        view = WindowView(sequence, width=3, truncated=True)
+        assert view.n_windows == sequence.span - 3 + 1
+
+    def test_invalid_width(self, sequence):
+        with pytest.raises(ValueError):
+            WindowView(sequence, width=0)
+
+    def test_every_event_in_width_windows(self, sequence):
+        """WINEPI's defining property: each event is seen by exactly
+        `width` sliding windows."""
+        width = 3
+        view = WindowView(sequence, width=width)
+        appearances = 0
+        for events in view.iter_windows():
+            appearances += sum(1 for t, e in events if (t, e) == (2, 0))
+        assert appearances == width
+
+    def test_window_events_ordered(self, sequence):
+        view = WindowView(sequence, width=4, truncated=True)
+        events = view.window_events(0)
+        assert events == [(0, 0), (1, 1), (2, 0), (3, 2)]
+
+    def test_to_database_shape(self, sequence):
+        view = WindowView(sequence, width=2, truncated=True)
+        db = view.to_database()
+        assert len(db) == view.n_windows
+        assert db.n_items == 3
+
+    def test_to_database_contents(self, sequence):
+        view = WindowView(sequence, width=2, truncated=True)
+        db = view.to_database()
+        # window [0,2): events a,b -> {0,1}
+        assert db[0] == (0, 1)
+        # window [4,6): event b -> {1}
+        assert db[4] == (1,)
+
+    def test_empty_windows_allowed(self, sequence):
+        view = WindowView(sequence, width=1, truncated=True)
+        db = view.to_database()
+        assert db[4] == ()  # time 4 has no events

@@ -1,0 +1,131 @@
+"""Round-trip tests for the IO formats."""
+
+import pytest
+
+from repro.data import (
+    TransactionDatabase,
+    load,
+    load_binary,
+    load_fimi,
+    save,
+    save_binary,
+    save_fimi,
+)
+from repro.data.io import iter_fimi
+
+
+class TestFimi:
+    def test_roundtrip(self, tiny_db, tmp_path):
+        path = tmp_path / "db.dat"
+        save_fimi(tiny_db, path)
+        loaded = load_fimi(path, n_items=tiny_db.n_items)
+        assert loaded == tiny_db
+
+    def test_file_is_human_readable(self, tiny_db, tmp_path):
+        path = tmp_path / "db.dat"
+        save_fimi(tiny_db, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "0 1 2"
+
+    def test_iter_fimi_streams(self, tiny_db, tmp_path):
+        path = tmp_path / "db.dat"
+        save_fimi(tiny_db, path)
+        assert list(iter_fimi(path)) == list(tiny_db)
+
+    def test_empty_lines_become_empty_transactions(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 2\n\n3\n")
+        db = load_fimi(path)
+        assert list(db) == [(1, 2), (), (3,)]
+
+    def test_duplicate_items_in_line_collapse(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("5 5 1\n")
+        assert load_fimi(path)[0] == (1, 5)
+
+
+class TestBinary:
+    def test_roundtrip(self, tiny_db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_binary(tiny_db, path)
+        assert load_binary(path) == tiny_db
+
+    def test_preserves_n_items(self, tmp_path):
+        db = TransactionDatabase([(0,)], n_items=99)
+        path = tmp_path / "db.npz"
+        save_binary(db, path)
+        assert load_binary(path).n_items == 99
+
+    def test_empty_database(self, tmp_path):
+        db = TransactionDatabase([], n_items=5)
+        path = tmp_path / "db.npz"
+        save_binary(db, path)
+        loaded = load_binary(path)
+        assert len(loaded) == 0
+        assert loaded.n_items == 5
+
+
+class TestSpmf:
+    def _shop(self):
+        from repro.data.sequences import SequenceDatabase
+
+        return SequenceDatabase(
+            [
+                [(0,), (1, 2)],
+                [(2,)],
+                [],
+            ],
+            n_items=3,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        from repro.data import load_spmf, save_spmf
+
+        db = self._shop()
+        path = tmp_path / "seq.spmf"
+        save_spmf(db, path)
+        loaded = load_spmf(path, n_items=3)
+        assert list(loaded) == list(db)
+        assert loaded.n_items == 3
+
+    def test_format_is_spmf(self, tmp_path):
+        from repro.data import save_spmf
+
+        path = tmp_path / "seq.spmf"
+        save_spmf(self._shop(), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "0 -1 1 2 -1 -2"
+        assert lines[1] == "2 -1 -2"
+        assert lines[2] == "-2"
+
+    def test_missing_trailing_minus_one_tolerated(self, tmp_path):
+        from repro.data import load_spmf
+
+        path = tmp_path / "seq.spmf"
+        path.write_text("3 4 -1 5 -2\n")
+        loaded = load_spmf(path)
+        assert loaded[0] == ((3, 4), (5,))
+
+    def test_bad_token_rejected(self, tmp_path):
+        from repro.data import load_spmf
+
+        path = tmp_path / "seq.spmf"
+        path.write_text("1 -7 -2\n")
+        with pytest.raises(ValueError, match="negative token"):
+            load_spmf(path)
+
+
+class TestDispatch:
+    def test_save_load_by_extension(self, tiny_db, tmp_path):
+        text = tmp_path / "db.dat"
+        binary = tmp_path / "db.npz"
+        save(tiny_db, text)
+        save(tiny_db, binary)
+        assert load(text, n_items=tiny_db.n_items) == tiny_db
+        assert load(binary) == tiny_db
+
+    def test_load_binary_n_items_mismatch_rejected(self, tiny_db, tmp_path):
+        path = tmp_path / "db.npz"
+        save(tiny_db, path)
+        with pytest.raises(ValueError, match="n_items"):
+            load(path, n_items=tiny_db.n_items + 1)

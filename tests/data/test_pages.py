@@ -1,0 +1,95 @@
+"""Unit tests for the paged database view."""
+
+import numpy as np
+import pytest
+
+from repro.data import PagedDatabase, TransactionDatabase
+
+
+@pytest.fixture
+def paged(tiny_db) -> PagedDatabase:
+    return PagedDatabase(tiny_db, page_size=3)
+
+
+class TestPaging:
+    def test_page_count_rounds_up(self, paged):
+        assert paged.n_pages == 3  # 8 transactions / 3 per page
+
+    def test_page_bounds(self, paged):
+        assert paged.page_bounds(0) == (0, 3)
+        assert paged.page_bounds(2) == (6, 8)
+
+    def test_page_bounds_out_of_range(self, paged):
+        with pytest.raises(IndexError):
+            paged.page_bounds(3)
+
+    def test_page_contents(self, paged, tiny_db):
+        assert list(paged.page(0)) == list(tiny_db)[:3]
+        assert list(paged.page(2)) == list(tiny_db)[6:]
+
+    def test_iteration_covers_everything(self, paged, tiny_db):
+        seen = [txn for page in paged for txn in page]
+        assert seen == list(tiny_db)
+
+    def test_page_lengths(self, paged):
+        assert paged.page_lengths().tolist() == [3, 3, 2]
+
+    def test_invalid_page_size(self, tiny_db):
+        with pytest.raises(ValueError):
+            PagedDatabase(tiny_db, page_size=0)
+
+    def test_empty_database_has_one_empty_page_range(self):
+        paged = PagedDatabase(TransactionDatabase([], n_items=2), page_size=4)
+        assert paged.n_pages == 1
+        assert paged.page_lengths().tolist() == [0]
+
+    def test_default_page_size_is_paper_nominal(self, tiny_db):
+        assert PagedDatabase(tiny_db).page_size == 100
+
+
+class TestPageSupports:
+    def test_matrix_shape_and_totals(self, paged, tiny_db):
+        matrix = paged.page_supports()
+        assert matrix.shape == (3, 4)
+        assert (matrix.sum(axis=0) == tiny_db.item_supports()).all()
+
+    def test_rows_match_page_databases(self, paged):
+        matrix = paged.page_supports()
+        for p in range(paged.n_pages):
+            assert (
+                matrix[p] == paged.page(p).item_supports()
+            ).all()
+
+    def test_matrix_cached(self, paged):
+        assert paged.page_supports() is paged.page_supports()
+
+    def test_item_supports_shortcut(self, paged, tiny_db):
+        assert (
+            paged.item_supports() == tiny_db.item_supports()
+        ).all()
+
+
+class TestSegmentRealization:
+    def test_segment_supports_sums_rows(self, paged):
+        matrix = paged.page_supports()
+        segs = paged.segment_supports([[0, 2], [1]])
+        assert (segs[0] == matrix[0] + matrix[2]).all()
+        assert (segs[1] == matrix[1]).all()
+
+    def test_segment_supports_requires_partition(self, paged):
+        with pytest.raises(ValueError, match="partition"):
+            paged.segment_supports([[0], [1]])  # page 2 missing
+        with pytest.raises(ValueError, match="partition"):
+            paged.segment_supports([[0, 1], [1, 2]])  # page 1 twice
+
+    def test_segment_databases_match_supports(self, paged):
+        groups = [[0, 2], [1]]
+        segs = paged.segment_databases(groups)
+        matrix = paged.segment_supports(groups)
+        for seg_db, row in zip(segs, matrix):
+            assert (seg_db.item_supports() == row).all()
+
+    def test_segment_databases_preserve_transactions(self, paged, tiny_db):
+        segs = paged.segment_databases([[0], [1], [2]])
+        rejoined = [txn for seg in segs for txn in seg]
+        assert rejoined == list(tiny_db)

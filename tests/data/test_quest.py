@@ -1,0 +1,145 @@
+"""Tests for the IBM Quest–style generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import QuestConfig, QuestGenerator, generate_quest
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            QuestConfig(n_transactions=-1)
+        with pytest.raises(ValueError):
+            QuestConfig(n_items=0)
+        with pytest.raises(ValueError):
+            QuestConfig(n_patterns=0)
+
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(ValueError):
+            QuestConfig(correlation=1.5)
+
+    def test_rejects_non_positive_lengths(self):
+        with pytest.raises(ValueError):
+            QuestConfig(avg_transaction_len=0)
+        with pytest.raises(ValueError):
+            QuestConfig(avg_pattern_len=-1)
+
+    def test_constructor_rejects_config_plus_overrides(self):
+        with pytest.raises(TypeError):
+            QuestGenerator(QuestConfig(), seed=3)
+
+
+class TestGeneration:
+    def test_shape(self):
+        db = generate_quest(n_transactions=200, n_items=50, seed=0)
+        assert len(db) == 200
+        assert db.n_items == 50
+
+    def test_deterministic_given_seed(self):
+        a = generate_quest(n_transactions=100, n_items=40, seed=5)
+        b = generate_quest(n_transactions=100, n_items=40, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_quest(n_transactions=100, n_items=40, seed=5)
+        b = generate_quest(n_transactions=100, n_items=40, seed=6)
+        assert a != b
+
+    def test_no_empty_transactions(self):
+        db = generate_quest(n_transactions=300, n_items=30, seed=1)
+        assert all(len(txn) >= 1 for txn in db)
+
+    def test_average_length_near_target(self):
+        db = generate_quest(
+            n_transactions=2000, n_items=500, avg_transaction_len=10, seed=2
+        )
+        assert 7 <= db.average_length() <= 13
+
+    def test_streaming_continues(self):
+        gen = QuestGenerator(QuestConfig(n_transactions=50, n_items=30, seed=3))
+        first = gen.generate()
+        second = gen.generate()
+        assert first != second  # the stream advances
+
+    def test_patterns_exposed(self):
+        gen = QuestGenerator(QuestConfig(n_items=30, n_patterns=10, seed=4))
+        patterns = gen.patterns
+        assert len(patterns) == 10
+        assert all(1 <= len(p) <= 30 for p in patterns)
+        assert all(list(p) == sorted(set(p)) for p in patterns)
+
+    def test_support_distribution_is_heavy_tailed(self):
+        # The regime the paper's experiments rely on: a dense band of
+        # items near/below the average support with a long upper tail.
+        db = generate_quest(
+            n_transactions=3000,
+            n_items=300,
+            avg_transaction_len=10,
+            n_patterns=600,
+            seed=7,
+        )
+        supports = db.item_supports()
+        assert supports.max() > 3 * np.median(supports[supports > 0])
+
+    def test_zero_transactions(self):
+        db = generate_quest(n_transactions=0, n_items=10, seed=0)
+        assert len(db) == 0
+        assert db.n_items == 10
+
+
+class TestSeasonalDrift:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QuestConfig(n_seasons=0)
+        with pytest.raises(ValueError):
+            QuestConfig(seasonal_skew=1.5)
+
+    def test_no_drift_is_default(self):
+        cfg = QuestConfig()
+        assert cfg.n_seasons == 1
+        assert cfg.seasonal_skew == 0.0
+
+    def test_drift_shifts_item_frequencies_between_eras(self):
+        db = QuestGenerator(
+            QuestConfig(
+                n_transactions=4000,
+                n_items=200,
+                n_patterns=400,
+                n_seasons=2,
+                seasonal_skew=0.9,
+                seed=8,
+            )
+        ).generate()
+        half = len(db) // 2
+        first = db[:half].item_supports().astype(float) + 1
+        second = db[half:].item_supports().astype(float) + 1
+        ratio = first / second
+        # Era-coherent drift: some items are strongly era-specific.
+        assert ratio.max() > 2.0
+        assert ratio.min() < 0.5
+
+    def test_zero_skew_with_seasons_is_stationary(self):
+        """seasonal_skew=0 must not change the stream's statistics."""
+        drifting = QuestGenerator(
+            QuestConfig(
+                n_transactions=3000,
+                n_items=150,
+                n_patterns=300,
+                n_seasons=4,
+                seasonal_skew=0.0,
+                seed=9,
+            )
+        ).generate()
+        half = len(drifting) // 2
+        first = drifting[:half].item_supports().astype(float) + 1
+        second = drifting[half:].item_supports().astype(float) + 1
+        # No systematic era preference: log-ratios centred near zero.
+        assert abs(np.log(first / second).mean()) < 0.25
+
+    def test_deterministic_with_drift(self):
+        cfg = QuestConfig(
+            n_transactions=500, n_items=60, n_seasons=3,
+            seasonal_skew=0.5, seed=4,
+        )
+        assert QuestGenerator(cfg).generate() == QuestGenerator(cfg).generate()

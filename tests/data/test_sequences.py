@@ -1,0 +1,96 @@
+"""Tests for the customer-sequence substrate."""
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.data.sequences import (
+    SequenceDatabase,
+    contains_sequence,
+)
+
+
+@pytest.fixture
+def shop():
+    """Three customers with simple purchase histories."""
+    return SequenceDatabase(
+        [
+            [(0,), (1,), (2,)],        # 0 then 1 then 2
+            [(0, 1), (2,)],            # 0+1 together, then 2
+            [(2,), (0,)],              # 2 then 0
+        ],
+        n_items=3,
+    )
+
+
+class TestContainment:
+    def test_in_order(self):
+        customer = ((0,), (1,), (2,))
+        assert contains_sequence(customer, ((0,), (2,)))
+        assert contains_sequence(customer, ((1,),))
+        assert not contains_sequence(customer, ((2,), (0,)))
+
+    def test_element_subset(self):
+        customer = ((0, 1, 2), (3,))
+        assert contains_sequence(customer, ((0, 2), (3,)))
+        assert not contains_sequence(customer, ((0, 3),))
+
+    def test_same_element_not_split(self):
+        """⟨{x}{y}⟩ needs two *different* transactions."""
+        customer = ((0, 1),)
+        assert contains_sequence(customer, ((0, 1),))
+        assert not contains_sequence(customer, ((0,), (1,)))
+
+    def test_repeated_item(self):
+        assert contains_sequence(((0,), (0,)), ((0,), (0,)))
+        assert not contains_sequence(((0,),), ((0,), (0,)))
+
+    def test_empty_pattern(self):
+        assert contains_sequence(((0,),), ())
+
+
+class TestSequenceDatabase:
+    def test_canonicalization(self):
+        db = SequenceDatabase([[(2, 1, 1), ()]])
+        assert db[0] == ((1, 2),)  # sorted, deduped, empty element gone
+
+    def test_n_items(self, shop):
+        assert shop.n_items == 3
+        with pytest.raises(ValueError, match="n_items"):
+            SequenceDatabase([[(5,)]], n_items=3)
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceDatabase([[(-1,)]])
+
+    def test_support(self, shop):
+        assert shop.support([(0,), (2,)]) == 2   # customers 0 and 1
+        assert shop.support([(2,), (0,)]) == 1   # customer 2
+        assert shop.support([(0, 1)]) == 1       # only customer 1
+        assert shop.support([]) == 3
+
+    def test_average_visits(self, shop):
+        assert shop.average_visits() == pytest.approx(7 / 3)
+
+    def test_flattened(self, shop):
+        flat = shop.flattened()
+        assert isinstance(flat, TransactionDatabase)
+        assert flat[0] == (0, 1, 2)
+        assert flat[2] == (0, 2)
+
+    def test_item_supports_counts_customers(self, shop):
+        assert shop.item_supports().tolist() == [3, 2, 3]
+
+    def test_flattened_support_dominates_sequential(self, shop):
+        pattern = [(0,), (2,)]
+        items = (0, 2)
+        assert shop.support(pattern) <= shop.flattened().support(items)
+
+    def test_from_transactions(self, tiny_db):
+        seqdb = SequenceDatabase.from_transactions(tiny_db, 3)
+        assert len(seqdb) == 3  # ceil(8 / 3)
+        assert seqdb[0] == tuple(tiny_db)[0:3]
+        with pytest.raises(ValueError):
+            SequenceDatabase.from_transactions(tiny_db, 0)
+
+    def test_repr(self, shop):
+        assert "3 customers" in repr(shop)

@@ -1,0 +1,80 @@
+"""Tests for the seasonal skewed generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SkewedConfig, SkewedGenerator, generate_skewed
+
+
+class TestConfigValidation:
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            SkewedConfig(skew=-0.1)
+        with pytest.raises(ValueError):
+            SkewedConfig(skew=1.1)
+
+    def test_rejects_more_seasons_than_items(self):
+        with pytest.raises(ValueError):
+            SkewedConfig(n_items=2, n_seasons=3)
+
+
+class TestGeneration:
+    def test_shape_and_determinism(self):
+        a = generate_skewed(n_transactions=200, n_items=40, seed=1)
+        b = generate_skewed(n_transactions=200, n_items=40, seed=1)
+        assert len(a) == 200
+        assert a.n_items == 40
+        assert a == b
+
+    def test_halves_prefer_their_item_groups(self):
+        db = generate_skewed(
+            n_transactions=2000, n_items=100, skew=0.8, seed=2
+        )
+        first = db[: len(db) // 2]
+        second = db[len(db) // 2:]
+        low_items = range(0, 50)  # group 0: biased to the first era
+        first_low = sum(first.item_supports()[i] for i in low_items)
+        second_low = sum(second.item_supports()[i] for i in low_items)
+        assert first_low > 2 * second_low
+
+    def test_paper_statement_50_50(self):
+        """50% of items favour the first half, 50% the second (Sec 6.1)."""
+        db = generate_skewed(n_transactions=3000, n_items=60, skew=0.9, seed=3)
+        half = len(db) // 2
+        first = db[:half].item_supports().astype(float)
+        second = db[half:].item_supports().astype(float)
+        favours_first = (first > second).sum()
+        assert 0.4 * db.n_items <= favours_first <= 0.6 * db.n_items
+
+    def test_skew_one_separates_eras_completely(self):
+        gen = SkewedGenerator(
+            SkewedConfig(n_transactions=400, n_items=20, skew=1.0, seed=4)
+        )
+        db = gen.generate()
+        half = len(db) // 2
+        first_items = {i for txn in db[:half] for i in txn}
+        second_items = {i for txn in db[half:] for i in txn}
+        assert first_items.isdisjoint(second_items)
+
+    def test_skew_zero_is_roughly_uniform(self):
+        db = generate_skewed(
+            n_transactions=4000, n_items=20, skew=0.0, seed=5
+        )
+        supports = db.item_supports().astype(float)
+        assert supports.std() / supports.mean() < 0.2
+
+    def test_item_group_assignment(self):
+        gen = SkewedGenerator(SkewedConfig(n_items=10, n_seasons=2))
+        groups = [gen.item_group(i) for i in range(10)]
+        assert groups == [0] * 5 + [1] * 5
+
+    def test_multiple_seasons(self):
+        db = generate_skewed(
+            n_transactions=900, n_items=30, n_seasons=3, skew=0.9, seed=6
+        )
+        era = len(db) // 3
+        for season in range(3):
+            chunk = db[season * era:(season + 1) * era]
+            supports = chunk.item_supports()
+            own = supports[season * 10:(season + 1) * 10].sum()
+            assert own > supports.sum() / 3  # own group over-represented

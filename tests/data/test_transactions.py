@@ -1,0 +1,163 @@
+"""Unit tests for the transaction database substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import TransactionDatabase, Vocabulary
+
+
+class TestCanonicalization:
+    def test_transactions_are_sorted_and_deduplicated(self):
+        db = TransactionDatabase([(3, 1, 2, 1)])
+        assert db[0] == (1, 2, 3)
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TransactionDatabase([(-1, 2)])
+
+    def test_empty_transactions_allowed(self):
+        db = TransactionDatabase([(), (0,)])
+        assert db[0] == ()
+        assert len(db) == 2
+
+    def test_n_items_defaults_to_max_plus_one(self):
+        db = TransactionDatabase([(0, 5)])
+        assert db.n_items == 6
+
+    def test_explicit_n_items_may_exceed_observed(self):
+        db = TransactionDatabase([(0,)], n_items=10)
+        assert db.n_items == 10
+
+    def test_n_items_too_small_rejected(self):
+        with pytest.raises(ValueError, match="contains item"):
+            TransactionDatabase([(0, 7)], n_items=5)
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=3)
+        assert len(db) == 0
+        assert db.n_items == 3
+        assert db.average_length() == 0.0
+        assert db.density() == 0.0
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem(self, tiny_db):
+        assert len(tiny_db) == 8
+        assert list(tiny_db)[0] == (0, 1, 2)
+        assert tiny_db[1] == (0, 1)
+
+    def test_slicing_returns_database(self, tiny_db):
+        head = tiny_db[:3]
+        assert isinstance(head, TransactionDatabase)
+        assert len(head) == 3
+        assert head.n_items == tiny_db.n_items
+
+    def test_equality(self):
+        a = TransactionDatabase([(0, 1)], n_items=2)
+        b = TransactionDatabase([(1, 0)], n_items=2)
+        c = TransactionDatabase([(0, 1)], n_items=3)
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_shape(self, tiny_db):
+        assert "8 transactions" in repr(tiny_db)
+        assert "4 items" in repr(tiny_db)
+
+
+class TestSupports:
+    def test_item_supports(self, tiny_db):
+        supports = tiny_db.item_supports()
+        assert supports.tolist() == [5, 5, 5, 4]
+
+    def test_support_of_itemset(self, tiny_db):
+        assert tiny_db.support([0, 1]) == 3
+        assert tiny_db.support([0, 1, 2]) == 2
+        assert tiny_db.support([0, 1, 2, 3]) == 1
+
+    def test_support_of_empty_itemset_is_collection_size(self, tiny_db):
+        assert tiny_db.support([]) == len(tiny_db)
+
+    def test_supports_batch(self, tiny_db):
+        assert tiny_db.supports([[0], [0, 1]]) == [5, 3]
+
+    def test_vertical_matches_supports(self, tiny_db):
+        tidsets = tiny_db.vertical()
+        supports = tiny_db.item_supports()
+        for item in range(tiny_db.n_items):
+            assert len(tidsets[item]) == supports[item]
+            for tid in tidsets[item]:
+                assert item in tiny_db[int(tid)]
+
+    def test_to_matrix_roundtrip(self, tiny_db):
+        matrix = tiny_db.to_matrix()
+        assert matrix.shape == (8, 4)
+        assert matrix.sum(axis=0).tolist() == tiny_db.item_supports().tolist()
+
+    def test_average_length_and_density(self, tiny_db):
+        assert tiny_db.average_length() == pytest.approx(19 / 8)
+        assert tiny_db.density() == pytest.approx(19 / 32)
+
+
+class TestReorderingAndSplitting:
+    def test_reordered_permutes(self, tiny_db):
+        order = list(reversed(range(len(tiny_db))))
+        flipped = tiny_db.reordered(order)
+        assert flipped[0] == tiny_db[len(tiny_db) - 1]
+        assert flipped.item_supports().tolist() == tiny_db.item_supports().tolist()
+
+    def test_reordered_rejects_non_permutation(self, tiny_db):
+        with pytest.raises(ValueError, match="permutation"):
+            tiny_db.reordered([0] * len(tiny_db))
+
+    def test_split_partitions_everything(self, tiny_db):
+        parts = tiny_db.split(3)
+        assert sum(len(p) for p in parts) == len(tiny_db)
+        rejoined = [txn for part in parts for txn in part]
+        assert rejoined == list(tiny_db)
+
+    def test_split_bounds(self, tiny_db):
+        with pytest.raises(ValueError):
+            tiny_db.split(0)
+        with pytest.raises(ValueError):
+            tiny_db.split(len(tiny_db) + 1)
+
+    def test_concatenated(self, tiny_db):
+        both = tiny_db.concatenated(tiny_db)
+        assert len(both) == 2 * len(tiny_db)
+        assert (
+            both.item_supports() == 2 * tiny_db.item_supports()
+        ).all()
+
+
+class TestVocabulary:
+    def test_ids_assigned_first_seen(self):
+        vocab = Vocabulary()
+        assert vocab.add("milk") == 0
+        assert vocab.add("bread") == 1
+        assert vocab.add("milk") == 0
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary()
+        txn = vocab.encode(["beer", "chips", "beer"])
+        assert txn == (0, 1)
+        assert set(vocab.decode(txn)) == {"beer", "chips"}
+
+    def test_lookup_errors(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.id_of("missing")
+        with pytest.raises(IndexError):
+            vocab.name_of(5)
+
+    def test_from_named_database(self):
+        db = TransactionDatabase.from_named(
+            [["milk", "bread"], ["milk"], ["bread", "eggs"]]
+        )
+        assert db.n_items == 3
+        assert db.support([db.vocabulary.id_of("milk")]) == 2
+
+    def test_container_protocol(self):
+        vocab = Vocabulary(["x", "y"])
+        assert "x" in vocab
+        assert len(vocab) == 2
+        assert list(vocab) == ["x", "y"]

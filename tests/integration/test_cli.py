@@ -1,0 +1,147 @@
+"""CLI integration tests (in-process, via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import load
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.dat"
+    code = main(
+        [
+            "generate", "--kind", "quest", "--out", str(path),
+            "--transactions", "400", "--items", "60",
+            "--patterns", "120", "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_requested_shape(self, data_file):
+        db = load(data_file)
+        assert len(db) == 400
+
+    def test_skewed_and_alarms(self, tmp_path, capsys):
+        for kind in ("skewed", "alarms"):
+            out = tmp_path / f"{kind}.dat"
+            assert main(
+                [
+                    "generate", "--kind", kind, "--out", str(out),
+                    "--transactions", "100", "--items", "30",
+                ]
+            ) == 0
+            assert load(out, n_items=30).n_items == 30
+
+    def test_binary_output(self, tmp_path):
+        out = tmp_path / "db.npz"
+        assert main(
+            [
+                "generate", "--out", str(out),
+                "--transactions", "50", "--items", "20",
+            ]
+        ) == 0
+        assert len(load(out)) == 50
+
+
+class TestOssmCommand:
+    def test_builds_and_reports(self, data_file, tmp_path, capsys):
+        out = tmp_path / "map.npz"
+        code = main(
+            [
+                "ossm", "--data", str(data_file), "--out", str(out),
+                "--algorithm", "greedy", "--segments", "5",
+                "--page-size", "20",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "greedy" in captured
+        assert "5 segments" in captured
+        from repro.core import OSSM
+
+        assert OSSM.load(out).n_segments == 5
+
+    def test_all_algorithms(self, data_file, tmp_path):
+        for algorithm in ("rc", "random", "random-rc", "random-greedy"):
+            out = tmp_path / f"{algorithm}.npz"
+            assert main(
+                [
+                    "ossm", "--data", str(data_file), "--out", str(out),
+                    "--algorithm", algorithm, "--segments", "4",
+                    "--page-size", "20", "--n-mid", "10",
+                ]
+            ) == 0
+
+    def test_bubble_list_option(self, data_file, tmp_path):
+        out = tmp_path / "bubble.npz"
+        assert main(
+            [
+                "ossm", "--data", str(data_file), "--out", str(out),
+                "--segments", "4", "--page-size", "20",
+                "--bubble-size", "15", "--bubble-minsup", "0.01",
+            ]
+        ) == 0
+
+
+class TestMineCommand:
+    def test_plain_and_with_ossm_agree(self, data_file, tmp_path, capsys):
+        ossm_path = tmp_path / "map.npz"
+        main(
+            [
+                "ossm", "--data", str(data_file), "--out", str(ossm_path),
+                "--segments", "5", "--page-size", "20",
+            ]
+        )
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--max-level", "2", "--top", "3"]
+        ) == 0
+        plain_out = capsys.readouterr().out
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--ossm", str(ossm_path), "--max-level", "2", "--top", "3"]
+        ) == 0
+        ossm_out = capsys.readouterr().out
+        # Same frequent-set count in the headline line.
+        count = plain_out.split(" frequent")[0].rsplit(" ", 1)[-1]
+        assert f"{count} frequent" in ossm_out
+
+    def test_charm_runs(self, data_file, capsys):
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--algorithm", "charm", "--top", "0"]
+        ) == 0
+        assert "charm" in capsys.readouterr().out
+
+    def test_every_miner_runs(self, data_file, capsys):
+        counts = set()
+        for algorithm in (
+            "apriori", "dhp", "fpgrowth", "eclat", "partition",
+            "depthproject",
+        ):
+            assert main(
+                ["mine", "--data", str(data_file), "--minsup", "0.05",
+                 "--algorithm", algorithm, "--max-level", "2",
+                 "--top", "0"]
+            ) == 0
+            out = capsys.readouterr().out
+            counts.add(out.split(" frequent")[0].rsplit(" ", 1)[-1])
+        assert len(counts) == 1  # all miners report the same count
+
+
+class TestRecipeCommand:
+    def test_recommendation_printed(self, capsys):
+        assert main(
+            ["recipe", "--n-user", "150", "--pages", "100", "--skewed"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "random"
+
+    def test_greedy_branch(self, capsys):
+        assert main(
+            ["recipe", "--n-user", "40", "--pages", "100"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "greedy"

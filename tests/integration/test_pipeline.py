@@ -1,0 +1,104 @@
+"""End-to-end integration tests: generate → page → segment → mine → rules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GreedySegmenter,
+    OSSMPruner,
+    PagedDatabase,
+    RandomGreedySegmenter,
+    RandomSegmenter,
+    apriori,
+    bubble_list_for,
+    dhp,
+    fpgrowth,
+    generate_alarms,
+    generate_quest,
+    generate_rules,
+    generate_skewed,
+)
+
+
+class TestFullPipeline:
+    def test_quest_pipeline(self):
+        db = generate_quest(
+            n_transactions=1500, n_items=150, n_patterns=300, seed=9
+        )
+        paged = PagedDatabase(db, page_size=50)
+        seg = GreedySegmenter().segment(paged, 8)
+        plain = apriori(db, 0.02, max_level=3)
+        fast = apriori(
+            db, 0.02, pruner=OSSMPruner(seg.ossm), max_level=3
+        )
+        assert plain.same_itemsets(fast)
+        assert fast.candidates_counted() <= plain.candidates_counted()
+        rules = generate_rules(fast, len(db), min_confidence=0.5)
+        for rule in rules:
+            assert rule.support > 0 and 0.5 <= rule.confidence <= 1.0
+
+    def test_skewed_pipeline_prunes_harder_than_regular(self):
+        """Section 3's claim: the more skewed the data, the more
+        effective the OSSM."""
+        common = dict(n_transactions=2000, n_items=200, seed=4)
+        regular = generate_quest(n_patterns=400, **common)
+        seasonal = generate_skewed(skew=0.9, **common)
+
+        def kept_fraction(db):
+            paged = PagedDatabase(db, page_size=50)
+            ossm = RandomSegmenter(seed=0).segment(paged, 20).ossm
+            plain = apriori(db, 0.02, max_level=2)
+            fast = apriori(db, 0.02, pruner=OSSMPruner(ossm), max_level=2)
+            assert plain.same_itemsets(fast)
+            base = plain.level(2).candidates_counted
+            return fast.level(2).candidates_counted / max(base, 1)
+
+        assert kept_fraction(seasonal) < kept_fraction(regular)
+
+    def test_alarm_pipeline(self):
+        db = generate_alarms(n_windows=1200, n_alarm_types=80, seed=2)
+        paged = PagedDatabase(db, page_size=40)
+        bubble = bubble_list_for(db, threshold=0.05, size=20)
+        seg = RandomGreedySegmenter(n_mid=15, seed=0, items=bubble).segment(
+            paged, 8
+        )
+        plain = dhp(db, 0.1, n_buckets=1024, max_level=2)
+        fast = dhp(
+            db, 0.1, n_buckets=1024,
+            pruner=OSSMPruner(seg.ossm), max_level=2,
+        )
+        assert plain.same_itemsets(fast)
+
+    def test_query_independence(self):
+        """One OSSM, many thresholds (Section 3): build once, query at
+        whatever threshold exploration lands on."""
+        db = generate_quest(
+            n_transactions=1000, n_items=120, n_patterns=240, seed=5
+        )
+        paged = PagedDatabase(db, page_size=25)
+        ossm = GreedySegmenter().segment(paged, 10).ossm
+        for minsup in (0.01, 0.02, 0.05, 0.2):
+            plain = apriori(db, minsup, max_level=2)
+            fast = apriori(db, minsup, pruner=OSSMPruner(ossm), max_level=2)
+            assert plain.same_itemsets(fast), minsup
+
+    def test_candidate_free_baseline_agrees(self):
+        db = generate_quest(
+            n_transactions=800, n_items=100, n_patterns=200, seed=6
+        )
+        assert fpgrowth(db, 0.03).same_itemsets(apriori(db, 0.03))
+
+    def test_ossm_persistence_roundtrip_in_pipeline(self, tmp_path):
+        db = generate_quest(
+            n_transactions=600, n_items=80, n_patterns=160, seed=7
+        )
+        paged = PagedDatabase(db, page_size=30)
+        ossm = GreedySegmenter().segment(paged, 6).ossm
+        path = tmp_path / "built.npz"
+        ossm.save(path)
+        from repro import OSSM
+
+        reloaded = OSSM.load(path)
+        plain = apriori(db, 0.03, max_level=2)
+        fast = apriori(db, 0.03, pruner=OSSMPruner(reloaded), max_level=2)
+        assert plain.same_itemsets(fast)

@@ -1,0 +1,159 @@
+"""Tests for Apriori and Apriori+OSSM."""
+
+import pytest
+
+from repro.core import OSSM, build_from_database
+from repro.data import TransactionDatabase
+from repro.mining import Apriori, HashTreeCounter, OSSMPruner, apriori
+from repro.mining.base import resolve_min_support
+from tests.conftest import brute_force_frequent
+
+
+class TestThresholdResolution:
+    def test_relative(self, tiny_db):
+        assert resolve_min_support(tiny_db, 0.5) == 4
+        assert resolve_min_support(tiny_db, 0.49) == 4  # ceil(3.92)
+
+    def test_absolute(self, tiny_db):
+        assert resolve_min_support(tiny_db, 3) == 3
+
+    def test_relative_bounds(self, tiny_db):
+        with pytest.raises(ValueError):
+            resolve_min_support(tiny_db, 0.0)
+        with pytest.raises(ValueError):
+            resolve_min_support(tiny_db, 1.5)
+
+    def test_absolute_bounds(self, tiny_db):
+        with pytest.raises(ValueError):
+            resolve_min_support(tiny_db, 0)
+
+    def test_bool_rejected(self, tiny_db):
+        with pytest.raises(TypeError):
+            resolve_min_support(tiny_db, True)
+
+    def test_minimum_one(self):
+        db = TransactionDatabase([(0,)], n_items=1)
+        assert resolve_min_support(db, 0.0001) == 1
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        assert result.frequent == brute_force_frequent(tiny_db, 2)
+
+    def test_against_brute_force_various_thresholds(self, tiny_db):
+        for threshold in (1, 2, 3, 4, 5):
+            result = apriori(tiny_db, threshold)
+            assert result.frequent == brute_force_frequent(
+                tiny_db, threshold
+            ), threshold
+
+    def test_quest_data_against_brute_force(self, quest_db):
+        small = quest_db[:120]
+        result = apriori(small, 5)
+        assert result.frequent == brute_force_frequent(small, 5)
+
+    def test_supports_are_exact(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        for itemset, support in result.frequent.items():
+            assert support == tiny_db.support(itemset)
+
+    def test_max_level_caps_output(self, tiny_db):
+        result = apriori(tiny_db, 1, max_level=2)
+        assert result.max_level <= 2
+        full = brute_force_frequent(tiny_db, 1, max_level=2)
+        assert result.frequent == full
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=3)
+        result = apriori(db, 1)
+        assert result.frequent == {}
+
+    def test_nothing_frequent(self, tiny_db):
+        result = apriori(tiny_db, len(tiny_db) + 1)
+        assert result.frequent == {}
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            Apriori(max_level=0)
+
+
+class TestStats:
+    def test_level1_accounting(self, tiny_db):
+        result = apriori(tiny_db, 4)
+        level1 = result.level(1)
+        assert level1.candidates_generated == tiny_db.n_items
+        assert level1.frequent == 4  # supports are [5,5,5,4]
+
+    def test_level2_candidates_from_join(self, tiny_db):
+        result = apriori(tiny_db, 4)
+        # L1 = {0,1,2,3} -> C2 = C(4,2) = 6
+        assert result.level(2).candidates_generated == 6
+
+    def test_algorithm_name(self, tiny_db):
+        assert apriori(tiny_db, 2).algorithm == "apriori"
+
+    def test_elapsed_recorded(self, tiny_db):
+        assert apriori(tiny_db, 2).elapsed_seconds >= 0
+
+    def test_candidates_counted_totals(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        assert result.candidates_counted() == sum(
+            s.candidates_counted for s in result.levels
+        )
+
+    def test_itemsets_of_size(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        pairs = result.itemsets_of_size(2)
+        assert all(len(itemset) == 2 for itemset in pairs)
+        assert pairs == {
+            k: v for k, v in result.frequent.items() if len(k) == 2
+        }
+
+
+class TestOSSMIntegration:
+    def test_output_identical_with_pruner(self, tiny_db):
+        ossm = build_from_database(tiny_db, [0, 2, 4, 6, 8])
+        for threshold in (1, 2, 3):
+            plain = apriori(tiny_db, threshold)
+            fast = apriori(tiny_db, threshold, pruner=OSSMPruner(ossm))
+            assert plain.same_itemsets(fast)
+
+    def test_pruner_reduces_counted_candidates(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 30))
+        )
+        plain = apriori(quest_db, 0.02, max_level=2)
+        fast = apriori(
+            quest_db, 0.02, pruner=OSSMPruner(ossm), max_level=2
+        )
+        assert plain.same_itemsets(fast)
+        assert (
+            fast.level(2).candidates_counted
+            <= plain.level(2).candidates_counted
+        )
+
+    def test_algorithm_name_carries_label(self, tiny_db):
+        ossm = OSSM.single_segment(tiny_db)
+        result = apriori(tiny_db, 2, pruner=OSSMPruner(ossm))
+        assert result.algorithm == "apriori+ossm"
+
+    def test_pruned_plus_counted_equals_generated(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 50))
+        )
+        result = apriori(quest_db, 0.02, pruner=OSSMPruner(ossm), max_level=3)
+        for stats in result.levels:
+            assert (
+                stats.candidates_pruned + stats.candidates_counted
+                == stats.candidates_generated
+            )
+
+
+class TestAlternativeCounters:
+    def test_hash_tree_counter_equivalent(self, tiny_db):
+        plain = apriori(tiny_db, 2)
+        tree = apriori(
+            tiny_db, 2, counter=HashTreeCounter(branch=3, leaf_capacity=2)
+        )
+        assert plain.same_itemsets(tree)

@@ -1,0 +1,96 @@
+"""Tests for the shared mining result types."""
+
+import pytest
+
+from repro.mining import MiningResult, resolve_min_count
+from repro.mining.base import LevelStats, as_itemset
+
+
+class TestResolveMinCount:
+    def test_relative(self):
+        assert resolve_min_count(1000, 0.01) == 10
+        assert resolve_min_count(1000, 0.011) == 11
+        assert resolve_min_count(3, 0.5) == 2  # ceil(1.5)
+
+    def test_absolute(self):
+        assert resolve_min_count(1000, 7) == 7
+
+    def test_at_least_one(self):
+        assert resolve_min_count(10, 0.001) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolve_min_count(10, 0.0)
+        with pytest.raises(ValueError):
+            resolve_min_count(10, 1.0001)
+        with pytest.raises(ValueError):
+            resolve_min_count(10, 0)
+        with pytest.raises(TypeError):
+            resolve_min_count(10, True)
+
+
+class TestMiningResult:
+    @pytest.fixture
+    def result(self):
+        out = MiningResult(
+            frequent={(0,): 5, (1,): 4, (0, 1): 3, (0, 1, 2): 2},
+            min_support=2,
+            algorithm="test",
+        )
+        stats = out.level(2)
+        stats.candidates_generated = 10
+        stats.candidates_pruned = 4
+        stats.candidates_counted = 6
+        stats.frequent = 1
+        return out
+
+    def test_level_autocreates(self, result):
+        assert result.level(4).level == 4
+        assert len(result.levels) == 4
+
+    def test_itemsets_of_size(self, result):
+        assert result.itemsets_of_size(1) == {(0,): 5, (1,): 4}
+        assert result.itemsets_of_size(3) == {(0, 1, 2): 2}
+        assert result.itemsets_of_size(9) == {}
+
+    def test_n_frequent_and_max_level(self, result):
+        assert result.n_frequent == 4
+        assert result.max_level == 3
+
+    def test_max_level_empty(self):
+        empty = MiningResult(frequent={}, min_support=1, algorithm="x")
+        assert empty.max_level == 0
+
+    def test_candidates_counted(self, result):
+        assert result.candidates_counted(2) == 6
+        assert result.candidates_counted(9) == 0
+        assert result.candidates_counted() == 6
+
+    def test_candidates_generated(self, result):
+        assert result.candidates_generated(2) == 10
+        assert result.candidates_generated() == 10
+        assert result.candidates_generated(7) == 0
+
+    def test_same_itemsets(self, result):
+        clone = MiningResult(
+            frequent=dict(result.frequent), min_support=9,
+            algorithm="other",
+        )
+        assert result.same_itemsets(clone)
+        clone.frequent[(5,)] = 1
+        assert not result.same_itemsets(clone)
+
+    def test_sorted_itemsets(self, result):
+        ordering = [itemset for itemset, _ in result.sorted_itemsets()]
+        assert ordering == [(0,), (1,), (0, 1), (0, 1, 2)]
+
+
+class TestHelpers:
+    def test_as_itemset(self):
+        assert as_itemset([3, 1, 3]) == (1, 3)
+        assert as_itemset(()) == ()
+
+    def test_level_stats_defaults(self):
+        stats = LevelStats(level=2)
+        assert stats.candidates_generated == 0
+        assert stats.frequent == 0

@@ -1,0 +1,118 @@
+"""Tests for closed/maximal itemset derivation and the CHARM-style miner."""
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import (
+    apriori,
+    closed_itemsets,
+    maximal_itemsets,
+    mine_closed,
+)
+
+
+def oracle_closed(db, threshold):
+    result = apriori(db, threshold)
+    closed = {}
+    for itemset, support in result.frequent.items():
+        dominated = any(
+            support == other_support and set(itemset) < set(other)
+            for other, other_support in result.frequent.items()
+        )
+        if not dominated:
+            closed[itemset] = support
+    return closed
+
+
+def oracle_maximal(db, threshold):
+    result = apriori(db, threshold)
+    return {
+        itemset: support
+        for itemset, support in result.frequent.items()
+        if not any(
+            set(itemset) < set(other) for other in result.frequent
+        )
+    }
+
+
+@pytest.fixture
+def textbook_db():
+    """The classic closed-set example: {a,b} always co-occur."""
+    return TransactionDatabase(
+        [(0, 1, 2), (0, 1), (0, 1, 3), (2, 3), (0, 1, 2, 3)], n_items=4
+    )
+
+
+class TestPostProcessing:
+    def test_closed_matches_oracle(self, textbook_db):
+        for threshold in (1, 2, 3):
+            result = apriori(textbook_db, threshold)
+            assert closed_itemsets(result) == oracle_closed(
+                textbook_db, threshold
+            ), threshold
+
+    def test_maximal_matches_oracle(self, textbook_db):
+        for threshold in (1, 2, 3):
+            result = apriori(textbook_db, threshold)
+            assert maximal_itemsets(result) == oracle_maximal(
+                textbook_db, threshold
+            ), threshold
+
+    def test_closed_on_quest(self, quest_db):
+        small = quest_db[:150]
+        result = apriori(small, 4)
+        assert closed_itemsets(result) == oracle_closed(small, 4)
+
+    def test_ab_collapse(self, textbook_db):
+        """Items 0,1 always co-occur: (0,) and (1,) are not closed."""
+        result = apriori(textbook_db, 2)
+        closed = closed_itemsets(result)
+        assert (0,) not in closed
+        assert (1,) not in closed
+        assert (0, 1) in closed
+
+    def test_maximal_subset_of_closed(self, textbook_db, quest_db):
+        for db, threshold in ((textbook_db, 2), (quest_db[:150], 4)):
+            result = apriori(db, threshold)
+            closed = closed_itemsets(result)
+            maximal = maximal_itemsets(result)
+            assert set(maximal) <= set(closed)
+
+    def test_closed_preserves_supports(self, textbook_db):
+        result = apriori(textbook_db, 1)
+        for itemset, support in closed_itemsets(result).items():
+            assert support == textbook_db.support(itemset)
+
+
+class TestCharmMiner:
+    def test_matches_post_processing(self, textbook_db):
+        for threshold in (1, 2, 3):
+            direct = mine_closed(textbook_db, threshold)
+            assert direct.frequent == oracle_closed(
+                textbook_db, threshold
+            ), threshold
+
+    def test_matches_on_quest(self, quest_db):
+        small = quest_db[:200]
+        direct = mine_closed(small, 5)
+        assert direct.frequent == oracle_closed(small, 5)
+
+    def test_relative_threshold(self, textbook_db):
+        absolute = mine_closed(textbook_db, 2)
+        relative = mine_closed(textbook_db, 2 / len(textbook_db))
+        assert absolute.frequent == relative.frequent
+
+    def test_algorithm_name(self, textbook_db):
+        assert mine_closed(textbook_db, 2).algorithm == "charm"
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=2)
+        assert mine_closed(db, 1).frequent == {}
+
+    def test_far_fewer_than_all_frequent(self):
+        """Condensation actually condenses on redundant data."""
+        db = TransactionDatabase([(0, 1, 2, 3, 4)] * 6, n_items=5)
+        all_frequent = apriori(db, 3)
+        closed = mine_closed(db, 3)
+        assert all_frequent.n_frequent == 2**5 - 1
+        assert closed.n_frequent == 1  # only the full set is closed

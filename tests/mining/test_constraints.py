@@ -1,0 +1,136 @@
+"""Tests for constrained frequent-set mining."""
+
+import numpy as np
+import pytest
+
+from repro.core import OSSM, build_from_database
+from repro.mining import (
+    ConstrainedApriori,
+    ExcludesAll,
+    MaxAttribute,
+    MaxSize,
+    MinAttributeAtMost,
+    MinSize,
+    OSSMPruner,
+    SubsetOf,
+    SupersetOf,
+    apriori,
+    constrained_apriori,
+)
+from tests.conftest import brute_force_frequent
+
+
+def oracle(db, threshold, constraints, max_level=None):
+    frequent = brute_force_frequent(db, threshold, max_level=max_level)
+    return {
+        itemset: support
+        for itemset, support in frequent.items()
+        if all(c.satisfied(itemset) for c in constraints)
+    }
+
+
+class TestConstraintPredicates:
+    def test_max_size(self):
+        c = MaxSize(2)
+        assert c.satisfied((1,)) and c.satisfied((1, 2))
+        assert not c.satisfied((1, 2, 3))
+        assert c.anti_monotone and not c.monotone
+
+    def test_min_size(self):
+        c = MinSize(2)
+        assert not c.satisfied((1,))
+        assert c.satisfied((1, 2))
+        assert c.monotone and not c.anti_monotone
+
+    def test_subset_superset(self):
+        assert SubsetOf([1, 2, 3]).satisfied((1, 3))
+        assert not SubsetOf([1, 2]).satisfied((1, 4))
+        assert SupersetOf([2]).satisfied((1, 2))
+        assert not SupersetOf([2, 5]).satisfied((2,))
+
+    def test_excludes(self):
+        assert ExcludesAll([7]).satisfied((1, 2))
+        assert not ExcludesAll([2]).satisfied((1, 2))
+
+    def test_attribute_constraints(self):
+        price = [1.0, 5.0, 20.0]
+        assert MaxAttribute(price, 10).satisfied((0, 1))
+        assert not MaxAttribute(price, 10).satisfied((0, 2))
+        assert MinAttributeAtMost(price, 2).satisfied((0, 2))
+        assert not MinAttributeAtMost(price, 2).satisfied((1, 2))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MaxSize(0)
+        with pytest.raises(ValueError):
+            MinSize(0)
+
+
+class TestConstrainedMining:
+    def test_anti_monotone_pushing_correct(self, tiny_db):
+        constraints = [MaxSize(2), ExcludesAll([3])]
+        result = constrained_apriori(tiny_db, 2, constraints)
+        assert result.frequent == oracle(tiny_db, 2, constraints)
+
+    def test_monotone_post_filter_correct(self, tiny_db):
+        constraints = [MinSize(2)]
+        result = constrained_apriori(tiny_db, 1, constraints)
+        assert result.frequent == oracle(tiny_db, 1, constraints)
+
+    def test_mixed_constraints(self, tiny_db):
+        constraints = [MinSize(2), SubsetOf([0, 1, 2])]
+        result = constrained_apriori(tiny_db, 1, constraints)
+        assert result.frequent == oracle(tiny_db, 1, constraints)
+
+    def test_attribute_constraints_end_to_end(self, quest_db):
+        rng = np.random.default_rng(0)
+        price = rng.uniform(1, 50, quest_db.n_items)
+        constraints = [
+            MaxAttribute(price, 30.0),
+            MinAttributeAtMost(price, 10.0),
+        ]
+        result = constrained_apriori(
+            quest_db, 0.03, constraints, max_level=3
+        )
+        unconstrained = apriori(quest_db, 0.03, max_level=3)
+        expected = {
+            itemset: support
+            for itemset, support in unconstrained.frequent.items()
+            if all(c.satisfied(itemset) for c in constraints)
+        }
+        assert result.frequent == expected
+
+    def test_pushing_reduces_counting(self, quest_db):
+        constraints = [SubsetOf(range(20))]
+        plain = apriori(quest_db, 0.03, max_level=2)
+        constrained = constrained_apriori(
+            quest_db, 0.03, constraints, max_level=2
+        )
+        assert (
+            constrained.candidates_counted()
+            < plain.candidates_counted()
+        )
+
+    def test_composes_with_ossm(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 30))
+        )
+        constraints = [MaxSize(2), ExcludesAll([0, 1])]
+        with_ossm = ConstrainedApriori(
+            constraints, pruner=OSSMPruner(ossm)
+        ).mine(quest_db, 0.02)
+        without = constrained_apriori(quest_db, 0.02, constraints)
+        assert with_ossm.frequent == without.frequent
+        assert with_ossm.algorithm == "constrained-apriori+ossm"
+
+    def test_undeclared_constraint_rejected(self):
+        class Vague(SubsetOf):
+            anti_monotone = False
+            monotone = False
+
+        with pytest.raises(ValueError, match="neither"):
+            ConstrainedApriori([Vague([1])])
+
+    def test_empty_constraints_equal_plain_apriori(self, tiny_db):
+        result = constrained_apriori(tiny_db, 2, [])
+        assert result.frequent == apriori(tiny_db, 2).frequent

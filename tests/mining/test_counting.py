@@ -1,0 +1,86 @@
+"""Tests for the counting engines (subset, tidset, hash tree)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import HashTreeCounter, SubsetCounter, count_supports
+from repro.mining.counting import TidsetCounter
+
+ENGINES = [SubsetCounter, TidsetCounter, lambda: HashTreeCounter(branch=3, leaf_capacity=2)]
+ENGINE_IDS = ["subset", "tidset", "hashtree"]
+
+
+@pytest.fixture(params=ENGINES, ids=ENGINE_IDS)
+def engine(request):
+    return request.param()
+
+
+class TestEngineContract:
+    def test_exact_counts_small(self, engine, tiny_db):
+        candidates = list(combinations(range(tiny_db.n_items), 2))
+        counts = engine.count(tiny_db, candidates)
+        for candidate in candidates:
+            assert counts[candidate] == tiny_db.support(candidate)
+
+    def test_exact_counts_triples(self, engine, tiny_db):
+        candidates = list(combinations(range(tiny_db.n_items), 3))
+        counts = engine.count(tiny_db, candidates)
+        for candidate in candidates:
+            assert counts[candidate] == tiny_db.support(candidate)
+
+    def test_singletons(self, engine, tiny_db):
+        candidates = [(i,) for i in range(tiny_db.n_items)]
+        counts = engine.count(tiny_db, candidates)
+        supports = tiny_db.item_supports()
+        for (item,), count in counts.items():
+            assert count == supports[item]
+
+    def test_empty_candidates(self, engine, tiny_db):
+        assert engine.count(tiny_db, []) == {}
+
+    def test_mixed_cardinality_rejected(self, engine, tiny_db):
+        with pytest.raises(ValueError, match="cardinality"):
+            engine.count(tiny_db, [(0,), (0, 1)])
+
+    def test_engines_agree_on_random_data(self, engine, quest_db):
+        candidates = list(combinations(range(0, 20), 2))
+        reference = {
+            candidate: quest_db.support(candidate)
+            for candidate in candidates
+        }
+        assert engine.count(quest_db, candidates) == reference
+
+
+class TestSubsetCounterSpecifics:
+    def test_accepts_plain_iterable(self):
+        txns = [(0, 1), (1, 2), (0, 1, 2)]
+        counts = SubsetCounter().count(txns, [(0, 1), (1, 2)])
+        assert counts == {(0, 1): 2, (1, 2): 2}
+
+    def test_count_supports_wrapper(self, tiny_db):
+        assert count_supports(tiny_db, [(0, 1)]) == {
+            (0, 1): tiny_db.support((0, 1))
+        }
+
+
+class TestTidsetCounterSpecifics:
+    def test_cache_reused_for_same_database(self, tiny_db):
+        counter = TidsetCounter()
+        counter.count(tiny_db, [(0,)])
+        first = counter._tidsets
+        counter.count(tiny_db, [(1,)])
+        assert counter._tidsets is first
+
+    def test_cache_invalidated_for_new_database(self, tiny_db):
+        counter = TidsetCounter()
+        counter.count(tiny_db, [(0,)])
+        first = counter._tidsets
+        other = TransactionDatabase([(0, 1)], n_items=2)
+        counter.count(other, [(0,)])
+        assert counter._tidsets is not first
+
+    def test_counts_zero_for_disjoint_pair(self):
+        db = TransactionDatabase([(0,), (1,)], n_items=2)
+        assert TidsetCounter().count(db, [(0, 1)]) == {(0, 1): 0}

@@ -1,0 +1,76 @@
+"""Tests for the DepthProject-style miner and its OSSM hook."""
+
+from repro.core import OSSM, build_from_database
+from repro.data import TransactionDatabase
+from repro.mining import OSSMPruner, apriori, depth_project
+from tests.conftest import brute_force_frequent
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        for threshold in (1, 2, 3):
+            result = depth_project(tiny_db, threshold)
+            assert result.frequent == brute_force_frequent(
+                tiny_db, threshold
+            ), threshold
+
+    def test_matches_apriori_on_quest(self, quest_db):
+        for minsup in (0.02, 0.05):
+            assert depth_project(quest_db, minsup).same_itemsets(
+                apriori(quest_db, minsup)
+            )
+
+    def test_long_patterns(self):
+        """The algorithm's raison d'être: one long pattern, found whole."""
+        db = TransactionDatabase(
+            [tuple(range(10))] * 5 + [(0, 1)] * 3, n_items=10
+        )
+        result = depth_project(db, 5)
+        assert tuple(range(10)) in result.frequent
+        assert result.frequent[tuple(range(10))] == 5
+
+    def test_max_level(self, tiny_db):
+        result = depth_project(tiny_db, 1, max_level=2)
+        assert result.max_level <= 2
+        assert result.frequent == brute_force_frequent(
+            tiny_db, 1, max_level=2
+        )
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=2)
+        assert depth_project(db, 1).frequent == {}
+
+
+class TestOSSMHook:
+    def test_output_identical_with_pruner(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 30))
+        )
+        plain = depth_project(quest_db, 0.03)
+        fast = depth_project(quest_db, 0.03, pruner=OSSMPruner(ossm))
+        assert plain.same_itemsets(fast)
+
+    def test_pruner_reduces_counted_extensions(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 20))
+        )
+        plain = depth_project(quest_db, 0.02)
+        fast = depth_project(quest_db, 0.02, pruner=OSSMPruner(ossm))
+        assert fast.candidates_counted() <= plain.candidates_counted()
+
+    def test_algorithm_label(self, tiny_db):
+        result = depth_project(
+            tiny_db, 2, pruner=OSSMPruner(OSSM.single_segment(tiny_db))
+        )
+        assert result.algorithm == "depthproject+ossm"
+
+    def test_stats_balance(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 30))
+        )
+        result = depth_project(quest_db, 0.03, pruner=OSSMPruner(ossm))
+        for stats in result.levels:
+            assert (
+                stats.candidates_pruned + stats.candidates_counted
+                == stats.candidates_generated
+            )

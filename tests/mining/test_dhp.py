@@ -1,0 +1,113 @@
+"""Tests for DHP (hash filtering + transaction trimming)."""
+
+import pytest
+
+from repro.core import build_from_database
+from repro.data import TransactionDatabase
+from repro.mining import DHP, OSSMPruner, apriori, dhp
+from tests.conftest import brute_force_frequent
+
+
+class TestParameterValidation:
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            DHP(n_buckets=0)
+
+    def test_invalid_hash_passes(self):
+        with pytest.raises(ValueError):
+            DHP(hash_passes=1)
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        for threshold in (1, 2, 3):
+            result = dhp(tiny_db, threshold, n_buckets=64)
+            assert result.frequent == brute_force_frequent(
+                tiny_db, threshold
+            )
+
+    def test_matches_apriori_on_quest(self, quest_db):
+        reference = apriori(quest_db, 0.02)
+        for buckets in (16, 256, 4096):
+            result = dhp(quest_db, 0.02, n_buckets=buckets)
+            assert result.same_itemsets(reference), buckets
+
+    def test_tiny_bucket_count_still_exact(self, tiny_db):
+        """Hash filtering with massive collisions must stay sound."""
+        result = dhp(tiny_db, 2, n_buckets=1)
+        assert result.frequent == brute_force_frequent(tiny_db, 2)
+
+    def test_trimming_disabled_same_output(self, quest_db):
+        with_trim = DHP(n_buckets=512, trim=True).mine(quest_db, 0.02)
+        without = DHP(n_buckets=512, trim=False).mine(quest_db, 0.02)
+        assert with_trim.same_itemsets(without)
+
+    def test_deeper_hash_passes_same_output(self, quest_db):
+        shallow = DHP(n_buckets=512, hash_passes=2).mine(quest_db, 0.03)
+        deep = DHP(n_buckets=512, hash_passes=3).mine(quest_db, 0.03)
+        assert shallow.same_itemsets(deep)
+
+    def test_max_level(self, tiny_db):
+        result = dhp(tiny_db, 1, max_level=2, n_buckets=64)
+        assert result.max_level <= 2
+        assert result.frequent == brute_force_frequent(
+            tiny_db, 1, max_level=2
+        )
+
+
+class TestHashFiltering:
+    def test_filter_reduces_c2_vs_apriori(self, quest_db):
+        """DHP's point: C2 after hashing < Apriori's raw C2."""
+        plain = apriori(quest_db, 0.03, max_level=2)
+        hashed = dhp(quest_db, 0.03, n_buckets=8192, max_level=2)
+        assert (
+            hashed.level(2).candidates_counted
+            <= plain.level(2).candidates_counted
+        )
+
+    def test_more_buckets_prune_no_less(self, quest_db):
+        few = dhp(quest_db, 0.03, n_buckets=32, max_level=2)
+        many = dhp(quest_db, 0.03, n_buckets=16384, max_level=2)
+        assert (
+            many.level(2).candidates_counted
+            <= few.level(2).candidates_counted
+        )
+
+
+class TestSection7Combination:
+    def test_ossm_reduces_c2_further(self, quest_db):
+        ossm = build_from_database(
+            quest_db, list(range(0, len(quest_db) + 1, 20))
+        )
+        plain = dhp(quest_db, 0.02, n_buckets=4096, max_level=2)
+        combined = dhp(
+            quest_db,
+            0.02,
+            n_buckets=4096,
+            pruner=OSSMPruner(ossm),
+            max_level=2,
+        )
+        assert plain.same_itemsets(combined)
+        assert (
+            combined.level(2).candidates_counted
+            <= plain.level(2).candidates_counted
+        )
+
+    def test_algorithm_label(self, tiny_db):
+        from repro.core import OSSM
+
+        result = dhp(
+            tiny_db, 2, pruner=OSSMPruner(OSSM.single_segment(tiny_db))
+        )
+        assert result.algorithm == "dhp+ossm"
+
+
+class TestTrimming:
+    def test_trimmed_stream_preserves_higher_levels(self):
+        """Crafted case where trimming actually removes items."""
+        db = TransactionDatabase(
+            [(0, 1, 2, 9)] * 4 + [(0, 1, 2)] * 2 + [(9,)] * 2 + [(3, 4)] * 3,
+            n_items=10,
+        )
+        result = dhp(db, 3, n_buckets=128)
+        assert result.frequent == brute_force_frequent(db, 3)

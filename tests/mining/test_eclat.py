@@ -1,0 +1,54 @@
+"""Tests for the Eclat vertical miner."""
+
+from repro.data import TransactionDatabase
+from repro.mining import apriori, eclat
+from tests.conftest import brute_force_frequent
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        for threshold in (1, 2, 3, 4):
+            result = eclat(tiny_db, threshold)
+            assert result.frequent == brute_force_frequent(
+                tiny_db, threshold
+            ), threshold
+
+    def test_matches_apriori_on_quest(self, quest_db):
+        for minsup in (0.02, 0.05):
+            assert eclat(quest_db, minsup).same_itemsets(
+                apriori(quest_db, minsup)
+            )
+
+    def test_max_level_two(self, tiny_db):
+        result = eclat(tiny_db, 1, max_level=2)
+        assert result.max_level <= 2
+        assert result.frequent == brute_force_frequent(
+            tiny_db, 1, max_level=2
+        )
+
+    def test_max_level_one(self, tiny_db):
+        result = eclat(tiny_db, 1, max_level=1)
+        assert set(result.frequent) == {
+            (i,) for i in range(tiny_db.n_items)
+        }
+
+    def test_max_level_three(self, tiny_db):
+        result = eclat(tiny_db, 1, max_level=3)
+        assert result.frequent == brute_force_frequent(
+            tiny_db, 1, max_level=3
+        )
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=2)
+        assert eclat(db, 1).frequent == {}
+
+    def test_supports_exact(self, quest_db):
+        result = eclat(quest_db, 0.05)
+        for itemset, support in result.frequent.items():
+            assert support == quest_db.support(itemset)
+
+    def test_deep_itemsets(self):
+        db = TransactionDatabase([(0, 1, 2, 3, 4)] * 3, n_items=5)
+        result = eclat(db, 3)
+        assert (0, 1, 2, 3, 4) in result.frequent
+        assert len(result.frequent) == 2**5 - 1

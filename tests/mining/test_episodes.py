@@ -1,0 +1,192 @@
+"""Tests for WINEPI episode mining and its OSSM hook."""
+
+from itertools import combinations, permutations
+
+import pytest
+
+from repro.core import OSSM
+from repro.data import EventSequence, WindowView
+from repro.mining import (
+    EpisodeMiner,
+    OSSMPruner,
+    mine_parallel_episodes,
+    mine_serial_episodes,
+)
+from repro.mining.episodes import _window_supports_serial
+
+
+def brute_force_parallel(sequence, width, threshold, max_len=3):
+    """Oracle: count windows containing each type set."""
+    view = WindowView(sequence, width)
+    window_sets = [
+        frozenset(e for _, e in view.window_events(i))
+        for i in range(view.n_windows)
+    ]
+    counts = {}
+    for size in range(1, max_len + 1):
+        for episode in combinations(range(sequence.n_types), size):
+            count = sum(
+                1 for w in window_sets if w.issuperset(episode)
+            )
+            if count >= threshold:
+                counts[episode] = count
+    return counts
+
+
+def brute_force_serial(sequence, width, threshold, max_len=3):
+    """Oracle: count windows containing each ordered type sequence."""
+    view = WindowView(sequence, width)
+    windows = [view.window_events(i) for i in range(view.n_windows)]
+    counts = {}
+    types = range(sequence.n_types)
+    for size in range(1, max_len + 1):
+        seen = set()
+        for combo in combinations(types, size):
+            for order in permutations(combo):
+                seen.add(order)
+        # also repeated-type episodes of size 2
+        if size == 2:
+            seen.update((t, t) for t in types)
+        for episode in seen:
+            count = sum(
+                1
+                for events in windows
+                if _window_supports_serial(events, episode)
+            )
+            if count >= threshold:
+                counts[episode] = count
+    return counts
+
+
+@pytest.fixture
+def alarm_like():
+    """A small bursty sequence: cascade a->b->c repeats, d is noise."""
+    events = []
+    for start in (0, 10, 20, 30, 40):
+        events += [(start, 0), (start + 1, 1), (start + 2, 2)]
+    events += [(5, 3), (17, 3), (33, 3)]
+    return EventSequence(events, n_types=4)
+
+
+class TestSerialContainment:
+    def test_in_order(self):
+        events = [(0, 5), (1, 7), (2, 9)]
+        assert _window_supports_serial(events, (5, 9))
+        assert _window_supports_serial(events, (5, 7, 9))
+
+    def test_out_of_order(self):
+        events = [(0, 9), (1, 5)]
+        assert not _window_supports_serial(events, (5, 9))
+
+    def test_strictly_increasing_times(self):
+        """Two types at the same tick do not form a serial pair."""
+        events = [(0, 5), (0, 9)]
+        assert not _window_supports_serial(events, (5, 9))
+
+    def test_repeated_type(self):
+        assert _window_supports_serial([(0, 4), (3, 4)], (4, 4))
+        assert not _window_supports_serial([(0, 4)], (4, 4))
+
+
+class TestParallelEpisodes:
+    def test_against_oracle(self, alarm_like):
+        for threshold in (3, 8, 15):
+            result = mine_parallel_episodes(
+                alarm_like, width=5, min_support=threshold, max_level=3
+            )
+            assert result.frequent == brute_force_parallel(
+                alarm_like, 5, threshold
+            ), threshold
+
+    def test_relative_threshold(self, alarm_like):
+        view = WindowView(alarm_like, 5)
+        absolute = mine_parallel_episodes(alarm_like, 5, 10)
+        relative = mine_parallel_episodes(
+            alarm_like, 5, 10 / view.n_windows
+        )
+        assert absolute.frequent == relative.frequent
+
+    def test_cascade_is_frequent(self, alarm_like):
+        result = mine_parallel_episodes(alarm_like, width=5, min_support=10)
+        assert (0, 1, 2) in result.frequent
+
+    def test_algorithm_name(self, alarm_like):
+        result = mine_parallel_episodes(alarm_like, 4, 5)
+        assert result.algorithm == "winepi-parallel"
+
+
+class TestSerialEpisodes:
+    def test_against_oracle(self, alarm_like):
+        for threshold in (5, 10):
+            result = mine_serial_episodes(
+                alarm_like, width=5, min_support=threshold, max_level=3
+            )
+            assert result.frequent == brute_force_serial(
+                alarm_like, 5, threshold
+            ), threshold
+
+    def test_order_matters(self, alarm_like):
+        result = mine_serial_episodes(alarm_like, width=5, min_support=10)
+        assert (0, 1) in result.frequent      # a then b: the cascade
+        assert (1, 0) not in result.frequent  # b then a: never happens
+
+    def test_serial_support_bounded_by_parallel(self, alarm_like):
+        parallel = mine_parallel_episodes(alarm_like, 5, 1, max_level=3)
+        serial = mine_serial_episodes(alarm_like, 5, 1, max_level=3)
+        for episode, support in serial.frequent.items():
+            shadow = tuple(sorted(set(episode)))
+            assert support <= parallel.frequent[shadow]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpisodeMiner(width=0)
+        with pytest.raises(ValueError):
+            EpisodeMiner(width=3, kind="zigzag")
+
+
+class TestOSSMHook:
+    def _ossm(self, sequence, width, n_segments=6):
+        import numpy as np
+
+        db = WindowView(sequence, width).to_database()
+        bounds = np.linspace(0, len(db), n_segments + 1).astype(int)
+        return OSSM.from_segments(
+            [db[int(a):int(b)] for a, b in zip(bounds, bounds[1:])]
+        )
+
+    def test_parallel_output_unchanged(self, alarm_like):
+        pruner = OSSMPruner(self._ossm(alarm_like, 5))
+        plain = mine_parallel_episodes(alarm_like, 5, 8)
+        fast = mine_parallel_episodes(alarm_like, 5, 8, pruner=pruner)
+        assert plain.frequent == fast.frequent
+        assert fast.algorithm == "winepi-parallel+ossm"
+
+    def test_serial_output_unchanged(self, alarm_like):
+        pruner = OSSMPruner(self._ossm(alarm_like, 5))
+        plain = mine_serial_episodes(alarm_like, 5, 8, max_level=3)
+        fast = mine_serial_episodes(
+            alarm_like, 5, 8, pruner=pruner, max_level=3
+        )
+        assert plain.frequent == fast.frequent
+
+    def test_pruning_reduces_counted_candidates(self):
+        from repro.data import generate_alarms
+
+        db = generate_alarms(n_windows=400, n_alarm_types=40, seed=5)
+        sequence = EventSequence.from_database(db)
+        pruner = OSSMPruner(self._ossm(sequence, 3, n_segments=20))
+        plain = mine_parallel_episodes(sequence, 3, 0.1, max_level=2)
+        fast = mine_parallel_episodes(
+            sequence, 3, 0.1, pruner=pruner, max_level=2
+        )
+        assert plain.frequent == fast.frequent
+        assert fast.candidates_counted() <= plain.candidates_counted()
+
+    def test_stats_balance(self, alarm_like):
+        pruner = OSSMPruner(self._ossm(alarm_like, 5))
+        result = mine_parallel_episodes(alarm_like, 5, 8, pruner=pruner)
+        for stats in result.levels:
+            assert (
+                stats.candidates_pruned + stats.candidates_counted
+                == stats.candidates_generated
+            )

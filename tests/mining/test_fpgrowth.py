@@ -1,0 +1,70 @@
+"""Tests for the FP-growth baseline."""
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import apriori, fpgrowth
+from tests.conftest import brute_force_frequent
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        for threshold in (1, 2, 3, 4):
+            result = fpgrowth(tiny_db, threshold)
+            assert result.frequent == brute_force_frequent(
+                tiny_db, threshold
+            ), threshold
+
+    def test_matches_apriori_on_quest(self, quest_db):
+        for minsup in (0.02, 0.05):
+            assert fpgrowth(quest_db, minsup).same_itemsets(
+                apriori(quest_db, minsup)
+            )
+
+    def test_textbook_example(self):
+        """The worked example from the FP-growth paper (SIGMOD 2000)."""
+        db = TransactionDatabase.from_named(
+            [
+                ["f", "a", "c", "d", "g", "i", "m", "p"],
+                ["a", "b", "c", "f", "l", "m", "o"],
+                ["b", "f", "h", "j", "o"],
+                ["b", "c", "k", "s", "p"],
+                ["a", "f", "c", "e", "l", "p", "m", "n"],
+            ]
+        )
+        result = fpgrowth(db, 3)
+        vocab = db.vocabulary
+        fcamp = tuple(sorted(vocab.id_of(x) for x in "fcam"))
+        assert result.frequent[fcamp] == 3
+        assert len(result.itemsets_of_size(1)) == 6  # f,c,a,b,m,p
+
+    def test_single_path_shortcut(self):
+        """A chain database exercises the single-path combination emit."""
+        db = TransactionDatabase(
+            [(0, 1, 2, 3)] * 3 + [(0, 1, 2)] * 2 + [(0, 1)] * 2, n_items=4
+        )
+        result = fpgrowth(db, 2)
+        assert result.frequent == brute_force_frequent(db, 2)
+
+    def test_max_level(self, tiny_db):
+        result = fpgrowth(tiny_db, 1, max_level=2)
+        assert result.max_level <= 2
+        assert result.frequent == brute_force_frequent(
+            tiny_db, 1, max_level=2
+        )
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], n_items=2)
+        assert fpgrowth(db, 1).frequent == {}
+
+    def test_nothing_frequent(self, tiny_db):
+        assert fpgrowth(tiny_db, 100).frequent == {}
+
+    def test_supports_exact(self, quest_db):
+        result = fpgrowth(quest_db, 0.05)
+        for itemset, support in result.frequent.items():
+            assert support == quest_db.support(itemset)
+
+    def test_level_stats_filled(self, tiny_db):
+        result = fpgrowth(tiny_db, 2)
+        assert result.level(1).frequent == len(result.itemsets_of_size(1))

@@ -1,0 +1,155 @@
+"""Tests for GSP sequential-pattern mining."""
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.core import OSSM
+from repro.data import TransactionDatabase
+from repro.data.sequences import SequenceDatabase
+from repro.mining import OSSMPruner
+from repro.mining.gsp import GSP, _join, _subpatterns, gsp
+
+
+def all_patterns_up_to_3(n_items):
+    """Every sequential pattern with at most 3 items total."""
+    items = range(n_items)
+    patterns = [((x,),) for x in items]
+    # size 2
+    patterns += [((x,), (y,)) for x, y in product(items, repeat=2)]
+    patterns += [((x, y),) for x, y in combinations(items, 2)]
+    # size 3: element shapes [1,1,1], [1,2], [2,1], [3]
+    patterns += [
+        ((x,), (y,), (z,)) for x, y, z in product(items, repeat=3)
+    ]
+    patterns += [
+        ((x,), (y, z))
+        for x in items
+        for y, z in combinations(items, 2)
+    ]
+    patterns += [
+        ((y, z), (x,))
+        for x in items
+        for y, z in combinations(items, 2)
+    ]
+    patterns += [((x, y, z),) for x, y, z in combinations(items, 3)]
+    return patterns
+
+
+def oracle(seqdb, threshold):
+    out = {}
+    for pattern in all_patterns_up_to_3(seqdb.n_items):
+        support = seqdb.support(pattern)
+        if support >= threshold:
+            out[pattern] = support
+    return out
+
+
+@pytest.fixture
+def shop():
+    return SequenceDatabase(
+        [
+            [(0,), (1,), (2,)],
+            [(0, 1), (2,)],
+            [(2,), (0,)],
+            [(0,), (1, 2)],
+            [(0,), (1,)],
+        ],
+        n_items=3,
+    )
+
+
+class TestJoinMachinery:
+    def test_join_single_elements(self):
+        assert _join(((0,), (1,)), ((1,), (2,))) == ((0,), (1,), (2,))
+
+    def test_join_merged_element(self):
+        assert _join(((0, 1),), ((1, 2),)) == ((0, 1, 2),)
+
+    def test_join_mixed(self):
+        assert _join(((0,), (1,)), ((1, 2),)) == ((0,), (1, 2))
+
+    def test_join_mismatch(self):
+        assert _join(((0,), (1,)), ((2,), (3,))) is None
+
+    def test_subpatterns(self):
+        subs = set(_subpatterns(((0,), (1, 2))))
+        assert subs == {((1, 2),), ((0,), (2,)), ((0,), (1,))}
+
+
+class TestCorrectness:
+    def test_against_oracle(self, shop):
+        for threshold in (1, 2, 3):
+            result = gsp(shop, threshold, max_size=3)
+            assert result.frequent == oracle(shop, threshold), threshold
+
+    def test_relative_threshold(self, shop):
+        absolute = gsp(shop, 2, max_size=2)
+        relative = gsp(shop, 2 / len(shop), max_size=2)
+        assert absolute.frequent == relative.frequent
+
+    def test_order_distinguished(self, shop):
+        result = gsp(shop, 2, max_size=2)
+        assert ((0,), (1,)) in result.frequent   # 0 before 1: common
+        assert ((1,), (0,)) not in result.frequent
+
+    def test_together_vs_sequence(self, shop):
+        result = gsp(shop, 1, max_size=2)
+        # {0,1} together (customer 1) vs 0-then-1 (customers 0, 3, 4).
+        assert result.frequent[((0, 1),)] == 1
+        assert result.frequent[((0,), (1,))] == 3
+
+    def test_repeat_purchases_found(self):
+        db = SequenceDatabase([[(0,), (0,)], [(0,), (1,), (0,)]], n_items=2)
+        result = gsp(db, 2, max_size=2)
+        assert result.frequent[((0,), (0,))] == 2
+
+    def test_on_generated_data(self, quest_db):
+        seqdb = SequenceDatabase.from_transactions(quest_db[:200], 4)
+        result = gsp(seqdb, 5, max_size=2)
+        for pattern, support in result.frequent.items():
+            assert support == seqdb.support(pattern)
+
+    def test_max_size_validation(self):
+        with pytest.raises(ValueError):
+            GSP(max_size=0)
+
+    def test_empty_database(self):
+        db = SequenceDatabase([], n_items=2)
+        assert gsp(db, 1).frequent == {}
+
+
+class TestOSSMHook:
+    def _pruner(self, seqdb, n_segments=4):
+        import numpy as np
+
+        flat = seqdb.flattened()
+        bounds = np.linspace(0, len(flat), n_segments + 1).astype(int)
+        ossm = OSSM.from_segments(
+            [flat[int(a):int(b)] for a, b in zip(bounds, bounds[1:])]
+        )
+        return OSSMPruner(ossm)
+
+    def test_output_unchanged(self, shop):
+        pruner = self._pruner(shop, n_segments=2)
+        plain = gsp(shop, 2, max_size=3)
+        fast = gsp(shop, 2, pruner=pruner, max_size=3)
+        assert plain.frequent == fast.frequent
+        assert fast.algorithm == "gsp+ossm"
+
+    def test_pruning_reduces_counting(self, quest_db):
+        seqdb = SequenceDatabase.from_transactions(quest_db[:300], 3)
+        pruner = self._pruner(seqdb, n_segments=10)
+        plain = gsp(seqdb, 8, max_size=2)
+        fast = gsp(seqdb, 8, pruner=pruner, max_size=2)
+        assert plain.frequent == fast.frequent
+        assert fast.candidates_counted() <= plain.candidates_counted()
+
+    def test_stats_balance(self, shop):
+        pruner = self._pruner(shop, n_segments=2)
+        result = gsp(shop, 2, pruner=pruner, max_size=3)
+        for stats in result.levels:
+            assert (
+                stats.candidates_pruned + stats.candidates_counted
+                == stats.candidates_generated
+            )

@@ -1,0 +1,80 @@
+"""Tests for the Apriori hash tree itself."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import HashTree
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HashTree(0)
+        with pytest.raises(ValueError):
+            HashTree(2, branch=1)
+        with pytest.raises(ValueError):
+            HashTree(2, leaf_capacity=0)
+
+    def test_insert_wrong_size_rejected(self):
+        tree = HashTree(2)
+        with pytest.raises(ValueError, match="size"):
+            tree.insert((1, 2, 3))
+
+    def test_len_counts_inserts(self):
+        tree = HashTree(2)
+        for pair in [(0, 1), (1, 2), (2, 3)]:
+            tree.insert(pair)
+        assert len(tree) == 3
+
+    def test_leaves_split_when_over_capacity(self):
+        tree = HashTree(2, branch=4, leaf_capacity=2)
+        for pair in combinations(range(8), 2):
+            tree.insert(pair)
+        assert not tree._root.is_leaf  # must have split at least once
+
+
+class TestCounting:
+    def test_counts_once_per_transaction(self):
+        """A candidate reachable by several hash paths counts once."""
+        tree = HashTree(2, branch=2, leaf_capacity=1)
+        candidates = [(0, 2), (1, 3), (0, 4)]
+        for candidate in candidates:
+            tree.insert(candidate)
+        counts = {candidate: 0 for candidate in candidates}
+        tree.count_transaction((0, 1, 2, 3, 4), counts)
+        assert counts == {(0, 2): 1, (1, 3): 1, (0, 4): 1}
+
+    def test_short_transactions_skipped(self):
+        tree = HashTree(3)
+        tree.insert((0, 1, 2))
+        counts = {(0, 1, 2): 0}
+        tree.count_transaction((0, 1), counts)
+        assert counts[(0, 1, 2)] == 0
+
+    def test_exhaustive_against_brute_force(self, quest_db):
+        candidates = list(combinations(range(15), 3))
+        tree = HashTree(3, branch=4, leaf_capacity=4)
+        for candidate in candidates:
+            tree.insert(candidate)
+        counts = {candidate: 0 for candidate in candidates}
+        for txn in quest_db:
+            tree.count_transaction(txn, counts)
+        for candidate in candidates:
+            assert counts[candidate] == quest_db.support(candidate)
+
+    def test_collision_heavy_hash(self):
+        """branch=2 forces heavy collisions; counts must stay exact."""
+        db = TransactionDatabase(
+            [(0, 2, 4), (1, 3, 5), (0, 1, 2, 3), (2, 4)], n_items=6
+        )
+        candidates = list(combinations(range(6), 2))
+        tree = HashTree(2, branch=2, leaf_capacity=1)
+        for candidate in candidates:
+            tree.insert(candidate)
+        counts = {candidate: 0 for candidate in candidates}
+        for txn in db:
+            tree.count_transaction(txn, counts)
+        for candidate in candidates:
+            assert counts[candidate] == db.support(candidate)

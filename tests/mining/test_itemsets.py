@@ -1,0 +1,68 @@
+"""Tests for candidate generation (apriori-gen)."""
+
+import pytest
+
+from repro.mining import apriori_gen, is_canonical, join_step, prune_step, subsets_of_size
+
+
+class TestCanonical:
+    def test_is_canonical(self):
+        assert is_canonical((1, 2, 5))
+        assert not is_canonical((2, 1))
+        assert not is_canonical((1, 1))
+        assert is_canonical(())
+
+    def test_subsets_of_size(self):
+        assert list(subsets_of_size((1, 2, 3), 2)) == [
+            (1, 2), (1, 3), (2, 3)
+        ]
+
+
+class TestJoin:
+    def test_joins_shared_prefix(self):
+        frequent = [(1, 2), (1, 3), (1, 4), (2, 3)]
+        assert join_step(frequent) == [(1, 2, 3), (1, 2, 4), (1, 3, 4)]
+
+    def test_singletons_join_into_all_pairs(self):
+        assert join_step([(1,), (2,), (3,)]) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_no_shared_prefix_no_candidates(self):
+        assert join_step([(1, 2), (3, 4)]) == []
+
+
+class TestPrune:
+    def test_removes_candidates_with_infrequent_subset(self):
+        # (1,2,3) needs (2,3) frequent; it is not.
+        prior = {(1, 2), (1, 3), (1, 4), (3, 4)}
+        pruned = prune_step([(1, 2, 3), (1, 3, 4)], prior)
+        assert pruned == [(1, 3, 4)]
+
+    def test_keeps_fully_supported(self):
+        prior = {(1, 2), (1, 3), (2, 3)}
+        assert prune_step([(1, 2, 3)], prior) == [(1, 2, 3)]
+
+
+class TestAprioriGen:
+    def test_classic_example(self):
+        """The worked example from the Apriori paper."""
+        l3 = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (1, 3, 5), (2, 3, 4)]
+        assert apriori_gen(l3) == [(1, 2, 3, 4)]
+
+    def test_level_one_skips_subset_prune(self):
+        assert apriori_gen([(2,), (5,), (9,)]) == [(2, 5), (2, 9), (5, 9)]
+
+    def test_empty_input(self):
+        assert apriori_gen([]) == []
+
+    def test_mixed_cardinality_rejected(self):
+        with pytest.raises(ValueError, match="one cardinality"):
+            apriori_gen([(1,), (1, 2)])
+
+    def test_output_canonical_and_sorted(self):
+        out = apriori_gen([(1, 3), (1, 5), (1, 7)])
+        assert out == sorted(out)
+        assert all(is_canonical(c) for c in out)
+
+    def test_unsorted_input_tolerated(self):
+        # apriori_gen sorts internally.
+        assert apriori_gen([(1, 3), (1, 2)]) == apriori_gen([(1, 2), (1, 3)])

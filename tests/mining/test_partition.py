@@ -1,0 +1,112 @@
+"""Tests for the Partition algorithm and its OSSM enhancement."""
+
+import pytest
+
+from repro.core import OSSM
+from repro.data import TransactionDatabase
+from repro.mining import OSSMPruner, Partition, apriori, partition_mine
+from tests.conftest import brute_force_frequent
+
+
+class TestParameterValidation:
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            Partition(n_partitions=0)
+
+    def test_auto_ossm_exclusive_with_explicit(self):
+        with pytest.raises(ValueError, match="auto_ossm"):
+            Partition(auto_ossm=4, global_pruner=OSSMPruner(
+                OSSM.single_segment(TransactionDatabase([(0,)]))
+            ))
+
+    def test_invalid_auto_ossm(self):
+        with pytest.raises(ValueError):
+            Partition(auto_ossm=0)
+
+
+class TestCorrectness:
+    def test_against_brute_force(self, tiny_db):
+        for n_partitions in (1, 2, 4):
+            result = partition_mine(tiny_db, 2, n_partitions=n_partitions)
+            assert result.frequent == brute_force_frequent(tiny_db, 2)
+
+    def test_matches_apriori_on_quest(self, quest_db):
+        reference = apriori(quest_db, 0.02)
+        for n_partitions in (2, 5, 10):
+            result = partition_mine(
+                quest_db, 0.02, n_partitions=n_partitions
+            )
+            assert result.same_itemsets(reference), n_partitions
+
+    def test_relative_threshold(self, quest_db):
+        direct = partition_mine(quest_db, 0.05, n_partitions=3)
+        absolute = partition_mine(quest_db, 30, n_partitions=3)
+        assert direct.same_itemsets(absolute)
+
+    def test_more_partitions_than_transactions_clamped(self):
+        db = TransactionDatabase([(0,), (0, 1)], n_items=2)
+        result = partition_mine(db, 1, n_partitions=10)
+        assert result.frequent == brute_force_frequent(db, 1)
+
+    def test_max_level(self, quest_db):
+        result = partition_mine(quest_db, 0.03, max_level=2)
+        assert result.max_level <= 2
+
+
+class TestGlobalCandidateAccounting:
+    def test_phase2_counts_union_of_local_results(self, quest_db):
+        result = partition_mine(quest_db, 0.02, n_partitions=4, max_level=2)
+        # Every frequent itemset was a global candidate.
+        for k in (1, 2):
+            assert result.level(k).candidates_generated >= result.level(
+                k
+            ).frequent
+
+    def test_skew_inflates_global_candidates(self):
+        """Locally frequent ≠ globally frequent on seasonal data."""
+        from repro.data import generate_skewed
+
+        db = generate_skewed(
+            n_transactions=600, n_items=40, skew=0.9, seed=3
+        )
+        result = partition_mine(db, 0.1, n_partitions=2, max_level=2)
+        checked = sum(s.candidates_counted for s in result.levels)
+        assert checked > result.n_frequent  # some candidates died globally
+
+
+class TestOSSMEnhancement:
+    def test_auto_ossm_same_output(self, quest_db):
+        plain = partition_mine(quest_db, 0.02, n_partitions=4)
+        enhanced = partition_mine(
+            quest_db, 0.02, n_partitions=4, auto_ossm=5
+        )
+        assert plain.same_itemsets(enhanced)
+
+    def test_auto_ossm_prunes_global_candidates(self):
+        from repro.data import generate_skewed
+
+        db = generate_skewed(
+            n_transactions=800, n_items=50, skew=0.9, seed=5
+        )
+        plain = partition_mine(db, 0.08, n_partitions=2, max_level=2)
+        enhanced = partition_mine(
+            db, 0.08, n_partitions=2, auto_ossm=8, max_level=2
+        )
+        assert plain.same_itemsets(enhanced)
+        assert (
+            enhanced.candidates_counted() <= plain.candidates_counted()
+        )
+
+    def test_explicit_local_pruner_factory(self, quest_db):
+        def factory(part, index):
+            return OSSMPruner(OSSM.single_segment(part))
+
+        result = partition_mine(
+            quest_db, 0.02, n_partitions=3, local_pruner_factory=factory
+        )
+        reference = apriori(quest_db, 0.02)
+        assert result.same_itemsets(reference)
+
+    def test_algorithm_label_with_auto_ossm(self, quest_db):
+        result = partition_mine(quest_db, 0.05, auto_ossm=4)
+        assert result.algorithm == "partition+ossm"

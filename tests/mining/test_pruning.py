@@ -1,0 +1,97 @@
+"""Tests for the candidate pruners."""
+
+import numpy as np
+import pytest
+
+from repro.core import OSSM, GeneralizedOSSM
+from repro.mining import (
+    ChainPruner,
+    GeneralizedOSSMPruner,
+    NullPruner,
+    OSSMPruner,
+)
+
+
+@pytest.fixture
+def ossm(example1_matrix):
+    return OSSM(example1_matrix)
+
+
+class TestNullPruner:
+    def test_keeps_everything(self):
+        candidates = [(0, 1), (1, 2)]
+        assert NullPruner().prune(candidates, 999) == candidates
+
+    def test_label_empty(self):
+        assert NullPruner().label == ""
+
+
+class TestOSSMPruner:
+    def test_prunes_by_bound(self, ossm):
+        pruner = OSSMPruner(ossm)
+        # Example 1: bound({a,b}) = 80.
+        assert pruner.prune([(0, 1)], 81) == []
+        assert pruner.prune([(0, 1)], 80) == [(0, 1)]
+
+    def test_soundness_never_drops_frequent(self, ossm, tiny_db):
+        segments = [tiny_db[:4], tiny_db[4:]]
+        pruner = OSSMPruner(OSSM.from_segments(segments))
+        from itertools import combinations
+
+        for threshold in (1, 2, 3):
+            candidates = list(combinations(range(tiny_db.n_items), 2))
+            survivors = set(pruner.prune(candidates, threshold))
+            for candidate in candidates:
+                if tiny_db.support(candidate) >= threshold:
+                    assert candidate in survivors
+
+    def test_label(self, ossm):
+        assert OSSMPruner(ossm).label == "+ossm"
+
+    def test_empty_candidates(self, ossm):
+        assert OSSMPruner(ossm).prune([], 10) == []
+
+
+class TestGeneralizedPruner:
+    def test_tighter_than_singleton(self, tiny_db):
+        segments = [tiny_db[:4], tiny_db[4:]]
+        classic = OSSMPruner(OSSM.from_segments(segments))
+        general = GeneralizedOSSMPruner(
+            GeneralizedOSSM.from_segments(segments, max_cardinality=2)
+        )
+        from itertools import combinations
+
+        candidates = list(combinations(range(tiny_db.n_items), 3))
+        for threshold in (1, 2, 3):
+            kept_classic = set(classic.prune(candidates, threshold))
+            kept_general = set(general.prune(candidates, threshold))
+            assert kept_general <= kept_classic
+
+    def test_label(self, tiny_db):
+        gossm = GeneralizedOSSM.from_segments([tiny_db])
+        assert GeneralizedOSSMPruner(gossm).label == "+gossm"
+
+
+class TestChainPruner:
+    def test_intersection_of_survivors(self, ossm):
+        chain = ChainPruner([NullPruner(), OSSMPruner(ossm)])
+        assert chain.prune([(0, 1)], 81) == []
+        assert chain.prune([(0, 1)], 80) == [(0, 1)]
+
+    def test_labels_concatenate(self, ossm):
+        chain = ChainPruner([OSSMPruner(ossm), OSSMPruner(ossm)])
+        assert chain.label == "+ossm+ossm"
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ChainPruner([])
+
+    def test_short_circuits_when_empty(self, ossm):
+        class Exploding(NullPruner):
+            def prune(self, candidates, min_support):
+                raise AssertionError("should not be reached")
+
+        chain = ChainPruner([OSSMPruner(ossm), Exploding()])
+        # Threshold so high the OSSM removes everything; the second
+        # pruner must not run.
+        assert chain.prune([(0, 1)], 10**9) == []

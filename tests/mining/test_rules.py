@@ -1,0 +1,98 @@
+"""Tests for association-rule generation."""
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import apriori, generate_rules
+
+
+@pytest.fixture
+def market_db():
+    """Small basket data with one strong rule: bread -> butter."""
+    return TransactionDatabase(
+        [
+            (0, 1),      # bread, butter
+            (0, 1),
+            (0, 1),
+            (0, 1, 2),   # + milk
+            (0,),
+            (2,),
+            (1, 2),
+            (0, 1, 2),
+        ],
+        n_items=3,
+    )
+
+
+class TestGeneration:
+    def test_strong_rule_found(self, market_db):
+        result = apriori(market_db, 2)
+        rules = generate_rules(result, len(market_db), min_confidence=0.8)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        # supports: bread=6, butter=6, {bread,butter}=5 -> conf 5/6.
+        assert ((0,), (1,)) in pairs
+        assert all(rule.confidence >= 0.8 for rule in rules)
+
+    def test_confidence_and_lift_values(self, market_db):
+        result = apriori(market_db, 2)
+        rules = generate_rules(result, len(market_db), min_confidence=0.5)
+        by_pair = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        rule = by_pair[((0,), (1,))]
+        assert rule.confidence == pytest.approx(5 / 6)
+        assert rule.support == pytest.approx(5 / 8)
+        assert rule.lift == pytest.approx((5 / 6) / (6 / 8))
+
+    def test_min_confidence_filters(self, market_db):
+        result = apriori(market_db, 2)
+        lenient = generate_rules(result, len(market_db), min_confidence=0.4)
+        strict = generate_rules(result, len(market_db), min_confidence=0.9)
+        assert len(strict) <= len(lenient)
+        assert all(rule.confidence >= 0.9 for rule in strict)
+
+    def test_multi_item_consequents(self):
+        db = TransactionDatabase([(0, 1, 2)] * 5 + [(0,)], n_items=3)
+        result = apriori(db, 2)
+        rules = generate_rules(result, len(db), min_confidence=0.8)
+        consequents = {rule.consequent for rule in rules}
+        assert (1, 2) in consequents
+
+    def test_no_rules_from_singletons_only(self, tiny_db):
+        result = apriori(tiny_db, len(tiny_db))  # nothing frequent
+        assert generate_rules(result, len(tiny_db)) == []
+
+    def test_antecedent_and_consequent_disjoint(self, market_db):
+        result = apriori(market_db, 2)
+        for rule in generate_rules(result, len(market_db), 0.4):
+            assert not set(rule.antecedent) & set(rule.consequent)
+
+    def test_validation(self, market_db):
+        result = apriori(market_db, 2)
+        with pytest.raises(ValueError):
+            generate_rules(result, len(market_db), min_confidence=0.0)
+        with pytest.raises(ValueError):
+            generate_rules(result, 0)
+
+    def test_non_closed_frequent_map_rejected(self):
+        from repro.mining import MiningResult
+
+        broken = MiningResult(
+            frequent={(0, 1): 3, (0,): 5},  # (1,) missing
+            min_support=2,
+            algorithm="test",
+        )
+        with pytest.raises(ValueError, match="downward closed"):
+            generate_rules(broken, 10, min_confidence=0.1)
+
+    def test_str_rendering(self, market_db):
+        result = apriori(market_db, 2)
+        rule = generate_rules(result, len(market_db), 0.5)[0]
+        text = str(rule)
+        assert "->" in text and "conf=" in text
+
+    def test_sorted_by_confidence(self, market_db):
+        result = apriori(market_db, 2)
+        rules = generate_rules(result, len(market_db), 0.4)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)

@@ -1,0 +1,112 @@
+"""Property-based tests for the Equation (1) bound (hypothesis)."""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OSSM, minimize_transactions
+from repro.data import TransactionDatabase
+
+# A small random database: list of transactions over up to 6 items.
+transactions = st.lists(
+    st.sets(st.integers(min_value=0, max_value=5), min_size=0, max_size=6),
+    min_size=1,
+    max_size=30,
+)
+
+cut_counts = st.integers(min_value=1, max_value=6)
+
+
+def make_db(txns) -> TransactionDatabase:
+    return TransactionDatabase([tuple(t) for t in txns], n_items=6)
+
+
+def make_segments(db: TransactionDatabase, n: int) -> OSSM:
+    n = min(n, max(len(db), 1))
+    bounds = np.linspace(0, len(db), n + 1).astype(int)
+    return OSSM.from_segments(
+        [db[int(lo):int(hi)] for lo, hi in zip(bounds, bounds[1:])]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions, cut_counts)
+def test_bound_is_sound(txns, n_segments):
+    """bound(X) >= support(X) for every itemset X."""
+    db = make_db(txns)
+    ossm = make_segments(db, n_segments)
+    for size in (1, 2, 3):
+        for itemset in combinations(range(6), size):
+            assert ossm.upper_bound(itemset) >= db.support(itemset)
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions, cut_counts)
+def test_bound_never_exceeds_global_min(txns, n_segments):
+    """The OSSM bound dominates the classic min-of-supports bound."""
+    db = make_db(txns)
+    ossm = make_segments(db, n_segments)
+    supports = db.item_supports()
+    for itemset in combinations(range(6), 2):
+        global_min = min(int(supports[i]) for i in itemset)
+        assert ossm.upper_bound(itemset) <= global_min
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, cut_counts)
+def test_refinement_tightens(txns, n_segments):
+    """Splitting segments (2n vs n cuts) never loosens the bound."""
+    db = make_db(txns)
+    coarse = make_segments(db, n_segments)
+    fine = make_segments(db, 2 * n_segments)
+    for itemset in combinations(range(6), 2):
+        assert fine.upper_bound(itemset) <= coarse.upper_bound(itemset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions)
+def test_singleton_segments_are_exact(txns):
+    """n = N: the hypothetical extreme of Section 3."""
+    db = make_db(txns)
+    ossm = OSSM.from_segments([db[i:i + 1] for i in range(len(db))])
+    for size in (1, 2, 3):
+        for itemset in combinations(range(6), size):
+            assert ossm.upper_bound(itemset) == db.support(itemset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions)
+def test_minimizer_is_exact_and_within_theorem_bound(txns):
+    """Theorem 1 on arbitrary inputs: exact, and n_min <= min(N, 2^m-m)."""
+    db = make_db(txns)
+    result = minimize_transactions(db)
+    assert result.n_min <= min(len(db), 2**6 - 6)
+    for size in (1, 2, 3):
+        for itemset in combinations(range(6), size):
+            assert result.ossm.upper_bound(itemset) == db.support(itemset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, cut_counts)
+def test_batch_bounds_match_scalar(txns, n_segments):
+    db = make_db(txns)
+    ossm = make_segments(db, n_segments)
+    itemsets = list(combinations(range(6), 2))
+    batch = ossm.upper_bounds(itemsets)
+    assert batch.tolist() == [ossm.upper_bound(i) for i in itemsets]
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, cut_counts, st.integers(min_value=1, max_value=10))
+def test_pruning_is_sound(txns, n_segments, threshold):
+    """No frequent itemset is ever pruned."""
+    db = make_db(txns)
+    ossm = make_segments(db, n_segments)
+    candidates = list(combinations(range(6), 2))
+    survivors, _ = ossm.prune(candidates, threshold)
+    survivors = set(survivors)
+    for candidate in candidates:
+        if db.support(candidate) >= threshold:
+            assert candidate in survivors

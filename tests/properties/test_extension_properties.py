@@ -1,0 +1,220 @@
+"""Property-based tests for the extension modules (hypothesis):
+constraints, closed/maximal sets, episodes, and the streaming builder.
+"""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OSSM
+from repro.core.incremental import StreamingOSSMBuilder
+from repro.data import EventSequence, TransactionDatabase, WindowView
+from repro.mining import (
+    ExcludesAll,
+    MaxSize,
+    MinSize,
+    SubsetOf,
+    SupersetOf,
+    apriori,
+    closed_itemsets,
+    constrained_apriori,
+    maximal_itemsets,
+    mine_closed,
+    mine_parallel_episodes,
+)
+from tests.conftest import brute_force_frequent
+
+transactions = st.lists(
+    st.sets(st.integers(min_value=0, max_value=5), min_size=1, max_size=6),
+    min_size=1,
+    max_size=25,
+)
+thresholds = st.integers(min_value=1, max_value=5)
+
+
+def make_db(txns) -> TransactionDatabase:
+    return TransactionDatabase([tuple(t) for t in txns], n_items=6)
+
+
+# -- constraints -----------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions,
+    thresholds,
+    st.integers(min_value=1, max_value=4),
+    st.sets(st.integers(min_value=0, max_value=5), max_size=3),
+)
+def test_constrained_mining_equals_filtered_mining(
+    txns, threshold, size_cap, banned
+):
+    db = make_db(txns)
+    constraints = [MaxSize(size_cap), ExcludesAll(banned)]
+    result = constrained_apriori(db, threshold, constraints)
+    expected = {
+        itemset: support
+        for itemset, support in brute_force_frequent(db, threshold).items()
+        if len(itemset) <= size_cap and banned.isdisjoint(itemset)
+    }
+    assert result.frequent == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, thresholds, st.sets(st.integers(0, 5), min_size=1, max_size=2))
+def test_monotone_constraints_filter_only(txns, threshold, required):
+    db = make_db(txns)
+    result = constrained_apriori(
+        db, threshold, [SupersetOf(required), MinSize(len(required))]
+    )
+    expected = {
+        itemset: support
+        for itemset, support in brute_force_frequent(db, threshold).items()
+        if required.issubset(itemset)
+    }
+    assert result.frequent == expected
+
+
+# -- closed / maximal --------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, thresholds)
+def test_closed_sets_are_support_lossless(txns, threshold):
+    """Every frequent itemset's support equals the max support of a
+    closed superset — the defining reconstruction property."""
+    db = make_db(txns)
+    result = apriori(db, threshold)
+    closed = closed_itemsets(result)
+    for itemset, support in result.frequent.items():
+        reconstructed = max(
+            (
+                closed_support
+                for closed_set, closed_support in closed.items()
+                if set(itemset).issubset(closed_set)
+            ),
+            default=None,
+        )
+        assert reconstructed == support
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, thresholds)
+def test_charm_equals_post_processing(txns, threshold):
+    db = make_db(txns)
+    via_post = closed_itemsets(apriori(db, threshold))
+    direct = mine_closed(db, threshold)
+    assert direct.frequent == via_post
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, thresholds)
+def test_maximal_are_closed_and_frontier(txns, threshold):
+    db = make_db(txns)
+    result = apriori(db, threshold)
+    closed = closed_itemsets(result)
+    maximal = maximal_itemsets(result)
+    assert set(maximal) <= set(closed)
+    # No frequent proper superset of a maximal set exists.
+    for itemset in maximal:
+        for other in result.frequent:
+            assert not set(itemset) < set(other)
+
+
+# -- episodes ----------------------------------------------------------------
+
+event_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=4),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(event_lists, st.integers(min_value=1, max_value=4), thresholds)
+def test_parallel_episodes_match_windowed_itemsets(events, width, threshold):
+    """Footnote 1's equivalence, verified mechanically."""
+    sequence = EventSequence(events, n_types=5)
+    episodes = mine_parallel_episodes(sequence, width, threshold)
+    windowed = WindowView(sequence, width).to_database()
+    itemsets = apriori(windowed, threshold)
+    assert episodes.frequent == itemsets.frequent
+
+
+# -- GSP -----------------------------------------------------------------
+
+customer_sequences = st.lists(
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(customer_sequences, st.integers(min_value=1, max_value=4))
+def test_gsp_matches_containment_oracle(raw_sequences, threshold):
+    """Every reported pattern has its exact support; nothing with
+    sufficient support and ≤3 items is missed."""
+    from repro.data.sequences import SequenceDatabase
+    from repro.mining.gsp import gsp
+    from tests.mining.test_gsp import all_patterns_up_to_3
+
+    seqdb = SequenceDatabase(
+        [[tuple(e) for e in customer] for customer in raw_sequences],
+        n_items=4,
+    )
+    result = gsp(seqdb, threshold, max_size=3)
+    expected = {}
+    for pattern in all_patterns_up_to_3(4):
+        support = seqdb.support(pattern)
+        if support >= threshold:
+            expected[pattern] = support
+    assert result.frequent == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(customer_sequences, st.integers(min_value=1, max_value=3))
+def test_gsp_spmf_roundtrip_preserves_mining(raw_sequences, threshold):
+    from repro.data.sequences import SequenceDatabase
+    from repro.mining.gsp import gsp
+
+    seqdb = SequenceDatabase(
+        [[tuple(e) for e in customer] for customer in raw_sequences],
+        n_items=4,
+    )
+    import os
+    import tempfile
+
+    from repro.data import load_spmf, save_spmf
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "seq.spmf")
+        save_spmf(seqdb, path)
+        reloaded = load_spmf(path, n_items=4)
+    assert gsp(seqdb, threshold, max_size=2).frequent == gsp(
+        reloaded, threshold, max_size=2
+    ).frequent
+
+
+# -- streaming builder ---------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions, st.integers(min_value=1, max_value=6))
+def test_streaming_builder_always_sound(txns, budget):
+    db = make_db(txns)
+    builder = StreamingOSSMBuilder(db.n_items, budget)
+    builder.absorb(db, page_size=3)
+    ossm = builder.ossm()
+    assert (ossm.item_supports() == db.item_supports()).all()
+    for itemset in combinations(range(db.n_items), 2):
+        assert ossm.upper_bound(itemset) >= db.support(itemset)

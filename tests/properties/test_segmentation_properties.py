@@ -1,0 +1,91 @@
+"""Property-based tests for the segmentation algorithms (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    GreedySegmenter,
+    RandomGreedySegmenter,
+    RandomRCSegmenter,
+    RandomSegmenter,
+    RCSegmenter,
+    cumulative_loss,
+)
+
+page_matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=6),
+    ),
+    elements=st.integers(min_value=0, max_value=30),
+)
+
+ALL_SEGMENTERS = [
+    lambda: GreedySegmenter(),
+    lambda: RCSegmenter(seed=0),
+    lambda: RandomSegmenter(seed=0),
+    lambda: RandomRCSegmenter(n_mid=4, seed=0),
+    lambda: RandomGreedySegmenter(n_mid=4, seed=0),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(page_matrices, st.integers(min_value=1, max_value=10))
+def test_every_segmenter_returns_valid_partition(pages, n_user):
+    n_user = min(n_user, pages.shape[0])
+    for factory in ALL_SEGMENTERS:
+        result = factory().segment(pages, n_user)
+        assert result.n_segments == n_user
+        seen = sorted(p for g in result.groups for p in g)
+        assert seen == list(range(pages.shape[0]))
+        # OSSM rows are the page-row sums of the groups.
+        for row, group in zip(result.ossm.matrix, result.groups):
+            assert (row == pages[list(group)].sum(axis=0)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(page_matrices)
+def test_segment_column_sums_invariant(pages):
+    """Total item supports survive any segmentation."""
+    for factory in ALL_SEGMENTERS:
+        result = factory().segment(pages, max(1, pages.shape[0] // 2))
+        assert (
+            result.ossm.item_supports() == pages.sum(axis=0)
+        ).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(page_matrices)
+def test_greedy_single_merge_is_optimal(pages):
+    """Greedy's first merge must realize the minimum pairwise loss."""
+    n = pages.shape[0]
+    if n < 2:
+        return
+    result = GreedySegmenter().segment(pages, n - 1)
+    merged = next(g for g in result.groups if len(g) == 2)
+    achieved = cumulative_loss(pages[list(merged)])
+    best = min(
+        cumulative_loss(pages[[i, j]])
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    assert achieved == best
+
+
+@settings(max_examples=30, deadline=None)
+@given(page_matrices, st.integers(min_value=1, max_value=5))
+def test_zero_loss_inputs_stay_zero_loss(pages, n_user):
+    """If all pages share one configuration, any grouping is loss-free
+    and Greedy must find a zero-loss segmentation."""
+    uniform = np.vstack([pages[0] * (i + 1) for i in range(pages.shape[0])])
+    n_user = min(n_user, uniform.shape[0])
+    result = GreedySegmenter().segment(uniform, n_user)
+    total = sum(
+        cumulative_loss(uniform[list(g)])
+        for g in result.groups
+        if len(g) > 1
+    )
+    assert total == 0
