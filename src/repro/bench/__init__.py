@@ -7,7 +7,7 @@ experiment index.
 
 from .harness import Baseline, Cell, baseline, evaluate, segment
 from .metrics import candidate_ratio, ossm_megabytes, pruned_fraction, speedup
-from .reporting import banner, format_cells, format_table
+from .reporting import banner, format_cell_metrics, format_cells, format_table
 from .workloads import (
     BUBBLE_MINSUP,
     drifting_synthetic_pages,
@@ -32,6 +32,7 @@ __all__ = [
     "pruned_fraction",
     "speedup",
     "banner",
+    "format_cell_metrics",
     "format_cells",
     "format_table",
     "BUBBLE_MINSUP",

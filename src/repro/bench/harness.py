@@ -29,6 +29,7 @@ from ..mining.apriori import Apriori
 from ..mining.base import MiningResult
 from ..mining.counting import TidsetCounter
 from ..mining.pruning import OSSMPruner
+from ..obs.metrics import MetricsRegistry, use_registry
 from .metrics import candidate_ratio, ossm_megabytes, speedup
 
 __all__ = ["Baseline", "Cell", "baseline", "evaluate", "segment"]
@@ -41,12 +42,18 @@ DEFAULT_MAX_LEVEL = 3
 
 @dataclass(frozen=True)
 class Baseline:
-    """One plain (no-OSSM) mining run, shared by all cells of a figure."""
+    """One plain (no-OSSM) mining run, shared by all cells of a figure.
+
+    ``metrics`` is the observability snapshot of the final timed repeat
+    (one :meth:`~repro.obs.MetricsRegistry.snapshot` dict), so bench
+    results carry counter/timer evidence alongside the wall times.
+    """
 
     result: MiningResult
     seconds: float
     min_support: float | int
     max_level: int
+    metrics: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,9 @@ class Cell:
     speedup: float
     c2_ratio: float
     ossm_mb: float
+    #: Metric snapshot of the final instrumented mining repeat
+    #: (prune/keep counters, bound-gap histogram, counting timers).
+    metrics: dict | None = None
 
     def row(self) -> tuple:
         """Values in reporting order."""
@@ -90,19 +100,30 @@ def baseline(
     max_level: int = DEFAULT_MAX_LEVEL,
     repeats: int = 3,
 ) -> Baseline:
-    """Time the host miner without any OSSM (best of *repeats* runs)."""
+    """Time the host miner without any OSSM (best of *repeats* runs).
+
+    The final repeat runs with a fresh metrics registry installed, and
+    its snapshot is attached to the returned :class:`Baseline`.
+    """
     best = float("inf")
     result = None
-    for _ in range(max(1, repeats)):
+    repeats = max(1, repeats)
+    registry = MetricsRegistry()
+    for index in range(repeats):
         miner = Apriori(counter=_COUNTER, max_level=max_level)
         start = time.perf_counter()
-        result = miner.mine(database, min_support)
+        if index == repeats - 1:
+            with use_registry(registry):
+                result = miner.mine(database, min_support)
+        else:
+            result = miner.mine(database, min_support)
         best = min(best, time.perf_counter() - start)
     return Baseline(
         result=result,
         seconds=best,
         min_support=min_support,
         max_level=max_level,
+        metrics=registry.snapshot(),
     )
 
 
@@ -120,17 +141,27 @@ def evaluate(
     segmentation: SegmentationResult | None = None,
     repeats: int = 3,
 ) -> Cell:
-    """Mine with *ossm* attached and compare against the baseline."""
+    """Mine with *ossm* attached and compare against the baseline.
+
+    The final repeat runs instrumented; its metric snapshot (prune
+    counters, bound-gap histogram, counting timers) rides on the cell.
+    """
     best = float("inf")
     result = None
-    for _ in range(max(1, repeats)):
+    repeats = max(1, repeats)
+    registry = MetricsRegistry()
+    for index in range(repeats):
         miner = Apriori(
             pruner=OSSMPruner(ossm),
             counter=_COUNTER,
             max_level=base.max_level,
         )
         start = time.perf_counter()
-        result = miner.mine(database, base.min_support)
+        if index == repeats - 1:
+            with use_registry(registry):
+                result = miner.mine(database, base.min_support)
+        else:
+            result = miner.mine(database, base.min_support)
         best = min(best, time.perf_counter() - start)
     if not result.same_itemsets(base.result):
         raise AssertionError(
@@ -150,4 +181,5 @@ def evaluate(
         speedup=speedup(base.seconds, best),
         c2_ratio=candidate_ratio(result, base.result),
         ossm_mb=ossm_megabytes(ossm),
+        metrics=registry.snapshot(),
     )

@@ -17,7 +17,18 @@ __all__ = ["speedup", "candidate_ratio", "pruned_fraction", "ossm_megabytes"]
 
 
 def speedup(time_without: float, time_with: float) -> float:
-    """Figure 4(a)'s y-axis: baseline runtime over OSSM runtime."""
+    """Figure 4(a)'s y-axis: baseline runtime over OSSM runtime.
+
+    The zero-time edges are defined explicitly rather than left to
+    float division:
+
+    * ``time_with == 0`` with ``time_without > 0`` returns ``inf`` —
+      the OSSM run was too fast to measure, an unbounded speedup;
+    * ``time_without == time_with == 0`` returns ``1.0`` — both runs
+      were unmeasurably fast, i.e. indistinguishable, *not* a speedup
+      (the ``0/0`` this would otherwise be is meaningless);
+    * negative inputs raise :class:`ValueError` (clock misuse).
+    """
     if time_without < 0 or time_with < 0:
         raise ValueError("times must be non-negative")
     if time_with == 0:

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-__all__ = ["format_table", "format_cells", "banner"]
+__all__ = ["format_table", "format_cells", "format_cell_metrics", "banner"]
 
+from ..obs.report import pruning_effectiveness
 from .harness import Cell
 
 _CELL_HEADERS = (
@@ -55,6 +56,18 @@ def format_table(
 def format_cells(cells: Iterable[Cell]) -> str:
     """Render harness cells with the standard column set."""
     return format_table(_CELL_HEADERS, (cell.row() for cell in cells))
+
+
+def format_cell_metrics(cell: Cell) -> str:
+    """Render the observability snapshot attached to one harness cell.
+
+    Returns the pruning-effectiveness summary of the cell's final
+    instrumented mining repeat, or an empty string when the cell was
+    produced without metrics.
+    """
+    if not cell.metrics:
+        return ""
+    return pruning_effectiveness(cell.metrics)
 
 
 def banner(title: str) -> str:

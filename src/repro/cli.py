@@ -7,11 +7,19 @@ Subcommands cover the full pipeline:
 * ``ossm`` — segment a transaction file and save the resulting OSSM;
 * ``mine`` — run a miner (optionally OSSM-accelerated) over a file;
 * ``recipe`` — print the Figure 7 strategy recommendation.
+
+Every subcommand accepts the observability flags ``--log-level``,
+``--log-json``, ``--trace-out PATH``, and ``--metrics-out PATH``:
+logging is opt-in (the library is silent otherwise), and the trace/
+metrics files are JSON exports of the run's span tree and metric
+snapshot (per-level spans, prune/keep counters, the Equation (1)
+bound-tightness histogram, counting timers).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from collections.abc import Sequence
 
@@ -34,8 +42,14 @@ from .mining.eclat import Eclat
 from .mining.fpgrowth import FPGrowth
 from .mining.partition import Partition
 from .mining.pruning import NullPruner, OSSMPruner
+from .obs.instrument import record_ossm_build
+from .obs.log import configure_logging, get_logger
+from .obs.metrics import MetricsRegistry, use_registry
+from .obs.trace import TraceRecorder, use_recorder
 
 __all__ = ["main"]
+
+logger = get_logger(__name__)
 
 _SEGMENTERS = ("greedy", "rc", "random", "random-rc", "random-greedy")
 _MINERS = (
@@ -44,14 +58,41 @@ _MINERS = (
 )
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """Observability flags shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", default=None,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="enable library logging at this level (silent by default)",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of text",
+    )
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's span tree as JSON to PATH",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metric snapshot as JSON to PATH",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    obs = _observability_parent()
     parser = argparse.ArgumentParser(
         prog="repro-ossm",
         description="OSSM (ICDE 2002) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="synthesize a workload file")
+    gen = sub.add_parser(
+        "generate", help="synthesize a workload file", parents=[obs]
+    )
     gen.add_argument("--kind", choices=("quest", "skewed", "alarms"),
                      default="quest")
     gen.add_argument("--out", required=True, help=".dat/.txt or .npz path")
@@ -64,7 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skewed: seasonal bias in [0,1]")
     gen.add_argument("--seed", type=int, default=0)
 
-    ossm = sub.add_parser("ossm", help="segment a workload into an OSSM")
+    ossm = sub.add_parser(
+        "ossm", help="segment a workload into an OSSM", parents=[obs]
+    )
     ossm.add_argument("--data", required=True)
     ossm.add_argument("--out", required=True, help="OSSM .npz path")
     ossm.add_argument("--algorithm", choices=_SEGMENTERS, default="greedy")
@@ -78,7 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ossm.add_argument("--bubble-minsup", type=float, default=0.0025)
     ossm.add_argument("--seed", type=int, default=0)
 
-    mine = sub.add_parser("mine", help="mine frequent itemsets")
+    mine = sub.add_parser(
+        "mine", help="mine frequent itemsets", parents=[obs]
+    )
     mine.add_argument("--data", required=True)
     mine.add_argument("--minsup", type=float, default=0.01,
                       help="relative support threshold in (0,1]")
@@ -89,7 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top", type=int, default=20,
                       help="itemsets to print (0 = all)")
 
-    recipe = sub.add_parser("recipe", help="Figure 7 recommendation")
+    recipe = sub.add_parser(
+        "recipe", help="Figure 7 recommendation", parents=[obs]
+    )
     recipe.add_argument("--n-user", type=int, required=True)
     recipe.add_argument("--pages", type=int, required=True)
     recipe.add_argument("--skewed", action="store_true")
@@ -162,7 +209,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     max_level = args.max_level or None
     pruner = NullPruner()
     if args.ossm:
-        pruner = OSSMPruner(OSSM.load(args.ossm))
+        ossm = OSSM.load(args.ossm)
+        record_ossm_build(ossm)
+        logger.info("loaded OSSM %r from %s", ossm, args.ossm)
+        pruner = OSSMPruner(ossm)
     if args.algorithm == "apriori":
         miner = Apriori(pruner=pruner, max_level=max_level)
     elif args.algorithm == "dhp":
@@ -218,7 +268,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         "mine": _cmd_mine,
         "recipe": _cmd_recipe,
     }
-    return handlers[args.command](args)
+    if args.log_level:
+        configure_logging(args.log_level, json=args.log_json)
+
+    recorder = TraceRecorder() if args.trace_out else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    with contextlib.ExitStack() as stack:
+        if recorder is not None:
+            stack.enter_context(use_recorder(recorder))
+        if registry is not None:
+            stack.enter_context(use_registry(registry))
+        code = handlers[args.command](args)
+    if recorder is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as sink:
+            sink.write(recorder.to_json())
+        logger.info("wrote trace to %s", args.trace_out)
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as sink:
+            sink.write(registry.to_json())
+        logger.info("wrote metrics to %s", args.metrics_out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

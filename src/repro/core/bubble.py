@@ -19,6 +19,7 @@ import numpy as np
 
 from ..data.pages import PagedDatabase
 from ..data.transactions import TransactionDatabase
+from ..obs.metrics import get_registry
 
 __all__ = ["bubble_list", "bubble_list_for"]
 
@@ -64,6 +65,11 @@ def bubble_list(
     # Padding: closest below, i.e. descending support among failers.
     failing = failing[np.argsort(-supports[failing], kind="stable")]
     chosen = np.concatenate([satisfying, failing])[:size]
+    metrics = get_registry()
+    if metrics.enabled:
+        metrics.inc("bubble.builds")
+        metrics.set_gauge("bubble.size", len(chosen))
+        metrics.set_gauge("bubble.satisfying_items", len(satisfying))
     return np.sort(chosen)
 
 

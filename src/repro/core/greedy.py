@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from itertools import combinations
 
+from ..obs.metrics import get_registry
 from .segmentation import MergeState, Segmenter
 
 __all__ = ["GreedySegmenter"]
@@ -36,6 +37,7 @@ class GreedySegmenter(Segmenter):
     name = "greedy"
 
     def _reduce(self, state: MergeState, n_user: int) -> None:
+        metrics = get_registry()
         heap: list[tuple[int, int, int]] = []
         for a, b in combinations(state.segment_ids(), 2):
             heap.append((state.loss(a, b), a, b))
@@ -43,10 +45,13 @@ class GreedySegmenter(Segmenter):
         while state.n_segments > n_user:
             loss, a, b = heapq.heappop(heap)
             if not (state.alive(a) and state.alive(b)):
+                metrics.inc("segmentation.greedy.stale_pops")
                 continue  # stale entry: a participant was merged away
             merged = state.merge(a, b)
+            metrics.inc("segmentation.greedy.merges")
             for other in state.segment_ids():
                 if other != merged:
                     heapq.heappush(
                         heap, (state.loss(merged, other), other, merged)
                     )
+                    metrics.inc("segmentation.greedy.heap_pushes")

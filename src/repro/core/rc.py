@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from .segmentation import MergeState, Segmenter
 
 __all__ = ["RCSegmenter"]
@@ -30,6 +31,7 @@ class RCSegmenter(Segmenter):
         self.seed = seed
 
     def _reduce(self, state: MergeState, n_user: int) -> None:
+        metrics = get_registry()
         rng = np.random.default_rng(self.seed)
         while state.n_segments > n_user:
             ids = state.segment_ids()
@@ -40,7 +42,9 @@ class RCSegmenter(Segmenter):
                 if other == anchor:
                     continue
                 loss = state.loss(anchor, other)
+                metrics.inc("segmentation.rc.neighbour_scans")
                 if best_loss is None or loss < best_loss:
                     best_loss = loss
                     closest = other
             state.merge(anchor, closest)
+            metrics.inc("segmentation.rc.merges")

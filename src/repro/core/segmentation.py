@@ -24,10 +24,16 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..data.pages import PagedDatabase
+from ..obs.instrument import record_ossm_build
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
 from .loss import pair_bound_sum
 from .ossm import OSSM
 
 __all__ = ["SegmentationResult", "Segmenter", "MergeState", "as_page_matrix"]
+
+logger = get_logger(__name__)
 
 
 def as_page_matrix(
@@ -195,15 +201,30 @@ class Segmenter(abc.ABC):
         if n_pages == 0:
             raise ValueError("cannot segment an empty collection")
         start = time.perf_counter()
-        state = MergeState(page_matrix, items=self.items)
-        if n_user < n_pages:
-            self._reduce(state, n_user)
+        with trace(
+            f"segment.{self.name}", n_pages=n_pages, n_user=n_user
+        ):
+            state = MergeState(page_matrix, items=self.items)
+            if n_user < n_pages:
+                self._reduce(state, n_user)
         elapsed = time.perf_counter() - start
         groups = state.final_groups()
         sizes = None
         if page_sizes is not None:
             sizes = [int(sum(page_sizes[p] for p in g)) for g in groups]
         ossm = OSSM(state.final_matrix(), segment_sizes=sizes)
+        record_ossm_build(ossm, algorithm=self.name)
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.set_gauge(
+                "segmentation.loss_evaluations", state.loss_evaluations
+            )
+            metrics.timer("segmentation.seconds").observe(elapsed)
+        logger.info(
+            "%s: %d pages -> %d segments in %.3fs (%d loss evaluations)",
+            self.name, n_pages, len(groups), elapsed,
+            state.loss_evaluations,
+        )
         return SegmentationResult(
             groups=groups,
             ossm=ossm,

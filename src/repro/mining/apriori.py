@@ -21,12 +21,18 @@ from __future__ import annotations
 import time
 
 from ..data.transactions import TransactionDatabase
+from ..obs.instrument import record_bound_gaps, record_level_stats
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
 from .counting import SubsetCounter, SupportCounter
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
 __all__ = ["Apriori", "apriori"]
+
+logger = get_logger(__name__)
 
 
 class Apriori:
@@ -69,45 +75,79 @@ class Apriori:
             algorithm=self.name + self.pruner.label,
         )
         start = time.perf_counter()
+        metrics = get_registry()
 
-        # Level 1: count all singletons directly.
-        supports = database.item_supports()
-        level1 = result.level(1)
-        level1.candidates_generated = database.n_items
-        singletons = [(int(item),) for item in range(database.n_items)]
-        pruned1 = self.pruner.prune(singletons, threshold)
-        level1.candidates_pruned = len(singletons) - len(pruned1)
-        level1.candidates_counted = len(pruned1)
-        frequent_prev = []
-        for itemset in pruned1:
-            support = int(supports[itemset[0]])
-            if support >= threshold:
-                result.frequent[itemset] = support
-                frequent_prev.append(itemset)
-        level1.frequent = len(frequent_prev)
+        with trace(
+            "apriori.mine",
+            algorithm=result.algorithm,
+            min_support=threshold,
+            n_transactions=len(database),
+        ):
+            # Level 1: count all singletons directly.
+            with trace("apriori.level", level=1):
+                supports = database.item_supports()
+                level1 = result.level(1)
+                level1.candidates_generated = database.n_items
+                singletons = [
+                    (int(item),) for item in range(database.n_items)
+                ]
+                pruned1 = self.pruner.prune(singletons, threshold)
+                level1.candidates_pruned = len(singletons) - len(pruned1)
+                level1.candidates_counted = len(pruned1)
+                frequent_prev = []
+                for itemset in pruned1:
+                    support = int(supports[itemset[0]])
+                    if support >= threshold:
+                        result.frequent[itemset] = support
+                        frequent_prev.append(itemset)
+                level1.frequent = len(frequent_prev)
+                record_level_stats(self.name, level1)
+            self._log_level(level1)
 
-        k = 2
-        while frequent_prev and (self.max_level is None or k <= self.max_level):
-            candidates = apriori_gen(frequent_prev)
-            stats = result.level(k)
-            stats.candidates_generated = len(candidates)
-            if not candidates:
-                break
-            survivors = self.pruner.prune(candidates, threshold)
-            stats.candidates_pruned = len(candidates) - len(survivors)
-            stats.candidates_counted = len(survivors)
-            counts = self.counter.count(database, survivors)
-            frequent_prev = []
-            for itemset, support in counts.items():
-                if support >= threshold:
-                    result.frequent[itemset] = support
-                    frequent_prev.append(itemset)
-            frequent_prev.sort()
-            stats.frequent = len(frequent_prev)
-            k += 1
+            k = 2
+            while frequent_prev and (
+                self.max_level is None or k <= self.max_level
+            ):
+                with trace("apriori.level", level=k):
+                    candidates = apriori_gen(frequent_prev)
+                    stats = result.level(k)
+                    stats.candidates_generated = len(candidates)
+                    if not candidates:
+                        break
+                    survivors = self.pruner.prune(candidates, threshold)
+                    stats.candidates_pruned = (
+                        len(candidates) - len(survivors)
+                    )
+                    stats.candidates_counted = len(survivors)
+                    with metrics.time("apriori.count_seconds"):
+                        counts = self.counter.count(database, survivors)
+                    record_bound_gaps(self.pruner, survivors, counts)
+                    frequent_prev = []
+                    for itemset, support in counts.items():
+                        if support >= threshold:
+                            result.frequent[itemset] = support
+                            frequent_prev.append(itemset)
+                    frequent_prev.sort()
+                    stats.frequent = len(frequent_prev)
+                    record_level_stats(self.name, stats)
+                self._log_level(stats)
+                k += 1
 
         result.elapsed_seconds = time.perf_counter() - start
+        logger.debug(
+            "%s: %d frequent itemsets in %.3fs",
+            result.algorithm, result.n_frequent, result.elapsed_seconds,
+        )
         return result
+
+    @staticmethod
+    def _log_level(stats) -> None:
+        logger.debug(
+            "level %d: generated=%d pruned=%d counted=%d frequent=%d",
+            stats.level, stats.candidates_generated,
+            stats.candidates_pruned, stats.candidates_counted,
+            stats.frequent,
+        )
 
 
 def apriori(

@@ -91,7 +91,16 @@ class MiningResult:
     levels: list[LevelStats] = field(default_factory=list)
 
     def level(self, k: int) -> LevelStats:
-        """Stats of level *k*, creating empty levels as needed."""
+        """Stats of level *k* (>= 1), creating empty levels as needed.
+
+        Raises
+        ------
+        ValueError
+            If ``k < 1`` — levels are 1-indexed cardinalities; an
+            invalid index must not silently grow the level list.
+        """
+        if k < 1:
+            raise ValueError(f"level must be >= 1, got {k}")
         while len(self.levels) < k:
             self.levels.append(LevelStats(level=len(self.levels) + 1))
         return self.levels[k - 1]

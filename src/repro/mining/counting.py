@@ -22,6 +22,7 @@ from itertools import combinations
 from collections.abc import Iterable, Sequence
 
 from ..data.transactions import TransactionDatabase
+from ..obs.metrics import get_registry
 
 __all__ = [
     "SupportCounter",
@@ -49,6 +50,14 @@ class SubsetCounter(SupportCounter):
     """Per-transaction subset enumeration against a candidate hash table."""
 
     def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        with get_registry().time("counting.subset_seconds"):
+            return self._count(database, candidates)
+
+    def _count(
         self,
         database: Iterable[Itemset] | TransactionDatabase,
         candidates: Sequence[Itemset],
@@ -104,6 +113,14 @@ class TidsetCounter(SupportCounter):
         return self._tidsets
 
     def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        with get_registry().time("counting.tidset_seconds"):
+            return self._count(database, candidates)
+
+    def _count(
         self,
         database: Iterable[Itemset] | TransactionDatabase,
         candidates: Sequence[Itemset],

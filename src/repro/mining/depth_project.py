@@ -21,10 +21,15 @@ import time
 import numpy as np
 
 from ..data.transactions import TransactionDatabase
+from ..obs.instrument import record_level_stats
+from ..obs.log import get_logger
+from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
 from .pruning import CandidatePruner, NullPruner
 
 __all__ = ["DepthProject", "depth_project"]
+
+logger = get_logger(__name__)
 
 Itemset = tuple[int, ...]
 
@@ -65,29 +70,46 @@ class DepthProject:
         )
         start = time.perf_counter()
 
-        tidsets = database.vertical()
-        level1 = result.level(1)
-        level1.candidates_generated = database.n_items
-        singletons = [(int(i),) for i in range(database.n_items)]
-        survivors = self.pruner.prune(singletons, threshold)
-        level1.candidates_pruned = len(singletons) - len(survivors)
-        level1.candidates_counted = len(survivors)
-        frontier: list[tuple[int, np.ndarray]] = []
-        for (item,) in survivors:
-            tids = tidsets[item]
-            if len(tids) >= threshold:
-                result.frequent[(item,)] = len(tids)
-                frontier.append((item, tids))
-        level1.frequent = len(frontier)
+        with trace(
+            "depthproject.mine",
+            algorithm=result.algorithm,
+            min_support=threshold,
+            n_transactions=len(database),
+        ):
+            with trace("depthproject.level", level=1):
+                tidsets = database.vertical()
+                level1 = result.level(1)
+                level1.candidates_generated = database.n_items
+                singletons = [(int(i),) for i in range(database.n_items)]
+                survivors = self.pruner.prune(singletons, threshold)
+                level1.candidates_pruned = len(singletons) - len(survivors)
+                level1.candidates_counted = len(survivors)
+                frontier: list[tuple[int, np.ndarray]] = []
+                for (item,) in survivors:
+                    tids = tidsets[item]
+                    if len(tids) >= threshold:
+                        result.frequent[(item,)] = len(tids)
+                        frontier.append((item, tids))
+                level1.frequent = len(frontier)
 
-        for index, (item, tids) in enumerate(frontier):
-            extensions = [other for other, _ in frontier[index + 1:]]
-            tid_map = {other: t for other, t in frontier[index + 1:]}
-            self._expand(
-                (item,), tids, extensions, tid_map, threshold, result
-            )
+            with trace("depthproject.expand", roots=len(frontier)):
+                for index, (item, tids) in enumerate(frontier):
+                    extensions = [other for other, _ in frontier[index + 1:]]
+                    tid_map = {other: t for other, t in frontier[index + 1:]}
+                    self._expand(
+                        (item,), tids, extensions, tid_map, threshold, result
+                    )
+
+            # Depth-first search fills the per-level accounting out of
+            # order; mirror it into the registry once the tree is done.
+            for stats in result.levels:
+                record_level_stats(self.name, stats)
 
         result.elapsed_seconds = time.perf_counter() - start
+        logger.debug(
+            "%s: %d frequent itemsets in %.3fs",
+            result.algorithm, result.n_frequent, result.elapsed_seconds,
+        )
         return result
 
     def _expand(

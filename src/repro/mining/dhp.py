@@ -29,11 +29,17 @@ from itertools import combinations
 import numpy as np
 
 from ..data.transactions import TransactionDatabase
+from ..obs.instrument import record_bound_gaps, record_level_stats
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
 __all__ = ["DHP", "dhp"]
+
+logger = get_logger(__name__)
 
 Itemset = tuple[int, ...]
 
@@ -165,48 +171,76 @@ class DHP:
             algorithm=self.name + self.pruner.label,
         )
         start = time.perf_counter()
+        metrics = get_registry()
 
-        supports, buckets = self._pass_one(database)
-        level1 = result.level(1)
-        level1.candidates_generated = database.n_items
-        singletons = [(int(i),) for i in range(database.n_items)]
-        survivors1 = self.pruner.prune(singletons, threshold)
-        level1.candidates_pruned = len(singletons) - len(survivors1)
-        level1.candidates_counted = len(survivors1)
-        frequent_prev: list[Itemset] = []
-        for itemset in survivors1:
-            support = int(supports[itemset[0]])
-            if support >= threshold:
-                result.frequent[itemset] = support
-                frequent_prev.append(itemset)
-        level1.frequent = len(frequent_prev)
+        with trace(
+            "dhp.mine",
+            algorithm=result.algorithm,
+            min_support=threshold,
+            n_transactions=len(database),
+        ):
+            with trace("dhp.level", level=1):
+                with metrics.time("dhp.pass_one_seconds"):
+                    supports, buckets = self._pass_one(database)
+                level1 = result.level(1)
+                level1.candidates_generated = database.n_items
+                singletons = [(int(i),) for i in range(database.n_items)]
+                survivors1 = self.pruner.prune(singletons, threshold)
+                level1.candidates_pruned = len(singletons) - len(survivors1)
+                level1.candidates_counted = len(survivors1)
+                frequent_prev: list[Itemset] = []
+                for itemset in survivors1:
+                    support = int(supports[itemset[0]])
+                    if support >= threshold:
+                        result.frequent[itemset] = support
+                        frequent_prev.append(itemset)
+                level1.frequent = len(frequent_prev)
+                record_level_stats(self.name, level1)
 
-        transactions: list[Itemset] = list(database)
-        k = 2
-        while frequent_prev and (self.max_level is None or k <= self.max_level):
-            raw = apriori_gen(frequent_prev)
-            stats = result.level(k)
-            stats.candidates_generated = len(raw)
-            if not raw:
-                break
-            # OSSM first (Section 7 ordering), then the DHP hash filter.
-            survivors = self.pruner.prune(raw, threshold)
-            survivors = self._hash_filter(survivors, buckets, threshold)
-            stats.candidates_pruned = len(raw) - len(survivors)
-            stats.candidates_counted = len(survivors)
-            build_next = k + 1 <= self.hash_passes
-            counts, buckets, transactions = self._count_pass(
-                transactions, survivors, k, build_next
-            )
-            frequent_prev = sorted(
-                itemset
-                for itemset, support in counts.items()
-                if support >= threshold
-            )
-            for itemset in frequent_prev:
-                result.frequent[itemset] = counts[itemset]
-            stats.frequent = len(frequent_prev)
-            k += 1
+            transactions: list[Itemset] = list(database)
+            k = 2
+            while frequent_prev and (
+                self.max_level is None or k <= self.max_level
+            ):
+                with trace("dhp.level", level=k):
+                    raw = apriori_gen(frequent_prev)
+                    stats = result.level(k)
+                    stats.candidates_generated = len(raw)
+                    if not raw:
+                        break
+                    # OSSM first (Section 7 ordering), then the DHP
+                    # hash filter.
+                    survivors = self.pruner.prune(raw, threshold)
+                    after_bound = len(survivors)
+                    survivors = self._hash_filter(
+                        survivors, buckets, threshold
+                    )
+                    metrics.inc(
+                        "dhp.hash_filtered", after_bound - len(survivors)
+                    )
+                    stats.candidates_pruned = len(raw) - len(survivors)
+                    stats.candidates_counted = len(survivors)
+                    build_next = k + 1 <= self.hash_passes
+                    with metrics.time("dhp.count_seconds"):
+                        counts, buckets, transactions = self._count_pass(
+                            transactions, survivors, k, build_next
+                        )
+                    record_bound_gaps(self.pruner, survivors, counts)
+                    frequent_prev = sorted(
+                        itemset
+                        for itemset, support in counts.items()
+                        if support >= threshold
+                    )
+                    for itemset in frequent_prev:
+                        result.frequent[itemset] = counts[itemset]
+                    stats.frequent = len(frequent_prev)
+                    record_level_stats(self.name, stats)
+                logger.debug(
+                    "level %d: generated=%d pruned=%d counted=%d frequent=%d",
+                    k, stats.candidates_generated, stats.candidates_pruned,
+                    stats.candidates_counted, stats.frequent,
+                )
+                k += 1
 
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -28,12 +28,18 @@ from collections.abc import Callable
 
 from ..core.ossm import OSSM
 from ..data.transactions import TransactionDatabase
+from ..obs.instrument import record_bound_gaps, record_level_stats
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
 from .apriori import Apriori
 from .base import MiningResult, resolve_min_support
 from .counting import SubsetCounter
 from .pruning import CandidatePruner, NullPruner, OSSMPruner
 
 __all__ = ["Partition", "partition_mine"]
+
+logger = get_logger(__name__)
 
 Itemset = tuple[int, ...]
 
@@ -152,37 +158,62 @@ class Partition:
             algorithm=self.name + label,
         )
         start = time.perf_counter()
+        metrics = get_registry()
 
-        # Phase 1: local mining.
-        candidates: set[Itemset] = set()
-        for part, pruner in zip(partitions, local_pruners):
-            if len(part) == 0:
-                continue
-            local_threshold = max(1, math.ceil(relative * len(part)))
-            local = Apriori(pruner=pruner, max_level=self.max_level).mine(
-                part, local_threshold
+        with trace(
+            "partition.mine",
+            algorithm=result.algorithm,
+            min_support=threshold,
+            n_partitions=len(partitions),
+        ):
+            # Phase 1: local mining.
+            candidates: set[Itemset] = set()
+            with trace("partition.phase1"):
+                for index, (part, pruner) in enumerate(
+                    zip(partitions, local_pruners)
+                ):
+                    if len(part) == 0:
+                        continue
+                    local_threshold = max(1, math.ceil(relative * len(part)))
+                    with trace(
+                        "partition.local", partition=index, size=len(part)
+                    ):
+                        local = Apriori(
+                            pruner=pruner, max_level=self.max_level
+                        ).mine(part, local_threshold)
+                    candidates.update(local.frequent)
+            metrics.inc("partition.global_candidates", len(candidates))
+            logger.debug(
+                "phase 1: %d global candidates from %d partitions",
+                len(candidates), len(partitions),
             )
-            candidates.update(local.frequent)
 
-        # Phase 2: one global counting scan, level by level.
-        counter = SubsetCounter()
-        by_size: dict[int, list[Itemset]] = {}
-        for candidate in candidates:
-            by_size.setdefault(len(candidate), []).append(candidate)
-        for k in sorted(by_size):
-            level = result.level(k)
-            level_candidates = sorted(by_size[k])
-            level.candidates_generated = len(level_candidates)
-            survivors = global_pruner.prune(level_candidates, threshold)
-            level.candidates_pruned = (
-                len(level_candidates) - len(survivors)
-            )
-            level.candidates_counted = len(survivors)
-            counts = counter.count(database, survivors)
-            for itemset, support in counts.items():
-                if support >= threshold:
-                    result.frequent[itemset] = support
-                    level.frequent += 1
+            # Phase 2: one global counting scan, level by level.
+            counter = SubsetCounter()
+            by_size: dict[int, list[Itemset]] = {}
+            for candidate in candidates:
+                by_size.setdefault(len(candidate), []).append(candidate)
+            with trace("partition.phase2"):
+                for k in sorted(by_size):
+                    with trace("partition.level", level=k):
+                        level = result.level(k)
+                        level_candidates = sorted(by_size[k])
+                        level.candidates_generated = len(level_candidates)
+                        survivors = global_pruner.prune(
+                            level_candidates, threshold
+                        )
+                        level.candidates_pruned = (
+                            len(level_candidates) - len(survivors)
+                        )
+                        level.candidates_counted = len(survivors)
+                        with metrics.time("partition.count_seconds"):
+                            counts = counter.count(database, survivors)
+                        record_bound_gaps(global_pruner, survivors, counts)
+                        for itemset, support in counts.items():
+                            if support >= threshold:
+                                result.frequent[itemset] = support
+                                level.frequent += 1
+                        record_level_stats(self.name, level)
 
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 from ..core.generalized import GeneralizedOSSM
 from ..core.ossm import OSSM
+from ..obs.metrics import get_registry
 
 __all__ = [
     "CandidatePruner",
@@ -44,6 +45,24 @@ class CandidatePruner(abc.ABC):
         self, candidates: Sequence[Itemset], min_support: int
     ) -> list[Itemset]:
         """Return the candidates whose bound reaches *min_support*."""
+
+    def candidate_bounds(self, candidates: Sequence[Itemset]):
+        """Support upper bounds aligned with *candidates*, or ``None``.
+
+        Pruners backed by a real bound (OSSM, generalized OSSM) return
+        the bound vector so instrumentation can compare it against the
+        exact supports once counting has run (the ``ossm.bound_gap``
+        histogram). Pruners without one return ``None``.
+        """
+        return None
+
+    def _record_prune(self, n_in: int, n_out: int) -> None:
+        """Emit ``pruner.<label>.pruned/kept`` counters (no-op when off)."""
+        registry = get_registry()
+        if registry.enabled:
+            label = self.label.lstrip("+") or "null"
+            registry.inc(f"pruner.{label}.pruned", n_in - n_out)
+            registry.inc(f"pruner.{label}.kept", n_out)
 
 
 class NullPruner(CandidatePruner):
@@ -74,7 +93,13 @@ class OSSMPruner(CandidatePruner):
         self, candidates: Sequence[Itemset], min_support: int
     ) -> list[Itemset]:
         survivors, _mask = self.ossm.prune(candidates, min_support)
+        self._record_prune(len(candidates), len(survivors))
         return survivors
+
+    def candidate_bounds(self, candidates: Sequence[Itemset]):
+        if not candidates:
+            return None
+        return self.ossm.upper_bounds(candidates)
 
 
 class GeneralizedOSSMPruner(CandidatePruner):
@@ -91,11 +116,18 @@ class GeneralizedOSSMPruner(CandidatePruner):
         if not candidates:
             return []
         bounds = self.gossm.upper_bounds(candidates)
-        return [
+        survivors = [
             candidate
             for candidate, bound in zip(candidates, bounds)
             if bound >= min_support
         ]
+        self._record_prune(len(candidates), len(survivors))
+        return survivors
+
+    def candidate_bounds(self, candidates: Sequence[Itemset]):
+        if not candidates:
+            return None
+        return self.gossm.upper_bounds(candidates)
 
 
 class ChainPruner(CandidatePruner):
@@ -116,3 +148,19 @@ class ChainPruner(CandidatePruner):
                 break
             survivors = pruner.prune(survivors, min_support)
         return survivors
+
+    def candidate_bounds(self, candidates: Sequence[Itemset]):
+        """Tightest (elementwise minimum) bound across the chain."""
+        best = None
+        for pruner in self.pruners:
+            bounds = pruner.candidate_bounds(candidates)
+            if bounds is None:
+                continue
+            best = bounds if best is None else _elementwise_min(best, bounds)
+        return best
+
+
+def _elementwise_min(a, b):
+    import numpy as np
+
+    return np.minimum(np.asarray(a), np.asarray(b))

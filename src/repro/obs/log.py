@@ -1,0 +1,127 @@
+"""Structured, namespaced logging for the ``repro`` library.
+
+Every module logs through a ``repro.*`` logger obtained from
+:func:`get_logger`. Importing this module attaches a
+:class:`logging.NullHandler` to the ``repro`` root logger, so — per
+library convention — the package emits **no** log records unless the
+embedding application (or :func:`configure_logging`) installs a
+handler. ``logging.lastResort`` never fires for ``repro.*`` records.
+
+:func:`configure_logging` is the one-call opt-in used by the CLI and
+the examples: it installs a stream handler on the ``repro`` logger,
+either with a conventional text format or as one JSON object per line
+(``json=True``), and is idempotent — calling it again reconfigures the
+single managed handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+from typing import IO
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+]
+
+#: Namespace root shared by every library logger.
+ROOT_LOGGER_NAME = "repro"
+
+#: Text format used when ``json=False``.
+TEXT_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+# Library convention: silent unless the application opts in.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: The handler installed by :func:`configure_logging`, if any.
+_managed_handler: logging.Handler | None = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("mining.apriori")`` and
+    ``get_logger("repro.mining.apriori")`` return the same logger, so
+    call sites can use ``get_logger(__name__)`` directly.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message.
+
+    Extra fields passed via ``logger.info("...", extra={...})`` are
+    merged in when they are JSON-serializable.
+    """
+
+    _STANDARD = frozenset(
+        logging.LogRecord(
+            "", logging.INFO, "", 0, "", (), None
+        ).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": self.formatTime(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key in self._STANDARD:
+                continue
+            try:
+                _json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        return _json.dumps(payload)
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Handler:
+    """Opt in to library log output; returns the installed handler.
+
+    Parameters
+    ----------
+    level:
+        Threshold for the ``repro`` logger (name or numeric).
+    json:
+        Emit one JSON object per line instead of the text format.
+    stream:
+        Destination stream (default ``sys.stderr``).
+    """
+    global _managed_handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _managed_handler is not None:
+        root.removeHandler(_managed_handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if json else logging.Formatter(TEXT_FORMAT)
+    )
+    root.addHandler(handler)
+    root.setLevel(level if not isinstance(level, str) else level.upper())
+    _managed_handler = handler
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove the handler installed by :func:`configure_logging`."""
+    global _managed_handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _managed_handler is not None:
+        root.removeHandler(_managed_handler)
+        _managed_handler = None
+    root.setLevel(logging.NOTSET)

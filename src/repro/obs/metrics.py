@@ -1,0 +1,363 @@
+"""Process-local metrics registry: counters, gauges, timers, histograms.
+
+The library records metrics through the *active* registry returned by
+:func:`get_registry`. By default that is :data:`NULL_REGISTRY`, whose
+recording methods are empty — the no-op-by-default overhead contract
+(DESIGN.md): an instrumented hot path pays one attribute lookup and one
+empty method call per event, nothing more. Code guarding genuinely
+expensive derivations (e.g. recomputing Equation (1) bounds for the
+bound-tightness histogram) checks ``registry.enabled`` first.
+
+Enable collection for a block of work with::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        apriori(db, 0.01, pruner=OSSMPruner(ossm))
+    print(registry.to_json())
+
+Snapshots are plain nested dicts of JSON-serializable scalars, so they
+attach cleanly to benchmark results and round-trip through
+``json.dumps``. Everything here is stdlib-only and single-process by
+design; aggregation across processes is the caller's concern.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (powers of two; values above
+#: the last edge land in the overflow bucket).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Timer:
+    """Accumulates wall-clock durations: count, total, min, max."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        if seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager recording the elapsed wall time of the block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    observation lands in the first bucket whose bound is >= the value,
+    or in the trailing overflow bucket. Count/total/min/max are kept
+    exactly alongside the bucketed distribution.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("need at least one bucket bound")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.total / self.count if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and snapshot as one dict.
+
+    Instruments of different kinds share no namespace — asking for a
+    counter under a name already registered as a gauge raises, which
+    catches typo'd call sites early.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (create-or-get) -------------------------------
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for registered in (
+            self._counters, self._gauges, self._timers, self._histograms
+        ):
+            if registered is not kind and name in registered:
+                raise ValueError(
+                    f"metric name {name!r} already registered "
+                    "as a different instrument kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            self._claim(name, self._timers)
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- one-shot recording shorthands ------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record *value* into histogram *name*."""
+        self.histogram(name, buckets).observe(value)
+
+    def time(self, name: str):
+        """Context manager timing a block into timer *name*."""
+        return self.timer(name).time()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instruments as one nested, JSON-serializable dict."""
+        return {
+            "counters": {
+                name: c.snapshot() for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.snapshot() for name, g in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: t.snapshot() for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every instrument and its accumulated state."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+
+class _NullContext:
+    """Reusable no-op context manager (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRegistry(MetricsRegistry):
+    """Recording surface of :class:`MetricsRegistry`, all no-ops.
+
+    The default active registry. Hot paths may call ``inc``/``observe``
+    /``set_gauge``/``time`` unconditionally; each costs one empty method
+    call. ``snapshot()`` is the empty snapshot.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        pass
+
+    def time(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+
+#: The process-wide disabled registry.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumentation currently records into."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install *registry* (``None`` restores the no-op default)."""
+    global _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return _active
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_registry`; restores the previous one on exit."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -1,0 +1,142 @@
+"""Human-readable run reports from metric snapshots and traces.
+
+:func:`render_report` turns a :meth:`MetricsRegistry.snapshot` dict
+(and optionally a :class:`~repro.obs.trace.TraceRecorder`) into the
+text block the CLI and the examples print: instrument tables, a
+pruning-effectiveness summary (prune ratios plus the Equation (1)
+bound-tightness distribution), and the span tree. Pure formatting — no
+dependencies beyond the stdlib, so the bench layer can reuse it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_snapshot",
+    "pruning_effectiveness",
+    "render_report",
+]
+
+_BAR_WIDTH = 30
+
+
+def _rows(title: str, rows: list[tuple[str, str]]) -> list[str]:
+    if not rows:
+        return []
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{title}:"]
+    lines.extend(f"  {name.ljust(width)}  {value}" for name, value in rows)
+    return lines
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Render every instrument of a registry snapshot as aligned text."""
+    lines: list[str] = []
+    lines += _rows(
+        "counters",
+        [(n, str(v)) for n, v in snapshot.get("counters", {}).items()],
+    )
+    lines += _rows(
+        "gauges",
+        [(n, f"{v:g}") for n, v in snapshot.get("gauges", {}).items()],
+    )
+    lines += _rows(
+        "timers",
+        [
+            (
+                n,
+                f"count={t['count']}  total={t['total_seconds']:.4f}s  "
+                f"mean={t['mean_seconds']:.4f}s  max={t['max_seconds']:.4f}s",
+            )
+            for n, t in snapshot.get("timers", {}).items()
+        ],
+    )
+    for name, hist in snapshot.get("histograms", {}).items():
+        lines.append(f"histogram {name}:")
+        lines.extend(_histogram_lines(hist))
+    return "\n".join(lines)
+
+
+def _histogram_lines(hist: dict) -> list[str]:
+    count = hist.get("count", 0)
+    if not count:
+        return ["  (no observations)"]
+    lines = [
+        f"  count={count}  mean={hist['mean']:.2f}  "
+        f"min={hist['min']:g}  max={hist['max']:g}"
+    ]
+    edges = hist["buckets"]
+    labels = [f"<= {edge:g}" for edge in edges] + [f"> {edges[-1]:g}"]
+    peak = max(hist["counts"]) or 1
+    width = max(len(label) for label in labels)
+    for label, n in zip(labels, hist["counts"]):
+        if not n:
+            continue
+        bar = "#" * max(1, round(_BAR_WIDTH * n / peak))
+        lines.append(f"  {label.rjust(width)}  {str(n).rjust(8)}  {bar}")
+    return lines
+
+
+def pruning_effectiveness(snapshot: dict) -> str:
+    """Summarize how much counting work the pruners removed.
+
+    Reads the ``mining.candidates_*`` totals, the per-pruner
+    ``pruner.<label>.pruned/kept`` counters, and the ``ossm.bound_gap``
+    histogram; returns an empty string when none were recorded.
+    """
+    counters = snapshot.get("counters", {})
+    lines: list[str] = []
+    generated = counters.get("mining.candidates_generated", 0)
+    pruned = counters.get("mining.candidates_pruned", 0)
+    counted = counters.get("mining.candidates_counted", 0)
+    if generated:
+        lines.append(
+            f"candidates: {generated} generated, {pruned} pruned "
+            f"({pruned / generated:.1%}), {counted} counted"
+        )
+    for name in sorted(counters):
+        if not name.startswith("pruner.") or not name.endswith(".pruned"):
+            continue
+        label = name[len("pruner."):-len(".pruned")]
+        kept = counters.get(f"pruner.{label}.kept", 0)
+        removed = counters[name]
+        seen = removed + kept
+        if seen:
+            lines.append(
+                f"pruner {label}: {removed} of {seen} candidates pruned "
+                f"({removed / seen:.1%})"
+            )
+    gap = snapshot.get("histograms", {}).get("ossm.bound_gap")
+    if gap and gap.get("count"):
+        exact = gap["counts"][0] if gap["buckets"][0] == 0 else 0
+        lines.append(
+            "bound tightness (sup_hat - sup over counted candidates): "
+            f"mean gap {gap['mean']:.1f}, max {gap['max']:g}, "
+            f"exact on {exact / gap['count']:.1%}"
+        )
+        lines.extend(_histogram_lines(gap))
+    if not lines:
+        return ""
+    return "pruning effectiveness:\n" + "\n".join(
+        f"  {line}" for line in lines
+    )
+
+
+def render_report(
+    snapshot: dict,
+    recorder=None,
+    title: str = "run report",
+) -> str:
+    """The full text report: effectiveness, instruments, span tree."""
+    bar = "=" * max(len(title), 8)
+    sections = [f"{bar}\n{title}\n{bar}"]
+    effectiveness = pruning_effectiveness(snapshot)
+    if effectiveness:
+        sections.append(effectiveness)
+    body = format_snapshot(snapshot)
+    if body:
+        sections.append(body)
+    if recorder is not None:
+        tree = recorder.format_tree()
+        if tree:
+            sections.append(f"spans:\n{tree}")
+    return "\n\n".join(sections)

@@ -1,0 +1,207 @@
+"""Lightweight span tracing for pipeline stages.
+
+A *span* is a named, timed region with free-form metadata; spans nest,
+forming a tree per run. Instrumented code opens spans through the
+module-level :func:`trace` helper::
+
+    with trace("apriori.level", level=k):
+        ... generate / prune / count ...
+
+Like the metrics registry, tracing is disabled by default: ``trace``
+resolves against the active recorder, and the default
+:data:`NULL_RECORDER` hands back a shared no-op context manager — the
+cost of an un-collected span is one method call and one ``with`` block.
+Activate collection with :func:`use_recorder` (or the CLI's
+``--trace-out``), then export via :meth:`TraceRecorder.to_json` or the
+human-readable :meth:`TraceRecorder.format_tree`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "trace",
+]
+
+
+class Span:
+    """One traced region: name, offsets, wall time, metadata, children."""
+
+    __slots__ = ("name", "start_offset", "elapsed_seconds", "metadata",
+                 "children")
+
+    def __init__(self, name: str, start_offset: float, **metadata) -> None:
+        self.name = name
+        self.start_offset = start_offset
+        self.elapsed_seconds = 0.0
+        self.metadata = metadata
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (recursive)."""
+        payload: dict = {
+            "name": self.name,
+            "start_offset": self.start_offset,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.elapsed_seconds:.6f}s)"
+
+
+class TraceRecorder:
+    """Collects a forest of spans for one run.
+
+    Not thread-safe: one recorder traces one single-threaded run, which
+    matches how the miners execute. A span left open by an exception is
+    closed by the ``trace`` context manager on the way out, so the tree
+    is always well-formed.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._origin = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **metadata) -> Iterator[Span]:
+        """Open a child span of the innermost active span."""
+        node = Span(name, time.perf_counter() - self._origin, **metadata)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.elapsed_seconds = time.perf_counter() - start
+            self._stack.pop()
+
+    # -- export ------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """The span forest as plain dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The span forest as a JSON document."""
+        return json.dumps({"spans": self.to_dicts()}, indent=indent)
+
+    def format_tree(self) -> str:
+        """Indented text rendering of the span forest."""
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            meta = ""
+            if span.metadata:
+                meta = " [" + ", ".join(
+                    f"{k}={v}" for k, v in span.metadata.items()
+                ) + "]"
+            lines.append(
+                f"{'  ' * depth}{span.name}  "
+                f"{span.elapsed_seconds * 1000:.2f} ms{meta}"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans stay on the stack)."""
+        self.roots.clear()
+
+
+class _NullSpanContext:
+    """Reusable no-op span context (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTraceRecorder:
+    """Disabled recorder: ``span`` returns a shared no-op context."""
+
+    enabled = False
+    roots: list[Span] = []
+
+    def span(self, name: str, **metadata) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def to_dicts(self) -> list[dict]:
+        return []
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"spans": []}, indent=indent)
+
+    def format_tree(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide disabled recorder.
+NULL_RECORDER = NullTraceRecorder()
+
+_active: TraceRecorder | NullTraceRecorder = NULL_RECORDER
+
+
+def get_recorder() -> TraceRecorder | NullTraceRecorder:
+    """The recorder spans currently land in."""
+    return _active
+
+
+def set_recorder(
+    recorder: TraceRecorder | None,
+) -> TraceRecorder | NullTraceRecorder:
+    """Install *recorder* (``None`` restores the no-op default)."""
+    global _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return _active
+
+
+@contextmanager
+def use_recorder(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Scoped :func:`set_recorder`; restores the previous one on exit."""
+    global _active
+    previous = _active
+    _active = recorder
+    try:
+        yield recorder
+    finally:
+        _active = previous
+
+
+def trace(name: str, **metadata):
+    """Open a span named *name* on the active recorder."""
+    return _active.span(name, **metadata)

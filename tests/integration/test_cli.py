@@ -145,3 +145,53 @@ class TestRecipeCommand:
             ["recipe", "--n-user", "40", "--pages", "100"]
         ) == 0
         assert capsys.readouterr().out.strip() == "greedy"
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_out(self, data_file, tmp_path):
+        import json
+
+        ossm_path = tmp_path / "map.npz"
+        main(
+            [
+                "ossm", "--data", str(data_file), "--out", str(ossm_path),
+                "--segments", "5", "--page-size", "20",
+            ]
+        )
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--ossm", str(ossm_path), "--max-level", "2", "--top", "0",
+             "--trace-out", str(trace_path),
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+
+        spans = json.loads(trace_path.read_text())["spans"]
+        names = [span["name"] for span in spans]
+        assert "apriori.mine" in names
+        mine_span = spans[names.index("apriori.mine")]
+        levels = [
+            child["metadata"]["level"] for child in mine_span["children"]
+            if child["name"] == "apriori.level"
+        ]
+        assert levels == [1, 2]
+
+        snapshot = json.loads(metrics_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["pruner.ossm.kept"] > 0
+        assert (
+            counters["pruner.ossm.kept"] + counters["pruner.ossm.pruned"]
+            == counters["mining.candidates_generated"]
+        )
+        assert snapshot["histograms"]["ossm.bound_gap"]["count"] > 0
+
+    def test_log_level_flag(self, data_file, capsys):
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--max-level", "2", "--top", "0", "--log-level", "DEBUG"]
+        ) == 0
+        from repro.obs.log import reset_logging
+
+        reset_logging()
+        assert "level 2:" in capsys.readouterr().err

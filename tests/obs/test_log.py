@@ -1,0 +1,97 @@
+"""Logging: silent-by-default contract, configuration, JSON lines."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_handlers():
+    yield
+    reset_logging()
+
+
+class TestSilentByDefault:
+    def test_root_logger_has_null_handler(self):
+        handlers = logging.getLogger(ROOT_LOGGER_NAME).handlers
+        assert any(
+            isinstance(handler, logging.NullHandler) for handler in handlers
+        )
+
+    def test_unconfigured_library_emits_nothing(self, capfd):
+        # Exercise a logging call site without configuring anything.
+        from repro import GreedySegmenter, PagedDatabase, generate_quest
+
+        db = generate_quest(n_transactions=60, n_items=15, seed=0)
+        GreedySegmenter().segment(PagedDatabase(db, page_size=20), 2)
+        captured = capfd.readouterr()
+        assert captured.err == ""
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("mining.apriori").name == "repro.mining.apriori"
+
+    def test_leaves_namespaced_names(self):
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger(ROOT_LOGGER_NAME).name == ROOT_LOGGER_NAME
+
+
+class TestConfigureLogging:
+    def test_records_reach_the_stream(self):
+        stream = io.StringIO()
+        configure_logging("DEBUG", stream=stream)
+        get_logger("test.text").debug("hello %d", 42)
+        assert "hello 42" in stream.getvalue()
+        assert "repro.test.text" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("WARNING", stream=stream)
+        get_logger("test.filter").info("not shown")
+        get_logger("test.filter").warning("shown")
+        assert "not shown" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        get_logger("test.idem").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        get_logger("test.json").info(
+            "structured", extra={"level_k": 2, "pruned": 7}
+        )
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "structured"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test.json"
+        assert record["level_k"] == 2
+        assert record["pruned"] == 7
+
+    def test_json_handles_unserializable_extra(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        get_logger("test.json2").info("x", extra={"obj": object()})
+        record = json.loads(stream.getvalue().strip())
+        assert record["obj"].startswith("<object object")
+
+    def test_reset_removes_managed_handler(self):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        reset_logging()
+        get_logger("test.reset").info("gone")
+        assert stream.getvalue() == ""

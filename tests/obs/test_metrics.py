@@ -1,0 +1,156 @@
+"""Registry semantics: counters, gauges, timers, histograms, swap-in."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        registry.inc("events")
+        registry.inc("events", 4)
+        assert registry.counter("events").value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_create_or_get_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("size", 10)
+        registry.set_gauge("size", 3)
+        assert registry.gauge("size").value == 3
+
+
+class TestTimer:
+    def test_context_manager_records(self):
+        registry = MetricsRegistry()
+        with registry.time("work"):
+            pass
+        with registry.time("work"):
+            pass
+        snap = registry.timer("work").snapshot()
+        assert snap["count"] == 2
+        assert snap["total_seconds"] >= 0.0
+        assert snap["min_seconds"] <= snap["max_seconds"]
+
+    def test_observe_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().timer("t").observe(-0.1)
+
+    def test_empty_snapshot_has_zero_min(self):
+        assert MetricsRegistry().timer("t").snapshot()["min_seconds"] == 0.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = Histogram("h", buckets=(0, 10, 100))
+        for value in (0, 5, 10, 11, 1000):
+            hist.observe(value)
+        # value 0 -> bucket <=0; 5, 10 -> <=10; 11 -> <=100; 1000 -> overflow
+        assert hist.counts == [1, 2, 1, 1]
+        assert hist.count == 5
+        assert hist.min == 0 and hist.max == 1000
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(3, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1))
+
+    def test_registry_observe_shorthand(self):
+        registry = MetricsRegistry()
+        registry.observe("gap", 7)
+        assert registry.histogram("gap").count == 1
+
+
+class TestRegistry:
+    def test_name_collision_across_kinds_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_structure_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1.5)
+        with registry.time("t"):
+            pass
+        registry.observe("h", 12)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c"] == 2
+        assert parsed["gauges"]["g"] == 1.5
+        assert parsed["timers"]["t"]["count"] == 1
+        assert parsed["histograms"]["h"]["count"] == 1
+        assert parsed["histograms"]["h"]["buckets"] == list(DEFAULT_BUCKETS)
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
+
+
+class TestActiveRegistry:
+    def test_default_is_disabled_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_null_registry_records_nothing(self):
+        null = NullRegistry()
+        null.inc("c", 5)
+        null.set_gauge("g", 1)
+        null.observe("h", 3)
+        with null.time("t"):
+            pass
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
+
+    def test_use_registry_swaps_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry) as active:
+            assert active is registry
+            assert get_registry() is registry
+            get_registry().inc("seen")
+        assert get_registry() is NULL_REGISTRY
+        assert registry.counter("seen").value == 1
+
+    def test_use_registry_restores_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(registry):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY

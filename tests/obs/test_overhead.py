@@ -1,0 +1,81 @@
+"""Disabled observability stays off the Apriori hot path.
+
+The strict 5%-budget comparison lives in
+``benchmarks/bench_obs_overhead.py``; this test runs the same
+plain-vs-instrumented comparison on every test run with a deliberately
+generous ceiling so it catches regressions (e.g. someone making the
+null registry do real work) without being timing-flaky on loaded
+machines.
+"""
+
+import time
+
+from repro.data import generate_quest
+from repro.mining.apriori import Apriori
+from repro.mining.base import resolve_min_support
+from repro.mining.counting import SubsetCounter
+from repro.mining.itemsets import apriori_gen
+
+MAX_LEVEL = 3
+MINSUP = 0.03
+#: Generous: real cost is a few percent; 2x would mean the disabled
+#: path started doing real work.
+MAX_OVERHEAD_RATIO = 2.0
+
+
+def plain_apriori(database, min_support, max_level=MAX_LEVEL):
+    """Un-instrumented replica of the Apriori level loop."""
+    threshold = resolve_min_support(database, min_support)
+    counter = SubsetCounter()
+    frequent = {}
+
+    supports = database.item_supports()
+    frequent_prev = []
+    for item in range(database.n_items):
+        support = int(supports[item])
+        if support >= threshold:
+            frequent[(item,)] = support
+            frequent_prev.append((item,))
+
+    k = 2
+    while frequent_prev and k <= max_level:
+        candidates = apriori_gen(frequent_prev)
+        if not candidates:
+            break
+        counts = counter._count(database, candidates)
+        frequent_prev = []
+        for itemset, support in counts.items():
+            if support >= threshold:
+                frequent[itemset] = support
+                frequent_prev.append(itemset)
+        frequent_prev.sort()
+        k += 1
+    return frequent
+
+
+def best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_instrumentation_overhead_bounded():
+    db = generate_quest(
+        n_transactions=800, n_items=120, n_patterns=200, seed=7
+    )
+    miner = Apriori(max_level=MAX_LEVEL)
+
+    # Warm both paths once so neither pays first-call costs in timing.
+    assert miner.mine(db, MINSUP).frequent == plain_apriori(db, MINSUP)
+
+    plain_seconds = best_of(lambda: plain_apriori(db, MINSUP))
+    instrumented_seconds = best_of(lambda: miner.mine(db, MINSUP))
+
+    ratio = instrumented_seconds / plain_seconds
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"instrumented-but-disabled Apriori took {ratio:.2f}x the "
+        f"un-instrumented loop (ceiling {MAX_OVERHEAD_RATIO}x)"
+    )

@@ -1,0 +1,67 @@
+"""Report rendering from snapshots and traces."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    format_snapshot,
+    pruning_effectiveness,
+    render_report,
+)
+from repro.obs.trace import TraceRecorder
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("mining.candidates_generated", 100)
+    registry.inc("mining.candidates_pruned", 40)
+    registry.inc("mining.candidates_counted", 60)
+    registry.inc("pruner.ossm.pruned", 40)
+    registry.inc("pruner.ossm.kept", 60)
+    registry.set_gauge("ossm.n_segments", 8)
+    with registry.time("counting.subset_seconds"):
+        pass
+    for gap in (0, 0, 3, 17):
+        registry.observe("ossm.bound_gap", gap)
+    return registry
+
+
+class TestFormatSnapshot:
+    def test_sections_present(self):
+        text = format_snapshot(populated_registry().snapshot())
+        assert "counters:" in text
+        assert "gauges:" in text
+        assert "timers:" in text
+        assert "histogram ossm.bound_gap:" in text
+
+    def test_empty_snapshot_is_empty(self):
+        assert format_snapshot(MetricsRegistry().snapshot()) == ""
+
+
+class TestPruningEffectiveness:
+    def test_ratios_and_tightness(self):
+        text = pruning_effectiveness(populated_registry().snapshot())
+        assert "100 generated, 40 pruned (40.0%)" in text
+        assert "pruner ossm: 40 of 100 candidates pruned (40.0%)" in text
+        assert "bound tightness" in text
+        assert "exact on 50.0%" in text  # 2 of 4 gaps were zero
+
+    def test_empty_when_nothing_recorded(self):
+        assert pruning_effectiveness(MetricsRegistry().snapshot()) == ""
+
+
+class TestRenderReport:
+    def test_combines_all_sections(self):
+        recorder = TraceRecorder()
+        with recorder.span("apriori.mine"):
+            with recorder.span("apriori.level", level=1):
+                pass
+        text = render_report(
+            populated_registry().snapshot(), recorder, title="smoke"
+        )
+        assert "smoke" in text
+        assert "pruning effectiveness:" in text
+        assert "spans:" in text
+        assert "apriori.level" in text
+
+    def test_without_recorder(self):
+        text = render_report(populated_registry().snapshot())
+        assert "spans:" not in text

@@ -1,0 +1,115 @@
+"""Span tracing: nesting, metadata, exports, no-op default."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_RECORDER,
+    TraceRecorder,
+    get_recorder,
+    trace,
+    use_recorder,
+)
+
+
+class TestNesting:
+    def test_children_attach_to_innermost_open_span(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner-1"):
+                with recorder.span("leaf"):
+                    pass
+            with recorder.span("inner-2"):
+                pass
+        with recorder.span("second-root"):
+            pass
+        assert [root.name for root in recorder.roots] == [
+            "outer", "second-root",
+        ]
+        outer = recorder.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner-1", "inner-2",
+        ]
+        assert outer.children[0].children[0].name == "leaf"
+
+    def test_elapsed_covers_children(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        outer, = recorder.roots
+        assert outer.elapsed_seconds >= outer.children[0].elapsed_seconds
+
+    def test_span_closes_on_exception(self):
+        recorder = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("outer"):
+                raise RuntimeError("boom")
+        # The stack unwound: a new span is a fresh root, not a child.
+        with recorder.span("after"):
+            pass
+        assert [root.name for root in recorder.roots] == ["outer", "after"]
+
+
+class TestMetadataAndExport:
+    def test_metadata_recorded(self):
+        recorder = TraceRecorder()
+        with recorder.span("apriori.level", level=2, algorithm="apriori"):
+            pass
+        span = recorder.roots[0]
+        assert span.metadata == {"level": 2, "algorithm": "apriori"}
+
+    def test_json_round_trip(self):
+        recorder = TraceRecorder()
+        with recorder.span("a", k=1):
+            with recorder.span("b"):
+                pass
+        parsed = json.loads(recorder.to_json())
+        assert parsed["spans"][0]["name"] == "a"
+        assert parsed["spans"][0]["metadata"] == {"k": 1}
+        assert parsed["spans"][0]["children"][0]["name"] == "b"
+        assert parsed["spans"][0]["elapsed_seconds"] >= 0
+
+    def test_format_tree_indents_children(self):
+        recorder = TraceRecorder()
+        with recorder.span("root"):
+            with recorder.span("child", level=2):
+                pass
+        tree = recorder.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "level=2" in lines[1]
+
+    def test_reset(self):
+        recorder = TraceRecorder()
+        with recorder.span("x"):
+            pass
+        recorder.reset()
+        assert recorder.roots == []
+        assert recorder.format_tree() == ""
+
+
+class TestActiveRecorder:
+    def test_default_is_null_and_trace_is_noop(self):
+        assert get_recorder() is NULL_RECORDER
+        with trace("ignored", level=1):
+            pass
+        assert NULL_RECORDER.to_dicts() == []
+        assert json.loads(NULL_RECORDER.to_json()) == {"spans": []}
+
+    def test_trace_lands_in_active_recorder(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            with trace("seen", level=3):
+                pass
+        assert get_recorder() is NULL_RECORDER
+        assert recorder.roots[0].name == "seen"
+
+    def test_use_recorder_restores_on_exception(self):
+        recorder = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with use_recorder(recorder):
+                raise RuntimeError("boom")
+        assert get_recorder() is NULL_RECORDER

@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.data",
     "repro.mining",
     "repro.bench",
+    "repro.obs",
 ]
 
 
