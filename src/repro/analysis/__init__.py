@@ -1,0 +1,56 @@
+"""repro.analysis — project-specific static analysis.
+
+A small AST-based linter (stdlib only) that machine-checks the
+contracts generic tools cannot know: the ``CandidatePruner`` protocol,
+the hot-path overhead contract from the observability subsystem, and
+the integer discipline behind Equation (1) soundness. Run it as
+``repro-ossm lint [paths…]`` or from Python::
+
+    from repro.analysis import lint_paths
+
+    result = lint_paths(["src"])
+    assert not result.failed, result.findings
+
+See DESIGN.md §8 ("Enforced invariants") for what each rule protects.
+"""
+
+from .base import Checker, FileContext, Rule
+from .checkers import (
+    ApiHygieneChecker,
+    BoundSoundnessChecker,
+    HotPathChecker,
+    PrunerProtocolChecker,
+    build_default_checkers,
+)
+from .engine import (
+    LintResult,
+    apply_baseline,
+    default_checkers,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    select_checkers,
+    write_baseline,
+)
+from .findings import Finding, sort_findings
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Rule",
+    "Finding",
+    "sort_findings",
+    "LintResult",
+    "lint_source",
+    "lint_paths",
+    "default_checkers",
+    "select_checkers",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "ApiHygieneChecker",
+    "BoundSoundnessChecker",
+    "HotPathChecker",
+    "PrunerProtocolChecker",
+    "build_default_checkers",
+]

@@ -1,0 +1,70 @@
+"""Checker plumbing: per-file context and the checker interface.
+
+A checker is a small object that inspects one parsed module at a time.
+The engine feeds it a :class:`FileContext` (path, source, AST) and
+collects :class:`~repro.analysis.findings.Finding` objects. Checkers
+are pure — no I/O, no mutation of the tree — which keeps them trivially
+testable from source strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["FileContext", "Checker", "Rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one rule id a checker can emit."""
+
+    id: str
+    summary: str
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may look at for one module."""
+
+    #: Display path (as given on the command line / collected).
+    path: str
+    #: Raw source text.
+    source: str
+    #: Parsed module.
+    tree: ast.Module
+    #: Source split into lines (for pragma scanning and excerpts).
+    lines: list[str] = field(init=False)
+    #: Forward-slash form of :attr:`path` for suffix matching.
+    posix_path: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        self.posix_path = self.path.replace("\\", "/")
+
+    def matches_any(self, suffixes: tuple[str, ...]) -> bool:
+        """True if the file path ends with one of *suffixes*."""
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+
+class Checker:
+    """Base class: subclasses set :attr:`name`/:attr:`rules`, implement
+    :meth:`check`, and may narrow :meth:`applies_to`."""
+
+    #: Short checker name (used by ``--select`` at checker granularity).
+    name: str = ""
+    #: Rules this checker can emit.
+    rules: tuple[Rule, ...] = ()
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Whether this checker wants to see *context* at all."""
+        return True
+
+    def check(self, context: FileContext) -> list[Finding]:
+        """Return every violation found in *context*."""
+        raise NotImplementedError
+
+    def rule_ids(self) -> tuple[str, ...]:
+        return tuple(rule.id for rule in self.rules)

@@ -1,0 +1,40 @@
+"""The shipped project-specific checkers.
+
+Each checker encodes an invariant of *this* codebase that a generic
+linter cannot know — see the individual modules for the rationale:
+
+* :mod:`.pruner_protocol` — ``CandidatePruner`` conformance;
+* :mod:`.hot_path` — hygiene of the counting/segmentation hot loops;
+* :mod:`.bound_soundness` — integer discipline in Equation (1)/(2)
+  arithmetic;
+* :mod:`.api_hygiene` — ``__all__`` drift, mutable defaults, future
+  imports.
+"""
+
+from __future__ import annotations
+
+from ..base import Checker
+from .api_hygiene import ApiHygieneChecker
+from .bound_soundness import DEFAULT_BOUND_MODULES, BoundSoundnessChecker
+from .hot_path import DEFAULT_HOT_MODULES, HotPathChecker
+from .pruner_protocol import PrunerProtocolChecker
+
+__all__ = [
+    "ApiHygieneChecker",
+    "BoundSoundnessChecker",
+    "HotPathChecker",
+    "PrunerProtocolChecker",
+    "DEFAULT_BOUND_MODULES",
+    "DEFAULT_HOT_MODULES",
+    "build_default_checkers",
+]
+
+
+def build_default_checkers() -> list[Checker]:
+    """One fresh instance of every shipped checker, report order."""
+    return [
+        PrunerProtocolChecker(),
+        HotPathChecker(),
+        BoundSoundnessChecker(),
+        ApiHygieneChecker(),
+    ]

@@ -1,0 +1,207 @@
+"""Checker: public-API hygiene, repo-wide.
+
+* ``api-all-undefined`` — a name exported through ``__all__`` that is
+  not bound at module top level: import-star users and doc tooling get
+  an ``AttributeError`` the tests may never hit.
+* ``api-all-missing`` — a public top-level ``def``/``class`` absent
+  from an existing ``__all__``: the module's export list has drifted
+  behind its definitions.
+* ``api-mutable-default`` — a mutable default argument (``[]``, ``{}``,
+  ``set()``, …) is shared across calls; the classic Python trap.
+* ``api-future-import`` — a module that uses annotations without
+  ``from __future__ import annotations``: annotations evaluate eagerly,
+  which both costs import time and breaks ``X | None`` syntax on older
+  interpreters the package still claims to support.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker, FileContext, Rule
+from ..findings import Finding
+
+__all__ = ["ApiHygieneChecker"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound by a top-level statement (defs, imports, assigns)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, _DEF_NODES):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Conditional definitions (version gates, optional deps).
+            for node in ast.walk(stmt):
+                if isinstance(node, _DEF_NODES):
+                    names.add(node.name)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    names.add(node.id)
+                elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for alias in node.names:
+                        names.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+    return names
+
+
+def _find_all(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+    """The ``__all__`` assignment and its string entries, if present."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    entries = [
+                        el.value
+                        for el in value.elts
+                        if isinstance(el, ast.Constant)
+                        and isinstance(el.value, str)
+                    ]
+                    return stmt, entries
+                return stmt, []
+    return None
+
+
+def _uses_annotations(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                return True
+            args = node.args
+            every = (
+                args.posonlyargs
+                + args.args
+                + args.kwonlyargs
+                + [a for a in (args.vararg, args.kwarg) if a]
+            )
+            if any(a.annotation is not None for a in every):
+                return True
+    return False
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    return any(
+        isinstance(stmt, ast.ImportFrom)
+        and stmt.module == "__future__"
+        and any(alias.name == "annotations" for alias in stmt.names)
+        for stmt in tree.body
+    )
+
+
+class ApiHygieneChecker(Checker):
+    name = "api-hygiene"
+    rules = (
+        Rule("api-all-undefined", "__all__ exports an unbound name"),
+        Rule("api-all-missing", "public definition missing from __all__"),
+        Rule("api-mutable-default", "mutable default argument"),
+        Rule("api-future-import", "annotations without the future import"),
+    )
+
+    def check(self, context: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        tree = context.tree
+
+        def report(
+            rule: str, message: str, node: ast.AST, col: int | None = None
+        ) -> None:
+            findings.append(
+                Finding(
+                    rule=rule,
+                    path=context.path,
+                    line=node.lineno,
+                    col=node.col_offset if col is None else col,
+                    message=message,
+                )
+            )
+
+        found = _find_all(tree)
+        if found is not None:
+            all_stmt, exported = found
+            bound = _top_level_bindings(tree)
+            for name in exported:
+                if name == "__version__":
+                    continue
+                if name not in bound:
+                    report(
+                        "api-all-undefined",
+                        f"__all__ exports `{name}` but the module never "
+                        "binds it",
+                        all_stmt,
+                    )
+            for stmt in tree.body:
+                if (
+                    isinstance(stmt, _DEF_NODES)
+                    and not stmt.name.startswith("_")
+                    and stmt.name not in exported
+                ):
+                    report(
+                        "api-all-missing",
+                        f"public `{stmt.name}` is not listed in __all__ "
+                        "(add it or rename with a leading underscore)",
+                        stmt,
+                    )
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for default in list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None
+                ]:
+                    mutable = isinstance(
+                        default, (ast.Dict, ast.List, ast.Set)
+                    ) or (
+                        isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in _MUTABLE_CALLS
+                    )
+                    if mutable:
+                        report(
+                            "api-mutable-default",
+                            f"mutable default argument in `{node.name}` "
+                            "is shared across calls; default to None and "
+                            "allocate inside",
+                            default,
+                        )
+
+        if _uses_annotations(tree) and not _has_future_annotations(tree):
+            anchor = tree.body[0] if tree.body else tree
+            report(
+                "api-future-import",
+                "module uses annotations without `from __future__ import "
+                "annotations`",
+                anchor,
+                col=0,
+            )
+        return findings

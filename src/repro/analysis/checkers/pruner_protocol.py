@@ -1,0 +1,178 @@
+"""Checker: ``CandidatePruner`` protocol conformance.
+
+The pruning layer is the soundness-critical seam of the reproduction:
+every pruner must (a) carry a ``label`` so metrics and result names can
+identify it, (b) implement ``prune(candidates, min_support)``, and
+(c) expose its support upper bounds through ``candidate_bounds`` *iff*
+it actually computes bounds — the bound-tightness telemetry from PR 1
+silently disappears for a bound-backed pruner that forgets the
+override, and a bound-less pruner that overrides it reports garbage.
+
+"Bound-backed" is decided syntactically: the class body contains a call
+to ``.upper_bounds(...)`` or delegates to ``.candidate_bounds(...)``.
+Only *direct* subclasses (a base literally named ``CandidatePruner``)
+are examined; deeper hierarchies inherit a conforming parent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker, FileContext, Rule
+from ..findings import Finding
+
+__all__ = ["PrunerProtocolChecker"]
+
+_BASE_NAME = "CandidatePruner"
+_BOUND_EVIDENCE_ATTRS = frozenset({"upper_bounds", "candidate_bounds"})
+#: ``prune(self, candidates, min_support)`` — positional arity.
+_PRUNE_ARITY = 3
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _has_label(node: ast.ClassDef) -> bool:
+    """Class-level ``label = ...`` or ``self.label = ...`` in ``__init__``."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "label":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "label":
+                return True
+        elif (
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+        ):
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "label"
+                    and isinstance(sub.ctx, ast.Store)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _bound_evidence(node: ast.ClassDef) -> bool:
+    for sub in ast.walk(node):
+        if not (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+        ):
+            continue
+        if sub.func.attr in _BOUND_EVIDENCE_ATTRS:
+            return True
+        # Delegated pruning (`self.ossm.prune(...)`, `child.prune(...)`)
+        # means the wrapped object owns a bound this class should expose.
+        if sub.func.attr == "prune" and not (
+            isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == "self"
+        ):
+            return True
+    return False
+
+
+class PrunerProtocolChecker(Checker):
+    name = "pruner-protocol"
+    rules = (
+        Rule("pruner-label", "pruner subclass must define a `label`"),
+        Rule("pruner-prune", "pruner subclass must implement `prune`"),
+        Rule(
+            "pruner-bounds-missing",
+            "bound-backed pruner must override `candidate_bounds`",
+        ),
+        Rule(
+            "pruner-bounds-spurious",
+            "pruner without bound computation overrides `candidate_bounds`",
+        ),
+    )
+
+    def check(self, context: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _BASE_NAME not in _base_names(node):
+                continue
+            findings.extend(self._check_class(context, node))
+        return findings
+
+    def _check_class(
+        self, context: FileContext, node: ast.ClassDef
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def report(rule: str, message: str, at: ast.AST) -> None:
+            findings.append(
+                Finding(
+                    rule=rule,
+                    path=context.path,
+                    line=at.lineno,
+                    col=at.col_offset,
+                    message=message,
+                )
+            )
+
+        if not _has_label(node):
+            report(
+                "pruner-label",
+                f"pruner `{node.name}` defines no `label` (class attribute "
+                "or `self.label` in __init__); metric names and miner "
+                "labels need it",
+                node,
+            )
+
+        prune = _method(node, "prune")
+        if prune is None:
+            report(
+                "pruner-prune",
+                f"pruner `{node.name}` does not implement `prune`",
+                node,
+            )
+        elif len(prune.args.args) != _PRUNE_ARITY:
+            report(
+                "pruner-prune",
+                f"`{node.name}.prune` must take exactly "
+                "(self, candidates, min_support); found "
+                f"{len(prune.args.args)} positional parameters",
+                prune,
+            )
+
+        overrides = _method(node, "candidate_bounds") is not None
+        backed = _bound_evidence(node)
+        if backed and not overrides:
+            report(
+                "pruner-bounds-missing",
+                f"pruner `{node.name}` computes support bounds but does not "
+                "override `candidate_bounds`; the Equation (1) "
+                "bound-tightness telemetry will silently miss it",
+                node,
+            )
+        elif overrides and not backed:
+            report(
+                "pruner-bounds-spurious",
+                f"pruner `{node.name}` overrides `candidate_bounds` but "
+                "never computes a bound (`.upper_bounds(...)` or "
+                "delegation); return the inherited None instead",
+                node,
+            )
+        return findings

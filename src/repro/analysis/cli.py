@@ -1,0 +1,117 @@
+"""The ``repro-ossm lint`` subcommand.
+
+Exit codes follow the convention of compiler-style gates:
+
+* ``0`` — no findings (clean tree, or everything grandfathered);
+* ``1`` — at least one finding (or a file-level error);
+* ``2`` — usage error (unknown rule selection, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from .engine import (
+    apply_baseline,
+    default_checkers,
+    lint_paths,
+    load_baseline,
+    select_checkers,
+    write_baseline,
+)
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="NAMES",
+        help="comma-separated checker names or rule ids to run",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="JSON baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+
+
+def run_lint(
+    args: argparse.Namespace, out: TextIO | None = None
+) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    sink = sys.stdout if out is None else out
+    checkers = default_checkers()
+
+    if args.list_rules:
+        for checker in checkers:
+            for rule in checker.rules:
+                sink.write(f"{rule.id:24s} {rule.summary}\n")
+        return EXIT_CLEAN
+
+    try:
+        checkers = select_checkers(checkers, args.select)
+    except ValueError as exc:
+        sink.write(f"error: {exc}\n")
+        return EXIT_USAGE
+    if args.write_baseline and not args.baseline:
+        sink.write("error: --write-baseline requires --baseline PATH\n")
+        return EXIT_USAGE
+
+    result = lint_paths(list(args.paths), checkers=checkers)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings)
+        sink.write(
+            f"wrote baseline with {len(result.findings)} finding(s) "
+            f"to {args.baseline}\n"
+        )
+        return EXIT_CLEAN
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            sink.write(f"error: {exc}\n")
+            return EXIT_USAGE
+        result = apply_baseline(result, baseline)
+
+    if args.format == "json":
+        import json
+
+        sink.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    else:
+        for finding in result.findings:
+            sink.write(finding.render() + "\n")
+        for error in result.errors:
+            sink.write(f"error: {error}\n")
+        n, s = len(result.findings), len(result.suppressed)
+        summary = f"{n} finding(s)"
+        if s:
+            summary += f", {s} suppressed"
+        if result.errors:
+            summary += f", {len(result.errors)} error(s)"
+        sink.write(summary + "\n")
+
+    return EXIT_FINDINGS if result.failed else EXIT_CLEAN

@@ -1,0 +1,243 @@
+"""Lint engine: file collection, checker dispatch, pragmas, baselines.
+
+The engine is deliberately tiny: parse each ``.py`` file once, hand the
+tree to every applicable checker, then post-filter the findings through
+two escape hatches:
+
+* **pragmas** — a ``# lint: skip`` comment on the flagged line
+  suppresses every rule there; ``# lint: skip=rule-a,rule-b`` only the
+  named ones. Pragmas are for *justified* exceptions (the comment
+  should say why), not for making the gate pass.
+* **baseline** — a JSON file of finding fingerprints with counts
+  (``repro lint --write-baseline``). Grandfathered findings are
+  reported as suppressed, not failures, so the gate can be adopted on a
+  tree with known debt and still reject *new* debt. Fingerprints ignore
+  line numbers, so unrelated edits do not un-grandfather anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Checker, FileContext
+from .findings import Finding, sort_findings
+
+__all__ = [
+    "LintResult",
+    "collect_files",
+    "default_checkers",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "select_checkers",
+]
+
+_PRAGMA = re.compile(r"#\s*lint:\s*skip(?:=(?P<rules>[\w\-,]+))?")
+
+BASELINE_VERSION = 1
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of every shipped checker."""
+    from .checkers import build_default_checkers
+
+    return build_default_checkers()
+
+
+def select_checkers(
+    checkers: list[Checker], select: str | None
+) -> list[Checker]:
+    """Restrict *checkers* to comma-separated checker names or rule ids."""
+    if not select:
+        return checkers
+    wanted = {token.strip() for token in select.split(",") if token.strip()}
+    known = {checker.name for checker in checkers}
+    known.update(
+        rule_id for checker in checkers for rule_id in checker.rule_ids()
+    )
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown checker/rule selection: {', '.join(sorted(unknown))}"
+        )
+    chosen = [
+        checker
+        for checker in checkers
+        if checker.name in wanted
+        or any(rule_id in wanted for rule_id in checker.rule_ids())
+    ]
+    return chosen
+
+
+@dataclass
+class LintResult:
+    """Findings of one run, split by what the gate should do with them."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings or self.errors)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "errors": list(self.errors),
+            "counts": self.counts_by_rule(),
+        }
+
+
+def _pragma_suppressed(finding: Finding, lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _PRAGMA.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return finding.rule in {token.strip() for token in rules.split(",")}
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    checkers: list[Checker] | None = None,
+) -> LintResult:
+    """Lint one module given as text (the unit-test entry point)."""
+    result = LintResult()
+    if checkers is None:
+        checkers = default_checkers()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        return result
+    context = FileContext(path=path, source=source, tree=tree)
+    collected: list[Finding] = []
+    for checker in checkers:
+        if checker.applies_to(context):
+            collected.extend(checker.check(context))
+    for finding in sort_findings(collected):
+        if _pragma_suppressed(finding, context.lines):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(
+                    part.startswith(".") for part in candidate.parts
+                )
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    checkers: list[Checker] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under *paths*; aggregate one result."""
+    if checkers is None:
+        checkers = default_checkers()
+    result = LintResult()
+    try:
+        files = collect_files(paths)
+    except FileNotFoundError as exc:
+        result.errors.append(str(exc))
+        return result
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{file}: unreadable: {exc}")
+            continue
+        per_file = lint_source(
+            source, path=file.as_posix(), checkers=checkers
+        )
+        result.findings.extend(per_file.findings)
+        result.suppressed.extend(per_file.suppressed)
+        result.errors.extend(per_file.errors)
+    result.findings = sort_findings(result.findings)
+    result.suppressed = sort_findings(result.suppressed)
+    return result
+
+
+# -- baselines -------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint → allowed count, from a ``--write-baseline`` file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version')!r}"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"baseline {path} is malformed")
+    return {str(fp): int(count) for fp, count in fingerprints.items()}
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Persist *findings* as the grandfathered set."""
+    fingerprints: dict[str, int] = {}
+    for finding in findings:
+        fingerprints[finding.fingerprint] = (
+            fingerprints.get(finding.fingerprint, 0) + 1
+        )
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    result: LintResult, baseline: dict[str, int]
+) -> LintResult:
+    """Move grandfathered findings from ``findings`` to ``suppressed``."""
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    for finding in result.findings:
+        allowance = remaining.get(finding.fingerprint, 0)
+        if allowance > 0:
+            remaining[finding.fingerprint] = allowance - 1
+            result.suppressed.append(finding)
+        else:
+            kept.append(finding)
+    result.findings = kept
+    result.suppressed = sort_findings(result.suppressed)
+    return result

@@ -1,0 +1,74 @@
+"""Lint findings: the unit of output of every checker.
+
+A :class:`Finding` pins a rule violation to a file position and carries
+a *fingerprint* — a location-insensitive identity used by the baseline
+mechanism (:mod:`repro.analysis.engine`) so that grandfathered findings
+survive unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Severity", "sort_findings"]
+
+#: Allowed severities, mildest last. Every severity fails the lint
+#: gate; the distinction only orders and labels the report.
+Severity = str
+
+_SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = field(default="error")
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + file + message digest.
+
+        Line and column are deliberately excluded so a grandfathered
+        finding keeps matching after unrelated edits move it around.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule}\x1f{self.path}\x1f{self.message}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``repro lint --format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: rule message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: by file, position, then rule."""
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+    )

@@ -35,6 +35,7 @@ __all__ = [
     "alarm_stream",
     "paged",
     "regular_synthetic_pages",
+    "drifting_synthetic_pages",
     "MINSUP",
     "BUBBLE_MINSUP",
 ]

@@ -23,6 +23,7 @@ import contextlib
 import sys
 from collections.abc import Sequence
 
+from .analysis.cli import add_lint_arguments, run_lint
 from .core.bubble import bubble_list_for
 from .core.greedy import GreedySegmenter
 from .core.hybrid import RandomGreedySegmenter, RandomRCSegmenter
@@ -141,6 +142,13 @@ def _build_parser() -> argparse.ArgumentParser:
     recipe.add_argument("--pages", type=int, required=True)
     recipe.add_argument("--skewed", action="store_true")
     recipe.add_argument("--cost-matters", action="store_true")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static-analysis pass",
+        parents=[obs],
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -267,6 +275,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ossm": _cmd_ossm,
         "mine": _cmd_mine,
         "recipe": _cmd_recipe,
+        "lint": run_lint,
     }
     if args.log_level:
         configure_logging(args.log_level, json=args.log_json)

@@ -42,16 +42,21 @@ class GreedySegmenter(Segmenter):
         for a, b in combinations(state.segment_ids(), 2):
             heap.append((state.loss(a, b), a, b))
         heapq.heapify(heap)
+        # Hot loop: bind the per-iteration attribute lookups once.
+        heappop, heappush = heapq.heappop, heapq.heappush
+        pair_loss = state.loss
         while state.n_segments > n_user:
-            loss, a, b = heapq.heappop(heap)
+            loss, a, b = heappop(heap)
             if not (state.alive(a) and state.alive(b)):
-                metrics.inc("segmentation.greedy.stale_pops")
+                if metrics.enabled:
+                    metrics.inc("segmentation.greedy.stale_pops")
                 continue  # stale entry: a participant was merged away
             merged = state.merge(a, b)
-            metrics.inc("segmentation.greedy.merges")
+            pushes = 0
             for other in state.segment_ids():
                 if other != merged:
-                    heapq.heappush(
-                        heap, (state.loss(merged, other), other, merged)
-                    )
-                    metrics.inc("segmentation.greedy.heap_pushes")
+                    heappush(heap, (pair_loss(merged, other), other, merged))
+                    pushes += 1
+            if metrics.enabled:
+                metrics.inc("segmentation.greedy.merges")
+                metrics.inc("segmentation.greedy.heap_pushes", pushes)

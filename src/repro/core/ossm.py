@@ -205,12 +205,17 @@ class OSSM:
             per_segment = self._matrix[:, pairs].min(axis=2)
             return per_segment.sum(axis=0).astype(np.int64)
         inverse = inverse.reshape(pairs.shape)
-        columns = self._matrix[:, items].T.astype(np.float64)
+        # pdist computes in doubles; L1 distances of integer-valued
+        # columns are exact for counts < 2**53, and the round trip back
+        # to int64 below therefore loses nothing.
+        columns = self._matrix[:, items].T.astype(np.float64)  # lint: skip=bound-float-cast
         distances = squareform(pdist(columns, metric="cityblock"))
         supports = self._matrix[:, items].sum(axis=0)
         a, b = inverse[:, 0], inverse[:, 1]
-        bounds = (supports[a] + supports[b] - distances[a, b]) / 2.0
-        return np.rint(bounds).astype(np.int64)
+        # p + q − |p − q| is even, so // 2 divides exactly: the whole
+        # bound stays in integer arithmetic (Equation (1) soundness).
+        gathered = distances[a, b].astype(np.int64)
+        return (supports[a] + supports[b] - gathered) // 2
 
     def prune(
         self, itemsets: Sequence[Sequence[int]], min_support: int

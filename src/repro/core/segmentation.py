@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np

@@ -14,7 +14,13 @@ from collections.abc import Iterable
 
 from ..data.transactions import TransactionDatabase
 
-__all__ = ["LevelStats", "MiningResult", "resolve_min_support"]
+__all__ = [
+    "LevelStats",
+    "MiningResult",
+    "as_itemset",
+    "resolve_min_count",
+    "resolve_min_support",
+]
 
 Itemset = tuple[int, ...]
 

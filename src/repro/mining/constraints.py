@@ -192,6 +192,12 @@ class _ChainedPruner(CandidatePruner):
             return []
         return self.support.prune(survivors, min_support)
 
+    def candidate_bounds(
+        self, candidates: Sequence[Itemset]
+    ) -> np.ndarray | None:
+        """Bounds of the wrapped support pruner (constraints have none)."""
+        return self.support.candidate_bounds(candidates)
+
 
 class ConstrainedApriori:
     """Apriori with constraint pushing (and optional OSSM pruning).

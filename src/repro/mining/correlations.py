@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from itertools import combinations, product
 
 from scipy.stats import chi2 as _chi2_distribution
 
@@ -30,7 +29,12 @@ from .counting import TidsetCounter
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
-__all__ = ["ContingencyTable", "CorrelationMiner", "mine_correlations"]
+__all__ = [
+    "ContingencyTable",
+    "CorrelationMiner",
+    "contingency_table",
+    "mine_correlations",
+]
 
 Itemset = tuple[int, ...]
 

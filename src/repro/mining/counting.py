@@ -21,6 +21,8 @@ import abc
 from itertools import combinations
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from ..data.transactions import TransactionDatabase
 from ..obs.metrics import get_registry
 
@@ -104,9 +106,9 @@ class TidsetCounter(SupportCounter):
 
     def __init__(self) -> None:
         self._cache_key: int | None = None
-        self._tidsets: list | None = None
+        self._tidsets: list[np.ndarray] | None = None
 
-    def _vertical(self, database: TransactionDatabase) -> list:
+    def _vertical(self, database: TransactionDatabase) -> list[np.ndarray]:
         if self._cache_key != id(database) or self._tidsets is None:
             self._tidsets = database.vertical()
             self._cache_key = id(database)
@@ -134,8 +136,7 @@ class TidsetCounter(SupportCounter):
         if any(len(candidate) != k for candidate in candidates):
             raise ValueError("candidates must share one cardinality")
         tidsets = self._vertical(database)
-        import numpy as np
-
+        intersect1d = np.intersect1d  # hot loop: bind the lookup once
         for candidate in candidates:
             # Intersect rarest-first so the running set shrinks fastest.
             ordered = sorted(candidate, key=lambda item: len(tidsets[item]))
@@ -143,9 +144,7 @@ class TidsetCounter(SupportCounter):
             for item in ordered[1:]:
                 if len(tids) == 0:
                     break
-                tids = np.intersect1d(
-                    tids, tidsets[item], assume_unique=True
-                )
+                tids = intersect1d(tids, tidsets[item], assume_unique=True)
             counts[candidate] = int(len(tids))
         return counts
 

@@ -59,6 +59,7 @@ class HashTree:
         self.leaf_capacity = leaf_capacity
         self._root = _Node()
         self._size = 0
+        self._leaves_by_id: dict[int, _Node] = {}
 
     def _hash(self, item: int) -> int:
         return item % self.branch
@@ -102,9 +103,6 @@ class HashTree:
     ) -> set[int]:
         """ids of leaves reachable by hashing paths of *txn*'s items."""
         leaves: set[int] = set()
-        self._leaves_by_id: dict[int, _Node] = getattr(
-            self, "_leaves_by_id", {}
-        )
 
         def descend(node: _Node, start: int, depth: int) -> None:
             if node.is_leaf:
@@ -128,10 +126,10 @@ class HashTree:
         """Add *txn*'s contribution to the candidate *counts* table."""
         if len(txn) < self.k:
             return
-        txn_set = frozenset(txn)
+        issuperset = frozenset(txn).issuperset  # hot loop: bind once
         for leaf_id in self._reachable_leaves(txn):
             for candidate in self._leaves_by_id[leaf_id].candidates:
-                if txn_set.issuperset(candidate):
+                if issuperset(candidate):
                     counts[candidate] += 1
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..core.generalized import GeneralizedOSSM
 from ..core.ossm import OSSM
 from ..obs.metrics import get_registry
@@ -46,7 +48,9 @@ class CandidatePruner(abc.ABC):
     ) -> list[Itemset]:
         """Return the candidates whose bound reaches *min_support*."""
 
-    def candidate_bounds(self, candidates: Sequence[Itemset]):
+    def candidate_bounds(
+        self, candidates: Sequence[Itemset]
+    ) -> np.ndarray | None:
         """Support upper bounds aligned with *candidates*, or ``None``.
 
         Pruners backed by a real bound (OSSM, generalized OSSM) return
@@ -96,7 +100,9 @@ class OSSMPruner(CandidatePruner):
         self._record_prune(len(candidates), len(survivors))
         return survivors
 
-    def candidate_bounds(self, candidates: Sequence[Itemset]):
+    def candidate_bounds(
+        self, candidates: Sequence[Itemset]
+    ) -> np.ndarray | None:
         if not candidates:
             return None
         return self.ossm.upper_bounds(candidates)
@@ -124,7 +130,9 @@ class GeneralizedOSSMPruner(CandidatePruner):
         self._record_prune(len(candidates), len(survivors))
         return survivors
 
-    def candidate_bounds(self, candidates: Sequence[Itemset]):
+    def candidate_bounds(
+        self, candidates: Sequence[Itemset]
+    ) -> np.ndarray | None:
         if not candidates:
             return None
         return self.gossm.upper_bounds(candidates)
@@ -149,9 +157,11 @@ class ChainPruner(CandidatePruner):
             survivors = pruner.prune(survivors, min_support)
         return survivors
 
-    def candidate_bounds(self, candidates: Sequence[Itemset]):
+    def candidate_bounds(
+        self, candidates: Sequence[Itemset]
+    ) -> np.ndarray | None:
         """Tightest (elementwise minimum) bound across the chain."""
-        best = None
+        best: np.ndarray | None = None
         for pruner in self.pruners:
             bounds = pruner.candidate_bounds(candidates)
             if bounds is None:
@@ -160,7 +170,5 @@ class ChainPruner(CandidatePruner):
         return best
 
 
-def _elementwise_min(a, b):
-    import numpy as np
-
+def _elementwise_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.minimum(np.asarray(a), np.asarray(b))

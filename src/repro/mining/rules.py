@@ -10,7 +10,6 @@ fails, none of its supersets can succeed for the same ``Z``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from collections.abc import Iterable
 
 from .base import MiningResult

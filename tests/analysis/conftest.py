@@ -1,0 +1,26 @@
+"""Shared helpers for the analysis test tier."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def src_tree() -> Path:
+    return SRC
+
+
+def rules_of(result) -> set[str]:
+    """The distinct rule ids present in a LintResult's findings."""
+    return {finding.rule for finding in result.findings}

@@ -1,0 +1,20 @@
+"""Known-bad API hygiene: one violation per api-hygiene rule."""
+
+__all__ = ["exists", "ghost"]
+
+
+def exists():
+    return 1
+
+
+def drifted():
+    return 2
+
+
+def mutable_default(values=[]):
+    values.append(1)
+    return values
+
+
+def annotated(count: int) -> int:
+    return count

@@ -1,0 +1,28 @@
+"""Known-bad bound module: one violation per bound-soundness rule."""
+
+from __future__ import annotations
+
+
+def mean_bound(bounds):
+    """bound-float-div: true division in support arithmetic."""
+    return sum(bounds) / len(bounds)
+
+
+def halved_bound(bound):
+    """bound-float-literal: float literal promotes the expression."""
+    return bound * 0.5
+
+
+def widened_support(support):
+    """bound-float-cast: explicit float() conversion."""
+    return float(support)
+
+
+def float_matrix(matrix, np):
+    """bound-float-cast: astype to a float dtype."""
+    return matrix.astype(np.float64)
+
+
+def float_total(bounds):
+    """bound-builtin-float: float start value turns the sum float."""
+    return sum(bounds, 0.0)

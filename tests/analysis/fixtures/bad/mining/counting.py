@@ -1,0 +1,36 @@
+"""Known-bad hot-path module: one violation per hot-path rule."""
+
+from __future__ import annotations
+
+
+def unguarded_obs(database, metrics):
+    """hot-obs-unguarded: telemetry call in a loop, no guard."""
+    total = 0
+    for txn in database:
+        metrics.inc("counting.rows")
+        total += len(txn)
+    return total
+
+
+def per_call_import(values):
+    """hot-func-import: import machinery on every call."""
+    import math
+
+    return [math.sqrt(value) for value in values]
+
+
+class LeafCache:
+    """hot-getattr-default: allocates the default dict on every call."""
+
+    def lookup(self, key):
+        cache = getattr(self, "_cache", {})
+        return cache.get(key)
+
+
+def nested_lookup(rows, scorer):
+    """hot-attr-hoist: attribute re-resolved per inner iteration."""
+    total = 0
+    for row in rows:
+        for item in row:
+            total += scorer.score(item)
+    return total

@@ -1,0 +1,54 @@
+"""Known-bad pruners: one violation of every pruner-protocol rule."""
+
+from repro.mining.pruning import CandidatePruner
+
+
+class MissingLabelPruner(CandidatePruner):
+    """Violates pruner-label: no `label` anywhere."""
+
+    def prune(self, candidates, min_support):
+        return list(candidates)
+
+
+class MissingPrunePruner(CandidatePruner):
+    """Violates pruner-prune: no `prune` implementation."""
+
+    label = "+noop"
+
+
+class WrongArityPruner(CandidatePruner):
+    """Violates pruner-prune: wrong `prune` signature."""
+
+    label = "+arity"
+
+    def prune(self, candidates):
+        return list(candidates)
+
+
+class ForgetfulBoundPruner(CandidatePruner):
+    """Violates pruner-bounds-missing: computes bounds, no override."""
+
+    label = "+forgetful"
+
+    def __init__(self, ossm):
+        self.ossm = ossm
+
+    def prune(self, candidates, min_support):
+        bounds = self.ossm.upper_bounds(candidates)
+        return [
+            candidate
+            for candidate, bound in zip(candidates, bounds)
+            if bound >= min_support
+        ]
+
+
+class SpuriousBoundPruner(CandidatePruner):
+    """Violates pruner-bounds-spurious: overrides without a bound."""
+
+    label = "+spurious"
+
+    def prune(self, candidates, min_support):
+        return list(candidates)
+
+    def candidate_bounds(self, candidates):
+        return [0] * len(candidates)

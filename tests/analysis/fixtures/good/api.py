@@ -1,0 +1,24 @@
+"""Known-good API hygiene: the compliant rewrite."""
+
+from __future__ import annotations
+
+__all__ = ["exists", "fresh_list", "annotated"]
+
+
+def exists():
+    return 1
+
+
+def _private_helper():
+    return 2
+
+
+def fresh_list(values=None):
+    if values is None:
+        values = []
+    values.append(1)
+    return values
+
+
+def annotated(count: int) -> int:
+    return count

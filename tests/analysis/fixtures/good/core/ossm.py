@@ -1,0 +1,28 @@
+"""Known-good bound module: integer discipline throughout."""
+
+from __future__ import annotations
+
+
+def mean_bound_floor(bounds):
+    """Floor division keeps the arithmetic integral."""
+    return sum(bounds) // max(len(bounds), 1)
+
+
+def halved_bound(bound):
+    """Exact halving of an even quantity via //."""
+    return bound // 2
+
+
+def widened_support(support):
+    """int() is the sound normalization for a support count."""
+    return int(support)
+
+
+def int_matrix(matrix, np):
+    """Support matrices stay int64."""
+    return matrix.astype(np.int64)
+
+
+def int_total(bounds):
+    """Integer start value keeps the reduction integral."""
+    return sum(bounds, 0)

@@ -1,0 +1,40 @@
+"""Known-good hot-path module: the compliant rewrites."""
+
+from __future__ import annotations
+
+import math
+
+
+def guarded_obs(database, metrics):
+    """Telemetry guarded by `.enabled`: allowed in a loop."""
+    total = 0
+    for txn in database:
+        if metrics.enabled:
+            metrics.inc("counting.rows")
+        total += len(txn)
+    return total
+
+
+def module_level_import(values):
+    """Import hoisted to module level."""
+    return [math.sqrt(value) for value in values]
+
+
+class LeafCache:
+    """Attribute initialized once in __init__."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def lookup(self, key):
+        return self._cache.get(key)
+
+
+def nested_lookup(rows, scorer):
+    """Bound method hoisted to a local before the loops."""
+    score = scorer.score
+    total = 0
+    for row in rows:
+        for item in row:
+            total += score(item)
+    return total

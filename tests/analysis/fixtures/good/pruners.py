@@ -1,0 +1,48 @@
+"""Known-good pruners: conforming counterparts of the bad fixtures."""
+
+from repro.mining.pruning import CandidatePruner
+
+
+class KeepAllPruner(CandidatePruner):
+    """No bound, no `candidate_bounds` override: consistent."""
+
+    label = ""
+
+    def prune(self, candidates, min_support):
+        return list(candidates)
+
+
+class BoundBackedPruner(CandidatePruner):
+    """Computes bounds and exposes them: consistent."""
+
+    label = "+bound"
+
+    def __init__(self, ossm):
+        self.ossm = ossm
+
+    def prune(self, candidates, min_support):
+        bounds = self.ossm.upper_bounds(candidates)
+        return [
+            candidate
+            for candidate, bound in zip(candidates, bounds)
+            if bound >= min_support
+        ]
+
+    def candidate_bounds(self, candidates):
+        if not candidates:
+            return None
+        return self.ossm.upper_bounds(candidates)
+
+
+class LabelInInitPruner(CandidatePruner):
+    """`label` assigned in __init__ also satisfies pruner-label."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.label = inner.label
+
+    def prune(self, candidates, min_support):
+        return self.inner.prune(candidates, min_support)
+
+    def candidate_bounds(self, candidates):
+        return self.inner.candidate_bounds(candidates)

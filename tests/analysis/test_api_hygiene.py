@@ -1,0 +1,100 @@
+"""The api-hygiene checker against fixtures and targeted cases."""
+
+from __future__ import annotations
+
+from repro.analysis import ApiHygieneChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, rules_of
+
+CHECKERS = [ApiHygieneChecker()]
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths([FIXTURES / "bad" / "api.py"], CHECKERS)
+        assert rules_of(result) == {
+            "api-all-undefined",
+            "api-all-missing",
+            "api-mutable-default",
+            "api-future-import",
+        }
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths([FIXTURES / "good" / "api.py"], CHECKERS)
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestAllDrift:
+    def test_undefined_export(self):
+        source = "__all__ = ['ghost']\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-all-undefined"}
+
+    def test_reexport_via_import_counts_as_bound(self):
+        source = "from x import thing\n__all__ = ['thing']\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_version_dunder_is_exempt(self):
+        source = "__version__ = '1.0'\n__all__ = ['__version__']\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_public_def_missing_from_all(self):
+        source = "__all__ = []\n\ndef public():\n    return 1\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-all-missing"}
+
+    def test_private_def_needs_no_export(self):
+        source = "__all__ = []\n\ndef _private():\n    return 1\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_module_without_all_is_not_checked_for_drift(self):
+        source = "def public():\n    return 1\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_conditional_definition_counts_as_bound(self):
+        source = (
+            "try:\n"
+            "    import fast_path as impl\n"
+            "except ImportError:\n"
+            "    impl = None\n"
+            "__all__ = ['impl']\n"
+        )
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+
+class TestMutableDefaults:
+    def test_kwonly_default_is_checked(self):
+        source = "def f(*, cache={}):\n    return cache\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-mutable-default"}
+
+    def test_constructor_call_default_is_flagged(self):
+        source = "def f(items=list()):\n    return items\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-mutable-default"}
+
+    def test_none_default_is_clean(self):
+        source = "def f(items=None):\n    return items or []\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_tuple_default_is_clean(self):
+        source = "def f(items=()):\n    return items\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+
+class TestFutureImport:
+    def test_annotations_without_future_import(self):
+        source = "def f(x: int) -> int:\n    return x\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-future-import"}
+
+    def test_annotations_with_future_import(self):
+        source = (
+            "from __future__ import annotations\n"
+            "def f(x: int) -> int:\n    return x\n"
+        )
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_unannotated_module_needs_no_import(self):
+        source = "def f(x):\n    return x\n"
+        assert not lint_source(source, checkers=CHECKERS).failed

@@ -1,0 +1,79 @@
+"""The bound-soundness checker against fixtures and the real modules."""
+
+from __future__ import annotations
+
+from repro.analysis import BoundSoundnessChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, SRC, rules_of
+
+CHECKERS = [BoundSoundnessChecker()]
+PATH = "x/core/ossm.py"  # a default bound-module suffix
+
+
+def lint(source):
+    return lint_source(source, path=PATH, checkers=CHECKERS)
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths([FIXTURES / "bad" / "core" / "ossm.py"], CHECKERS)
+        assert rules_of(result) == {
+            "bound-float-div",
+            "bound-float-literal",
+            "bound-float-cast",
+            "bound-builtin-float",
+        }
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths([FIXTURES / "good" / "core" / "ossm.py"], CHECKERS)
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestUnitCases:
+    def test_floor_division_is_allowed(self):
+        assert not lint("def f(a, b):\n    return (a + b) // 2\n").failed
+
+    def test_true_division_is_flagged(self):
+        result = lint("def f(a, b):\n    return (a + b) / 2\n")
+        assert rules_of(result) == {"bound-float-div"}
+
+    def test_dtype_keyword_float_is_flagged(self):
+        result = lint(
+            "def f(np, xs):\n"
+            "    return np.asarray(xs, dtype=np.float32)\n"
+        )
+        assert rules_of(result) == {"bound-float-cast"}
+
+    def test_dtype_keyword_int_is_clean(self):
+        assert not lint(
+            "def f(np, xs):\n    return np.asarray(xs, dtype=np.int64)\n"
+        ).failed
+
+    def test_min_with_float_default_is_flagged(self):
+        result = lint("def f(xs):\n    return min(xs, default=0.0)\n")
+        assert rules_of(result) == {"bound-builtin-float"}
+
+    def test_non_bound_module_is_ignored(self):
+        source = "def f(a, b):\n    return a / b\n"
+        result = lint_source(source, path="repro/bench/x.py", checkers=CHECKERS)
+        assert not result.failed
+
+    def test_pragma_documents_a_justified_cast(self):
+        source = (
+            "def f(np, m):\n"
+            "    return m.astype(np.float64)  # lint: skip=bound-float-cast\n"
+        )
+        result = lint(source)
+        assert not result.failed
+        assert len(result.suppressed) == 1
+
+
+class TestRealTree:
+    def test_shipped_bound_modules_are_clean(self):
+        paths = [
+            SRC / "repro" / "core" / "ossm.py",
+            SRC / "repro" / "core" / "generalized.py",
+            SRC / "repro" / "core" / "loss.py",
+        ]
+        result = lint_paths(paths, CHECKERS)
+        assert not result.failed, [f.render() for f in result.findings]

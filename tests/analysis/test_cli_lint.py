@@ -1,0 +1,89 @@
+"""The ``repro-ossm lint`` subcommand end to end, via ``main()``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import FIXTURES, SRC
+
+BAD_FIXTURES = [
+    FIXTURES / "bad" / "pruners.py",
+    FIXTURES / "bad" / "mining" / "counting.py",
+    FIXTURES / "bad" / "core" / "ossm.py",
+    FIXTURES / "bad" / "api.py",
+]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize(
+        "fixture", BAD_FIXTURES, ids=lambda p: p.name + ":" + p.parent.name
+    )
+    def test_each_bad_fixture_fails(self, fixture, capsys):
+        assert main(["lint", str(fixture)]) == 1
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_good_fixtures_pass(self, capsys):
+        assert main(["lint", str(FIXTURES / "good")]) == 0
+
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        code = main(["lint", str(SRC), "--select", "no-such-rule"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_missing_path_fails(self, capsys):
+        assert main(["lint", "definitely/not/here"]) == 1
+
+
+class TestFormats:
+    def test_json_output_parses(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad" / "api.py"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+        assert payload["counts"]
+
+    def test_text_output_names_rules(self, capsys):
+        main(["lint", str(FIXTURES / "bad" / "api.py")])
+        out = capsys.readouterr().out
+        assert "[api-mutable-default]" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("pruner-prune", "hot-obs-unguarded",
+                        "bound-float-div", "api-mutable-default"):
+            assert rule_id in out
+
+
+class TestSelect:
+    def test_select_restricts_to_one_checker(self, capsys):
+        # The bad api fixture is invisible to the pruner checker.
+        code = main(["lint", str(FIXTURES / "bad" / "api.py"),
+                     "--select", "pruner-protocol"])
+        assert code == 0
+
+
+class TestBaseline:
+    def test_grandfathering_round_trip(self, tmp_path, capsys):
+        bad = FIXTURES / "bad" / "api.py"
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_write_baseline_requires_path(self, capsys):
+        assert main(["lint", str(SRC), "--write-baseline"]) == 2
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99}')
+        code = main(["lint", str(SRC), "--baseline", str(baseline)])
+        assert code == 2

@@ -1,0 +1,123 @@
+"""Engine behaviour: pragmas, baselines, selection, file collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ApiHygieneChecker,
+    apply_baseline,
+    default_checkers,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    select_checkers,
+    write_baseline,
+)
+
+MUTABLE_DEFAULT = "def f(x=[]):\n    return x\n"
+
+
+class TestLintSource:
+    def test_reports_a_finding(self):
+        result = lint_source(MUTABLE_DEFAULT, checkers=[ApiHygieneChecker()])
+        assert result.failed
+        assert [f.rule for f in result.findings] == ["api-mutable-default"]
+
+    def test_pragma_suppresses_all_rules(self):
+        source = "def f(x=[]):  # lint: skip\n    return x\n"
+        result = lint_source(source, checkers=[ApiHygieneChecker()])
+        assert not result.failed
+        assert [f.rule for f in result.suppressed] == ["api-mutable-default"]
+
+    def test_pragma_with_rule_list_is_selective(self):
+        hit = "def f(x=[]):  # lint: skip=api-mutable-default\n    return x\n"
+        miss = "def f(x=[]):  # lint: skip=other-rule\n    return x\n"
+        assert not lint_source(hit, checkers=[ApiHygieneChecker()]).failed
+        assert lint_source(miss, checkers=[ApiHygieneChecker()]).failed
+
+    def test_syntax_error_becomes_engine_error(self):
+        result = lint_source("def broken(:\n")
+        assert result.failed
+        assert result.errors and "syntax error" in result.errors[0]
+
+
+class TestSelectCheckers:
+    def test_by_checker_name(self):
+        chosen = select_checkers(default_checkers(), "api-hygiene")
+        assert [c.name for c in chosen] == ["api-hygiene"]
+
+    def test_by_rule_id(self):
+        chosen = select_checkers(default_checkers(), "bound-float-div")
+        assert [c.name for c in chosen] == ["bound-soundness"]
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            select_checkers(default_checkers(), "no-such-rule")
+
+    def test_none_keeps_everything(self):
+        checkers = default_checkers()
+        assert select_checkers(checkers, None) is checkers
+
+
+class TestLintPaths:
+    def test_aggregates_over_a_tree(self, tmp_path):
+        (tmp_path / "one.py").write_text(MUTABLE_DEFAULT)
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "two.py").write_text(MUTABLE_DEFAULT)
+        result = lint_paths([tmp_path], checkers=[ApiHygieneChecker()])
+        assert len(result.findings) == 2
+        assert result.findings[0].path < result.findings[1].path
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        result = lint_paths([tmp_path / "nope"])
+        assert result.failed
+        assert "no such file" in result.errors[0]
+
+    def test_hidden_directories_are_skipped(self, tmp_path):
+        hidden = tmp_path / ".venv"
+        hidden.mkdir()
+        (hidden / "bad.py").write_text(MUTABLE_DEFAULT)
+        result = lint_paths([tmp_path], checkers=[ApiHygieneChecker()])
+        assert not result.failed
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(MUTABLE_DEFAULT)
+        baseline_file = tmp_path / "baseline.json"
+
+        first = lint_paths([target], checkers=[ApiHygieneChecker()])
+        assert first.failed
+        write_baseline(baseline_file, first.findings)
+
+        second = lint_paths([target], checkers=[ApiHygieneChecker()])
+        second = apply_baseline(second, load_baseline(baseline_file))
+        assert not second.failed
+        assert len(second.suppressed) == 1
+
+    def test_new_findings_still_fail(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(MUTABLE_DEFAULT)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_file,
+            lint_paths([target], checkers=[ApiHygieneChecker()]).findings,
+        )
+        # A second, different defect appears: the baseline must not eat it.
+        target.write_text(MUTABLE_DEFAULT + "\n\ndef g(y={}):\n    return y\n")
+        result = apply_baseline(
+            lint_paths([target], checkers=[ApiHygieneChecker()]),
+            load_baseline(baseline_file),
+        )
+        assert result.failed
+        assert len(result.findings) == 1
+        assert len(result.suppressed) == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_baseline(bad)

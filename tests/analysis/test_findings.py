@@ -1,0 +1,51 @@
+"""Finding identity, ordering, and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Finding, sort_findings
+
+
+class TestFinding:
+    def test_fingerprint_ignores_position(self):
+        a = Finding("r", "m.py", 3, 0, "msg")
+        b = Finding("r", "m.py", 99, 7, "msg")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_rule_path_message(self):
+        base = Finding("r", "m.py", 1, 0, "msg")
+        assert base.fingerprint != Finding("r2", "m.py", 1, 0, "msg").fingerprint
+        assert base.fingerprint != Finding("r", "n.py", 1, 0, "msg").fingerprint
+        assert base.fingerprint != Finding("r", "m.py", 1, 0, "other").fingerprint
+
+    def test_to_dict_round_trips_fields(self):
+        finding = Finding("rule-x", "pkg/m.py", 12, 4, "boom")
+        payload = finding.to_dict()
+        assert payload["rule"] == "rule-x"
+        assert payload["path"] == "pkg/m.py"
+        assert payload["line"] == 12
+        assert payload["col"] == 4
+        assert payload["severity"] == "error"
+        assert payload["fingerprint"] == finding.fingerprint
+
+    def test_render_is_compiler_style(self):
+        finding = Finding("rule-x", "pkg/m.py", 12, 4, "boom")
+        assert finding.render() == "pkg/m.py:12:4: [rule-x] boom"
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Finding("r", "m.py", 1, 0, "msg", severity="fatal")
+
+
+class TestSortFindings:
+    def test_orders_by_path_then_position(self):
+        findings = [
+            Finding("z", "b.py", 1, 0, "m"),
+            Finding("a", "a.py", 9, 0, "m"),
+            Finding("a", "a.py", 2, 5, "m"),
+            Finding("a", "a.py", 2, 1, "m"),
+        ]
+        ordered = sort_findings(findings)
+        keys = [(f.path, f.line, f.col) for f in ordered]
+        assert keys == sorted(keys)

@@ -1,0 +1,107 @@
+"""The hot-path checker against fixtures and the real hot modules."""
+
+from __future__ import annotations
+
+from repro.analysis import HotPathChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, SRC, rules_of
+
+CHECKERS = [HotPathChecker()]
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths(
+            [FIXTURES / "bad" / "mining" / "counting.py"], CHECKERS
+        )
+        assert rules_of(result) == {
+            "hot-obs-unguarded",
+            "hot-func-import",
+            "hot-getattr-default",
+            "hot-attr-hoist",
+        }
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths(
+            [FIXTURES / "good" / "mining" / "counting.py"], CHECKERS
+        )
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestScoping:
+    def test_non_hot_module_is_ignored(self):
+        source = "def f(db, metrics):\n    for t in db:\n        metrics.inc('x')\n"
+        result = lint_source(source, path="repro/other.py", checkers=CHECKERS)
+        assert not result.failed
+
+    def test_custom_hot_module_list(self):
+        source = "def f(db, metrics):\n    for t in db:\n        metrics.inc('x')\n"
+        checker = HotPathChecker(hot_modules=("custom.py",))
+        result = lint_source(source, path="pkg/custom.py", checkers=[checker])
+        assert rules_of(result) == {"hot-obs-unguarded"}
+
+
+class TestGuardsAndLoops:
+    PATH = "x/mining/counting.py"  # a default hot-module suffix
+
+    def lint(self, source):
+        return lint_source(source, path=self.PATH, checkers=CHECKERS)
+
+    def test_enabled_guard_exempts_obs_calls(self):
+        source = (
+            "def f(db, metrics):\n"
+            "    for t in db:\n"
+            "        if metrics.enabled:\n"
+            "            metrics.inc('rows')\n"
+        )
+        assert not self.lint(source).failed
+
+    def test_obs_call_outside_loop_is_fine(self):
+        source = "def f(metrics):\n    metrics.inc('calls')\n"
+        assert not self.lint(source).failed
+
+    def test_single_loop_attr_call_is_not_hoist_flagged(self):
+        source = (
+            "def f(rows, scorer):\n"
+            "    total = 0\n"
+            "    for row in rows:\n"
+            "        total += scorer.score(row)\n"
+            "    return total\n"
+        )
+        assert not self.lint(source).failed
+
+    def test_loop_variant_base_is_not_flagged(self):
+        source = (
+            "def f(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        for item in row:\n"
+            "            cursor = item.open()\n"
+            "            cursor.close()\n"
+            "    return out\n"
+        )
+        # `item` is the inner loop variable and `cursor` is rebound in
+        # the inner loop: neither lookup is hoistable.
+        assert not self.lint(source).failed
+
+    def test_while_loops_count_as_loops(self):
+        source = (
+            "def f(metrics):\n"
+            "    n = 0\n"
+            "    while n < 10:\n"
+            "        metrics.inc('spins')\n"
+            "        n += 1\n"
+        )
+        assert rules_of(self.lint(source)) == {"hot-obs-unguarded"}
+
+
+class TestRealTree:
+    def test_shipped_hot_modules_are_clean(self):
+        paths = [
+            SRC / "repro" / "mining" / "counting.py",
+            SRC / "repro" / "mining" / "hash_tree.py",
+            SRC / "repro" / "core" / "greedy.py",
+            SRC / "repro" / "core" / "bubble.py",
+        ]
+        result = lint_paths(paths, CHECKERS)
+        assert not result.failed, [f.render() for f in result.findings]

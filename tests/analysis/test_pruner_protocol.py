@@ -1,0 +1,66 @@
+"""The pruner-protocol checker against fixtures and the real tree."""
+
+from __future__ import annotations
+
+from repro.analysis import PrunerProtocolChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, SRC, rules_of
+
+CHECKERS = [PrunerProtocolChecker()]
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths([FIXTURES / "bad" / "pruners.py"], CHECKERS)
+        assert rules_of(result) == {
+            "pruner-label",
+            "pruner-prune",
+            "pruner-bounds-missing",
+            "pruner-bounds-spurious",
+        }
+
+    def test_bad_fixture_finding_per_class(self):
+        result = lint_paths([FIXTURES / "bad" / "pruners.py"], CHECKERS)
+        assert len(result.findings) == 5  # WrongArity trips arity variant
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths([FIXTURES / "good" / "pruners.py"], CHECKERS)
+        assert not result.failed
+
+
+class TestUnitCases:
+    def test_label_in_init_counts(self):
+        source = (
+            "class P(CandidatePruner):\n"
+            "    def __init__(self):\n"
+            "        self.label = '+x'\n"
+            "    def prune(self, candidates, min_support):\n"
+            "        return list(candidates)\n"
+        )
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_unrelated_class_is_ignored(self):
+        source = "class NotAPruner:\n    pass\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_chain_delegation_requires_bounds_override(self):
+        source = (
+            "class Wrapper(CandidatePruner):\n"
+            "    label = '+w'\n"
+            "    def __init__(self, inner):\n"
+            "        self.inner = inner\n"
+            "    def prune(self, candidates, min_support):\n"
+            "        return self.inner.prune(candidates, min_support)\n"
+        )
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"pruner-bounds-missing"}
+
+
+class TestRealTree:
+    def test_shipped_pruning_layer_conforms(self):
+        result = lint_paths(
+            [SRC / "repro" / "mining" / "pruning.py",
+             SRC / "repro" / "mining" / "constraints.py"],
+            CHECKERS,
+        )
+        assert not result.failed, [f.render() for f in result.findings]

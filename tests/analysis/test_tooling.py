@@ -1,0 +1,80 @@
+"""Tooling configuration: pyproject gates, CI workflow, typing marker.
+
+The container may not ship ruff/mypy; tests that *execute* them skip
+when the binary is absent. The configuration itself is always checked —
+a malformed gate that CI would trip over should fail locally too.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+import tomllib
+
+import pytest
+
+from .conftest import REPO_ROOT, SRC
+
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+@pytest.fixture(scope="module")
+def pyproject() -> dict:
+    return tomllib.loads(PYPROJECT.read_text(encoding="utf-8"))
+
+
+class TestPyproject:
+    def test_lint_extra_declares_tools(self, pyproject):
+        extras = pyproject["project"]["optional-dependencies"]
+        joined = " ".join(extras["lint"])
+        assert "ruff" in joined and "mypy" in joined
+
+    def test_mypy_gate_covers_core_and_mining(self, pyproject):
+        mypy = pyproject["tool"]["mypy"]
+        assert mypy["strict"] is True
+        assert set(mypy["packages"]) == {"repro.core", "repro.mining"}
+        assert mypy["mypy_path"] == "src"
+
+    def test_ruff_selects_bugbear_mutable_defaults(self, pyproject):
+        select = pyproject["tool"]["ruff"]["lint"]["select"]
+        assert "F" in select and "B006" in select
+
+    def test_ruff_excludes_lint_fixtures(self, pyproject):
+        excludes = pyproject["tool"]["ruff"]["extend-exclude"]
+        assert any("fixtures" in entry for entry in excludes)
+
+    def test_py_typed_is_packaged(self, pyproject):
+        assert (SRC / "repro" / "py.typed").exists()
+        package_data = pyproject["tool"]["setuptools"]["package-data"]
+        assert "py.typed" in package_data["repro"]
+
+
+class TestWorkflow:
+    def test_ci_runs_all_four_gates(self):
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        for gate in ("pytest", "ruff check", "mypy", "repro lint"):
+            assert gate in ci, f"CI workflow is missing the {gate} gate"
+
+    def test_precommit_mirrors_ci(self):
+        config = (REPO_ROOT / ".pre-commit-config.yaml").read_text()
+        for hook in ("ruff", "repro lint", "mypy"):
+            assert hook in config
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
