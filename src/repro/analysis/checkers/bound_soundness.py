@@ -39,6 +39,7 @@ DEFAULT_BOUND_MODULES: tuple[str, ...] = (
     "core/ossm.py",
     "core/generalized.py",
     "core/loss.py",
+    "parallel/ossm.py",
 )
 
 _FLOAT_DTYPES = frozenset({"float", "float16", "float32", "float64"})

@@ -38,6 +38,8 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "mining/hash_tree.py",
     "core/greedy.py",
     "core/bubble.py",
+    "parallel/counter.py",
+    "parallel/pool.py",
 )
 
 #: Method names that record telemetry; a call to one of these (or to a

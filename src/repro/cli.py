@@ -132,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--ossm", help="OSSM .npz to prune with")
     mine.add_argument("--max-level", type=int, default=0,
                       help="cardinality cap (0 = unbounded)")
+    mine.add_argument("--workers", type=int, default=0,
+                      help="worker processes for counting (0 = serial; "
+                           "apriori/dhp/partition only)")
     mine.add_argument("--top", type=int, default=20,
                       help="itemsets to print (0 = all)")
 
@@ -215,6 +218,15 @@ def _cmd_ossm(args: argparse.Namespace) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = data_io.load(args.data)
     max_level = args.max_level or None
+    workers = args.workers or None
+    if workers is not None and args.algorithm not in (
+        "apriori", "dhp", "partition"
+    ):
+        logger.warning(
+            "--workers is only supported by apriori/dhp/partition; "
+            "running %s serially", args.algorithm,
+        )
+        workers = None
     pruner = NullPruner()
     if args.ossm:
         ossm = OSSM.load(args.ossm)
@@ -222,13 +234,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         logger.info("loaded OSSM %r from %s", ossm, args.ossm)
         pruner = OSSMPruner(ossm)
     if args.algorithm == "apriori":
-        miner = Apriori(pruner=pruner, max_level=max_level)
+        miner = Apriori(pruner=pruner, max_level=max_level, workers=workers)
     elif args.algorithm == "dhp":
-        miner = DHP(pruner=pruner, max_level=max_level)
+        miner = DHP(pruner=pruner, max_level=max_level, workers=workers)
     elif args.algorithm == "depthproject":
         miner = DepthProject(pruner=pruner, max_level=max_level)
     elif args.algorithm == "partition":
-        miner = Partition(max_level=max_level)
+        miner = Partition(max_level=max_level, workers=workers)
     elif args.algorithm == "fpgrowth":
         miner = FPGrowth(max_level=max_level)
     elif args.algorithm == "charm":

@@ -43,9 +43,16 @@ class Apriori:
     pruner:
         Candidate pruner applied before counting (default: none).
     counter:
-        Counting engine (default: subset enumeration).
+        Counting engine (default: subset enumeration). Mutually
+        exclusive with ``workers``.
     max_level:
         Optional cap on itemset cardinality (``None`` = run to fixpoint).
+    workers:
+        Fan counting out over this many worker processes with a
+        :class:`~repro.parallel.counter.ParallelCounter`. When the
+        pruner carries an OSSM, its segment composition aligns the
+        shard boundaries. Results are exactly those of the serial
+        counter — the knob only changes where the counting runs.
     """
 
     name = "apriori"
@@ -55,12 +62,28 @@ class Apriori:
         pruner: CandidatePruner | None = None,
         counter: SupportCounter | None = None,
         max_level: int | None = None,
+        workers: int | None = None,
     ) -> None:
         self.pruner = pruner if pruner is not None else NullPruner()
+        if workers is not None:
+            if counter is not None:
+                raise ValueError(
+                    "pass either counter= or workers=, not both"
+                )
+            counter = self._parallel_counter(workers)
         self.counter = counter if counter is not None else SubsetCounter()
         if max_level is not None and max_level < 1:
             raise ValueError("max_level must be >= 1 or None")
         self.max_level = max_level
+
+    def _parallel_counter(self, workers: int) -> SupportCounter:
+        # Imported lazily: repro.parallel builds on repro.mining, so a
+        # module-level import here would be circular.
+        from ..parallel.counter import ParallelCounter
+
+        ossm = getattr(self.pruner, "ossm", None)
+        sizes = ossm.segment_sizes if ossm is not None else None
+        return ParallelCounter(workers=workers, segment_sizes=sizes)
 
     def mine(
         self,
@@ -156,7 +179,10 @@ def apriori(
     pruner: CandidatePruner | None = None,
     counter: SupportCounter | None = None,
     max_level: int | None = None,
+    workers: int | None = None,
 ) -> MiningResult:
     """Functional entry point: ``apriori(db, 0.01, pruner=OSSMPruner(ossm))``."""
-    miner = Apriori(pruner=pruner, counter=counter, max_level=max_level)
+    miner = Apriori(
+        pruner=pruner, counter=counter, max_level=max_level, workers=workers
+    )
     return miner.mine(database, min_support)

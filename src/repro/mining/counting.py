@@ -37,7 +37,23 @@ Itemset = tuple[int, ...]
 
 
 class SupportCounter(abc.ABC):
-    """Interface of a counting engine."""
+    """Interface of a counting engine.
+
+    Every engine honors one edge-case contract, so engines are
+    interchangeable on degenerate inputs as well as ordinary ones:
+
+    * no candidates → ``{}``;
+    * empty database → every candidate counts 0;
+    * the empty itemset ``()`` → the transaction count (it is contained
+      in every transaction, matching ``TransactionDatabase.support``);
+    * items outside the database's domain (negative or ≥ ``n_items``)
+      → 0, never an error;
+    * mixed candidate cardinalities → ``ValueError``.
+
+    ``tests/mining/test_counting.py`` holds the cross-engine contract
+    suite; the differential harness in ``tests/parallel`` extends it to
+    the parallel counter.
+    """
 
     @abc.abstractmethod
     def count(
@@ -135,9 +151,17 @@ class TidsetCounter(SupportCounter):
         k = len(candidates[0])
         if any(len(candidate) != k for candidate in candidates):
             raise ValueError("candidates must share one cardinality")
+        if k == 0:
+            # The empty itemset is contained in every transaction.
+            return {candidate: len(database) for candidate in candidates}
         tidsets = self._vertical(database)
+        n_items = len(tidsets)
         intersect1d = np.intersect1d  # hot loop: bind the lookup once
         for candidate in candidates:
+            if any(item < 0 or item >= n_items for item in candidate):
+                # Out-of-domain items occur in no transaction.
+                counts[candidate] = 0
+                continue
             # Intersect rarest-first so the running set shrinks fastest.
             ordered = sorted(candidate, key=lambda item: len(tidsets[item]))
             tids = tidsets[ordered[0]]

@@ -53,6 +53,112 @@ def _bucket(itemset: Itemset, n_buckets: int) -> int:
     return value
 
 
+def _pass_one_core(
+    transactions: list[Itemset] | TransactionDatabase,
+    n_items: int,
+    n_buckets: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Singleton counts and ``H_2`` buckets for one transaction run.
+
+    Module-level (and ``self``-free) so worker processes can run it on
+    a chunk: both outputs are per-transaction sums, so chunk results
+    add up to exactly the serial result.
+    """
+    supports = np.zeros(n_items, dtype=np.int64)
+    buckets = np.zeros(n_buckets, dtype=np.int64)
+    for txn in transactions:
+        supports[list(txn)] += 1
+        for pair in combinations(txn, 2):
+            buckets[_bucket(pair, n_buckets)] += 1
+    return supports, buckets
+
+
+def _count_pass_core(
+    transactions: list[Itemset],
+    candidates: list[Itemset],
+    k: int,
+    build_next_hash: bool,
+    n_buckets: int,
+    trim: bool,
+) -> tuple[dict[Itemset, int], np.ndarray | None, list[Itemset]]:
+    """One DHP counting pass over a transaction run.
+
+    Every per-transaction step — candidate hits, the trimming decision,
+    and the ``H_{k+1}`` bucket contribution — depends only on the
+    candidate set and that single transaction, never on other
+    transactions. That locality is what makes the chunked parallel pass
+    exact: counts and buckets sum, trimmed runs concatenate in order.
+    """
+    counts: dict[Itemset, int] = {c: 0 for c in candidates}
+    next_buckets = (
+        np.zeros(n_buckets, dtype=np.int64) if build_next_hash else None
+    )
+    trimmed: list[Itemset] = []
+    useful = frozenset(item for c in candidates for item in c)
+    for txn in transactions:
+        items = [item for item in txn if item in useful]
+        hits: dict[int, int] = {}
+        if len(items) >= k:
+            for subset in combinations(items, k):
+                if subset in counts:
+                    counts[subset] += 1
+                    for item in subset:
+                        hits[item] = hits.get(item, 0) + 1
+        if trim:
+            kept = tuple(
+                item for item in items if hits.get(item, 0) >= k
+            )
+            if len(kept) < k + 1:
+                continue
+            txn_next = kept
+        else:
+            txn_next = txn
+        trimmed.append(txn_next)
+        if next_buckets is not None and len(txn_next) > k:
+            for subset in combinations(txn_next, k + 1):
+                next_buckets[_bucket(subset, n_buckets)] += 1
+    return counts, next_buckets, trimmed
+
+
+def _pass_one_chunk(
+    payload: tuple[list[Itemset], int, int]
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Worker task: :func:`_pass_one_core` over one transaction chunk."""
+    transactions, n_items, n_buckets = payload
+    start = time.perf_counter()
+    supports, buckets = _pass_one_core(transactions, n_items, n_buckets)
+    return supports, buckets, time.perf_counter() - start
+
+
+def _count_chunk(
+    payload: tuple[list[Itemset], list[Itemset], int, bool, int, bool]
+) -> tuple[np.ndarray, np.ndarray | None, list[Itemset], float]:
+    """Worker task: :func:`_count_pass_core` over one transaction chunk.
+
+    Counts come back as an int64 vector aligned with the candidate
+    list, so the parent reduces with an elementwise sum.
+    """
+    transactions, candidates, k, build_next_hash, n_buckets, trim = payload
+    start = time.perf_counter()
+    counts, next_buckets, trimmed = _count_pass_core(
+        transactions, candidates, k, build_next_hash, n_buckets, trim
+    )
+    vector = np.fromiter(
+        (counts[c] for c in candidates),
+        dtype=np.int64,
+        count=len(candidates),
+    )
+    return vector, next_buckets, trimmed, time.perf_counter() - start
+
+
+def _even_chunks(items: list[Itemset], n_chunks: int) -> list[list[Itemset]]:
+    """Split *items* into at most *n_chunks* contiguous, ordered runs."""
+    n = len(items)
+    n_chunks = min(n_chunks, n)
+    cuts = [i * n // n_chunks for i in range(n_chunks + 1)]
+    return [items[lo:hi] for lo, hi in zip(cuts, cuts[1:])]
+
+
 class DHP:
     """DHP miner with pluggable candidate pruning.
 
@@ -68,6 +174,11 @@ class DHP:
         Candidate pruner applied before the hash filter (OSSM here).
     max_level:
         Optional cardinality cap.
+    workers:
+        Fan every counting pass (including pass one) out over this
+        many worker processes in contiguous transaction chunks. Counts
+        and bucket tables sum and trimmed runs concatenate in order, so
+        the result is exactly the serial one.
     """
 
     name = "dhp"
@@ -79,6 +190,7 @@ class DHP:
         pruner: CandidatePruner | None = None,
         max_level: int | None = None,
         trim: bool = True,
+        workers: int | None = None,
     ) -> None:
         if n_buckets < 1:
             raise ValueError("n_buckets must be >= 1")
@@ -89,6 +201,92 @@ class DHP:
         self.pruner = pruner if pruner is not None else NullPruner()
         self.max_level = max_level
         self.trim = trim
+        self.workers = workers
+
+    # -- parallel plumbing -------------------------------------------------
+
+    def _make_pool(self, database: TransactionDatabase):
+        """Worker pool for this run, or ``None`` for the serial path."""
+        if self.workers is None:
+            return None
+        # Imported lazily: repro.parallel builds on repro.mining.
+        from ..parallel.plan import resolve_workers
+        from ..parallel.pool import WorkerPool
+
+        workers = resolve_workers(self.workers)
+        if workers <= 1 or len(database) <= 1:
+            return None
+        return WorkerPool(workers)
+
+    def _pass_one_parallel(
+        self, database: TransactionDatabase, pool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked pass one; sums reproduce the serial tables exactly."""
+        from ..parallel.pool import record_fanout
+
+        chunks = _even_chunks(list(database), pool.workers)
+        payloads = [
+            (chunk, database.n_items, self.n_buckets) for chunk in chunks
+        ]
+        start = time.perf_counter()
+        results = pool.run(_pass_one_chunk, payloads)
+        wall = time.perf_counter() - start
+        supports = np.zeros(database.n_items, dtype=np.int64)
+        buckets = np.zeros(self.n_buckets, dtype=np.int64)
+        timings = []
+        for index, (chunk_supports, chunk_buckets, seconds) in enumerate(
+            results
+        ):
+            supports += chunk_supports
+            buckets += chunk_buckets
+            timings.append((index, len(chunks[index]), seconds))
+        record_fanout("parallel.dhp_pass1", timings, wall)
+        return supports, buckets
+
+    def _count_pass_parallel(
+        self,
+        transactions: list[Itemset],
+        candidates: list[Itemset],
+        k: int,
+        build_next_hash: bool,
+        pool,
+    ) -> tuple[dict[Itemset, int], np.ndarray | None, list[Itemset]]:
+        """Chunked counting pass; exact by per-transaction locality."""
+        from ..parallel.pool import record_fanout
+
+        chunks = _even_chunks(transactions, pool.workers)
+        payloads = [
+            (
+                chunk, candidates, k, build_next_hash,
+                self.n_buckets, self.trim,
+            )
+            for chunk in chunks
+        ]
+        start = time.perf_counter()
+        results = pool.run(_count_chunk, payloads)
+        wall = time.perf_counter() - start
+        total = np.zeros(len(candidates), dtype=np.int64)
+        next_buckets = (
+            np.zeros(self.n_buckets, dtype=np.int64)
+            if build_next_hash
+            else None
+        )
+        trimmed: list[Itemset] = []
+        timings = []
+        for index, (vector, chunk_buckets, chunk_trimmed, seconds) in (
+            enumerate(results)
+        ):
+            total += vector
+            if next_buckets is not None and chunk_buckets is not None:
+                next_buckets += chunk_buckets
+            trimmed.extend(chunk_trimmed)
+            timings.append((index, len(chunks[index]), seconds))
+        record_fanout("parallel.dhp_count", timings, wall)
+        counts = {
+            candidate: int(total[index])
+            for index, candidate in enumerate(candidates)
+        }
+        return counts, next_buckets, trimmed
 
     # -- passes ----------------------------------------------------------
 
@@ -96,13 +294,7 @@ class DHP:
         self, database: TransactionDatabase
     ) -> tuple[np.ndarray, np.ndarray]:
         """Count singletons and fill the ``H_2`` bucket table."""
-        supports = np.zeros(database.n_items, dtype=np.int64)
-        buckets = np.zeros(self.n_buckets, dtype=np.int64)
-        for txn in database:
-            supports[list(txn)] += 1
-            for pair in combinations(txn, 2):
-                buckets[_bucket(pair, self.n_buckets)] += 1
-        return supports, buckets
+        return _pass_one_core(database, database.n_items, self.n_buckets)
 
     def _hash_filter(
         self,
@@ -126,35 +318,10 @@ class DHP:
         build_next_hash: bool,
     ) -> tuple[dict[Itemset, int], np.ndarray | None, list[Itemset]]:
         """Count C_k; optionally build ``H_{k+1}`` and trim transactions."""
-        counts: dict[Itemset, int] = {c: 0 for c in candidates}
-        next_buckets = (
-            np.zeros(self.n_buckets, dtype=np.int64) if build_next_hash else None
+        return _count_pass_core(
+            transactions, candidates, k, build_next_hash,
+            self.n_buckets, self.trim,
         )
-        trimmed: list[Itemset] = []
-        useful = frozenset(item for c in candidates for item in c)
-        for txn in transactions:
-            items = [item for item in txn if item in useful]
-            hits: dict[int, int] = {}
-            if len(items) >= k:
-                for subset in combinations(items, k):
-                    if subset in counts:
-                        counts[subset] += 1
-                        for item in subset:
-                            hits[item] = hits.get(item, 0) + 1
-            if self.trim:
-                kept = tuple(
-                    item for item in items if hits.get(item, 0) >= k
-                )
-                if len(kept) < k + 1:
-                    continue
-                txn_next = kept
-            else:
-                txn_next = txn
-            trimmed.append(txn_next)
-            if next_buckets is not None and len(txn_next) > k:
-                for subset in combinations(txn_next, k + 1):
-                    next_buckets[_bucket(subset, self.n_buckets)] += 1
-        return counts, next_buckets, trimmed
 
     # -- driver ------------------------------------------------------------
 
@@ -172,6 +339,7 @@ class DHP:
         )
         start = time.perf_counter()
         metrics = get_registry()
+        pool = self._make_pool(database)
 
         with trace(
             "dhp.mine",
@@ -181,7 +349,12 @@ class DHP:
         ):
             with trace("dhp.level", level=1):
                 with metrics.time("dhp.pass_one_seconds"):
-                    supports, buckets = self._pass_one(database)
+                    if pool is not None:
+                        supports, buckets = self._pass_one_parallel(
+                            database, pool
+                        )
+                    else:
+                        supports, buckets = self._pass_one(database)
                 level1 = result.level(1)
                 level1.candidates_generated = database.n_items
                 singletons = [(int(i),) for i in range(database.n_items)]
@@ -222,9 +395,17 @@ class DHP:
                     stats.candidates_counted = len(survivors)
                     build_next = k + 1 <= self.hash_passes
                     with metrics.time("dhp.count_seconds"):
-                        counts, buckets, transactions = self._count_pass(
-                            transactions, survivors, k, build_next
-                        )
+                        if pool is not None and transactions:
+                            counts, buckets, transactions = (
+                                self._count_pass_parallel(
+                                    transactions, survivors, k,
+                                    build_next, pool,
+                                )
+                            )
+                        else:
+                            counts, buckets, transactions = self._count_pass(
+                                transactions, survivors, k, build_next
+                            )
                     record_bound_gaps(self.pruner, survivors, counts)
                     frequent_prev = sorted(
                         itemset
@@ -242,6 +423,8 @@ class DHP:
                 )
                 k += 1
 
+        if pool is not None:
+            pool.close()
         result.elapsed_seconds = time.perf_counter() - start
         return result
 

@@ -153,6 +153,18 @@ class HashTreeCounter(SupportCounter):
         k = len(candidates[0])
         if any(len(candidate) != k for candidate in candidates):
             raise ValueError("candidates must share one cardinality")
+        if k == 0:
+            # No tree can hash on zero items; the empty itemset is
+            # contained in every transaction (the SupportCounter
+            # contract), so count transactions directly.
+            total = (
+                len(database)
+                if isinstance(database, TransactionDatabase)
+                else sum(1 for _ in database)
+            )
+            for candidate in counts:
+                counts[candidate] = total
+            return counts
         tree = HashTree(k, branch=self.branch, leaf_capacity=self.leaf_capacity)
         for candidate in candidates:
             tree.insert(candidate)

@@ -47,6 +47,23 @@ Itemset = tuple[int, ...]
 LocalPrunerFactory = Callable[[TransactionDatabase, int], CandidatePruner]
 
 
+def _mine_partition(
+    payload: tuple[TransactionDatabase, CandidatePruner, int, int | None]
+) -> tuple[list[Itemset], float]:
+    """Worker task: one phase-1 local mining run.
+
+    Returns the locally frequent itemsets (the parent only needs the
+    keys — phase 2 recounts globally) and the worker's wall time. The
+    union of local results is a set, so completion order is irrelevant.
+    """
+    part, pruner, local_threshold, max_level = payload
+    start = time.perf_counter()
+    local = Apriori(pruner=pruner, max_level=max_level).mine(
+        part, local_threshold
+    )
+    return list(local.frequent), time.perf_counter() - start
+
+
 class Partition:
     """Two-phase partitioned miner with optional OSSM enhancement.
 
@@ -66,6 +83,13 @@ class Partition:
         exclusive with the two explicit arguments.
     max_level:
         Optional cardinality cap forwarded to the local miners.
+    workers:
+        Fan the phase-1 local mining runs out over this many worker
+        processes (one task per partition; local pruners must be
+        picklable) and count phase 2 with a
+        :class:`~repro.parallel.counter.ParallelCounter`. Both phases
+        produce exactly the serial result: the candidate union is
+        order-independent and the parallel counter is exact.
     """
 
     name = "partition"
@@ -77,6 +101,7 @@ class Partition:
         global_pruner: CandidatePruner | None = None,
         auto_ossm: int | None = None,
         max_level: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -93,6 +118,15 @@ class Partition:
         self.global_pruner = global_pruner
         self.auto_ossm = auto_ossm
         self.max_level = max_level
+        self.workers = workers
+
+    def _resolved_workers(self) -> int:
+        if self.workers is None:
+            return 1
+        # Imported lazily: repro.parallel builds on repro.mining.
+        from ..parallel.plan import resolve_workers
+
+        return resolve_workers(self.workers)
 
     # -- OSSM auto-construction ------------------------------------------
 
@@ -157,6 +191,7 @@ class Partition:
             min_support=threshold,
             algorithm=self.name + label,
         )
+        workers = self._resolved_workers()
         start = time.perf_counter()
         metrics = get_registry()
 
@@ -168,20 +203,27 @@ class Partition:
         ):
             # Phase 1: local mining.
             candidates: set[Itemset] = set()
-            with trace("partition.phase1"):
+            with trace("partition.phase1", workers=workers):
+                tasks = []
                 for index, (part, pruner) in enumerate(
                     zip(partitions, local_pruners)
                 ):
                     if len(part) == 0:
                         continue
                     local_threshold = max(1, math.ceil(relative * len(part)))
-                    with trace(
-                        "partition.local", partition=index, size=len(part)
-                    ):
-                        local = Apriori(
-                            pruner=pruner, max_level=self.max_level
-                        ).mine(part, local_threshold)
-                    candidates.update(local.frequent)
+                    tasks.append((index, part, pruner, local_threshold))
+                if workers > 1 and len(tasks) > 1:
+                    self._phase_one_parallel(tasks, candidates, workers)
+                else:
+                    for index, part, pruner, local_threshold in tasks:
+                        with trace(
+                            "partition.local", partition=index,
+                            size=len(part),
+                        ):
+                            local = Apriori(
+                                pruner=pruner, max_level=self.max_level
+                            ).mine(part, local_threshold)
+                        candidates.update(local.frequent)
             metrics.inc("partition.global_candidates", len(candidates))
             logger.debug(
                 "phase 1: %d global candidates from %d partitions",
@@ -189,7 +231,7 @@ class Partition:
             )
 
             # Phase 2: one global counting scan, level by level.
-            counter = SubsetCounter()
+            counter = self._phase_two_counter(workers, global_pruner)
             by_size: dict[int, list[Itemset]] = {}
             for candidate in candidates:
                 by_size.setdefault(len(candidate), []).append(candidate)
@@ -215,8 +257,51 @@ class Partition:
                                 level.frequent += 1
                         record_level_stats(self.name, level)
 
+        closer = getattr(counter, "close", None)
+        if closer is not None:
+            closer()
         result.elapsed_seconds = time.perf_counter() - start
         return result
+
+    # -- parallel plumbing -------------------------------------------------
+
+    def _phase_one_parallel(
+        self,
+        tasks: list[tuple[int, TransactionDatabase, CandidatePruner, int]],
+        candidates: set[Itemset],
+        workers: int,
+    ) -> None:
+        """Fan the local mining runs out, one task per partition."""
+        # Imported lazily: repro.parallel builds on repro.mining.
+        from ..parallel.pool import plain_pool, record_fanout
+
+        payloads = [
+            (part, pruner, local_threshold, self.max_level)
+            for _index, part, pruner, local_threshold in tasks
+        ]
+        start = time.perf_counter()
+        with plain_pool(min(workers, len(payloads))) as pool:
+            results = pool.run(_mine_partition, payloads)
+        wall = time.perf_counter() - start
+        timings = []
+        for (index, part, _pruner, _thr), (frequent, seconds) in zip(
+            tasks, results
+        ):
+            candidates.update(frequent)
+            timings.append((index, len(part), seconds))
+        record_fanout("parallel.partition_local", timings, wall)
+
+    def _phase_two_counter(
+        self, workers: int, global_pruner: CandidatePruner
+    ):
+        """Serial subset counter, or the sharded parallel counter."""
+        if workers <= 1:
+            return SubsetCounter()
+        from ..parallel.counter import ParallelCounter
+
+        ossm = getattr(global_pruner, "ossm", None)
+        sizes = ossm.segment_sizes if ossm is not None else None
+        return ParallelCounter(workers=workers, segment_sizes=sizes)
 
 
 def partition_mine(

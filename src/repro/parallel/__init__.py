@@ -1,0 +1,43 @@
+"""Segment-sharded process-parallel execution layer.
+
+The OSSM's segment structure is an embarrassingly parallel
+decomposition: per-segment singleton supports are independent, support
+is additive over contiguous shards, and Equation (1) is a
+per-candidate computation. This package exploits all three without
+changing a single result — every parallel path is exactly equivalent
+to its serial counterpart (DESIGN.md §9), and ``tests/parallel`` holds
+the differential harness that proves it on every build.
+
+* :class:`~repro.parallel.counter.ParallelCounter` — the
+  :class:`~repro.mining.counting.SupportCounter` that shards the
+  database and sums per-shard int64 counts.
+* :func:`~repro.parallel.ossm.parallel_build_ossm` /
+  :func:`~repro.parallel.ossm.parallel_upper_bounds` /
+  :class:`~repro.parallel.ossm.ParallelOSSMPruner` — parallel OSSM
+  construction and chunk-parallel bound evaluation.
+* :class:`~repro.parallel.plan.ShardPlanner` — segment-aligned shard
+  boundary selection; :func:`~repro.parallel.plan.resolve_workers` —
+  the ``workers=`` / ``REPRO_WORKERS`` knob.
+* :class:`~repro.parallel.pool.WorkerPool` — the process-pool plumbing
+  (payload shipped once per worker, shared-memory candidate tables).
+"""
+
+from .counter import ParallelCounter
+from .ossm import (
+    ParallelOSSMPruner,
+    parallel_build_ossm,
+    parallel_upper_bounds,
+)
+from .plan import ShardPlan, ShardPlanner, resolve_workers
+from .pool import WorkerPool
+
+__all__ = [
+    "ParallelCounter",
+    "ParallelOSSMPruner",
+    "parallel_build_ossm",
+    "parallel_upper_bounds",
+    "ShardPlan",
+    "ShardPlanner",
+    "resolve_workers",
+    "WorkerPool",
+]

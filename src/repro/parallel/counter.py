@@ -1,0 +1,215 @@
+"""The segment-sharded parallel support counter.
+
+:class:`ParallelCounter` implements the
+:class:`~repro.mining.counting.SupportCounter` interface by splitting
+the :class:`~repro.data.transactions.TransactionDatabase` into
+contiguous shards (aligned with OSSM segment boundaries when the
+composition is known), fanning per-shard counting out over a process
+pool, and summing the per-shard count vectors.
+
+The reduction is *exact*, not approximate: the shards partition the
+collection, support is additive over any partition of the transactions,
+and the per-shard vectors are int64 — so the sum equals the serial
+count for every candidate, bit for bit, regardless of worker count or
+completion order (integer addition commutes). DESIGN.md §9 spells the
+argument out; ``tests/parallel`` holds the differential harness that
+checks it against every serial engine.
+
+Inside each shard the worker runs one of the ordinary serial engines
+(``tidset`` by default — its per-shard verticalization is cached across
+Apriori levels), so the parallel path never re-implements counting
+logic it would then have to keep equivalent by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..data.transactions import TransactionDatabase
+from ..mining.counting import SupportCounter
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
+from .plan import ShardPlan, ShardPlanner, resolve_workers
+from .pool import (
+    ENGINES,
+    WorkerPool,
+    count_shard,
+    init_shards,
+    publish_int64,
+    record_fanout,
+)
+
+__all__ = ["ParallelCounter"]
+
+Itemset = tuple[int, ...]
+
+
+class ParallelCounter(SupportCounter):
+    """Exact support counting fanned out over segment-aligned shards.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` consults ``REPRO_WORKERS`` then the CPU
+        count (see :func:`~repro.parallel.plan.resolve_workers`).
+    engine:
+        Serial engine run inside each shard: ``"subset"``, ``"tidset"``
+        (default), or ``"hashtree"``. All three produce identical
+        counts; the choice is a per-shard performance knob.
+    planner:
+        Shard-boundary policy (default :class:`ShardPlanner`).
+    segment_sizes:
+        OSSM segment composition of the databases this counter will
+        see. When given (and consistent with the database), shard cuts
+        snap to segment boundaries; when absent or inconsistent, the
+        planner falls back to an even split. Either way the counts are
+        exact — alignment only matters for reusing segment structure.
+
+    The pool is bound lazily to the first counted database and reused
+    as long as the same database object keeps arriving (the Apriori
+    level loop), so workers pay shard setup once per mining run. Call
+    :meth:`close` (or use as a context manager) to release the worker
+    processes deterministically.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        engine: str = "tidset",
+        planner: ShardPlanner | None = None,
+        segment_sizes: Sequence[int] | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+        self.planner = planner if planner is not None else ShardPlanner()
+        self.segment_sizes = (
+            tuple(int(size) for size in segment_sizes)
+            if segment_sizes is not None
+            else None
+        )
+        self._pool: WorkerPool | None = None
+        self._plan: ShardPlan | None = None
+        self._database: TransactionDatabase | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+        self._pool = None
+        self._plan = None
+        self._database = None
+
+    def __enter__(self) -> "ParallelCounter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+    # -- binding ---------------------------------------------------------
+
+    def _bind(
+        self, database: TransactionDatabase
+    ) -> tuple[ShardPlan, WorkerPool]:
+        """Shard *database* and (re)create the pool if it changed.
+
+        Holding a strong reference to the bound database is deliberate:
+        it pins the object so a recycled ``id`` can never alias a stale
+        shard snapshot in the workers.
+        """
+        plan = self.planner.plan(
+            len(database), self.workers, self.segment_sizes
+        )
+        if (
+            self._pool is not None
+            and self._plan is not None
+            and database is self._database
+            and plan.boundaries == self._plan.boundaries
+        ):
+            return self._plan, self._pool
+        self.close()
+        shards = tuple(database[lo:hi] for lo, hi in plan.ranges())
+        pool = WorkerPool(
+            min(self.workers, plan.n_shards), init_shards, shards
+        )
+        self._pool = pool
+        self._plan = plan
+        self._database = database
+        return plan, pool
+
+    # -- counting --------------------------------------------------------
+
+    def count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        with get_registry().time("counting.parallel_seconds"):
+            return self._count(database, candidates)
+
+    def _count(
+        self,
+        database: Iterable[Itemset] | TransactionDatabase,
+        candidates: Sequence[Itemset],
+    ) -> dict[Itemset, int]:
+        counts: dict[Itemset, int] = {
+            candidate: 0 for candidate in candidates
+        }
+        if not counts:
+            return counts
+        k = len(candidates[0])
+        if any(len(candidate) != k for candidate in candidates):
+            raise ValueError("candidates must share one cardinality")
+        if not isinstance(database, TransactionDatabase):
+            database = TransactionDatabase(database)
+        n_transactions = len(database)
+        if n_transactions == 0:
+            return counts
+        if k == 0:
+            # The empty itemset is contained in every transaction.
+            for candidate in counts:
+                counts[candidate] = n_transactions
+            return counts
+        plan, pool = self._bind(database)
+        ordered = list(counts)
+        table = np.asarray(ordered, dtype=np.int64)
+        segment = publish_int64(table)
+        payloads = [
+            (index, self.engine, segment.name, len(ordered), k)
+            for index in range(plan.n_shards)
+        ]
+        start = time.perf_counter()
+        try:
+            with trace(
+                "parallel.count",
+                shards=plan.n_shards,
+                workers=pool.workers,
+                candidates=len(ordered),
+                k=k,
+            ):
+                results = pool.run(count_shard, payloads)
+        finally:
+            segment.close()
+            segment.unlink()
+        wall = time.perf_counter() - start
+        total = np.zeros(len(ordered), dtype=np.int64)
+        sizes = plan.sizes
+        timings: list[tuple[int, int, float]] = []
+        for shard_index, vector, seconds in results:
+            total += vector
+            timings.append((shard_index, sizes[shard_index], seconds))
+        record_fanout("parallel.count", timings, wall)
+        for index, candidate in enumerate(ordered):
+            counts[candidate] = int(total[index])
+        return counts

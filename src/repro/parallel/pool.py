@@ -1,0 +1,340 @@
+"""Worker-process machinery for the segment-sharded execution layer.
+
+Everything process-related lives here so the public classes
+(:class:`~repro.parallel.counter.ParallelCounter`, the parallel OSSM
+builders) stay free of pool plumbing:
+
+* :class:`WorkerPool` — a ``ProcessPoolExecutor`` whose workers hold
+  one immutable payload (the shard databases, or an OSSM matrix).
+  Under the ``fork`` start method the payload is inherited by
+  reference at worker creation — zero serialization; under ``spawn``
+  it is pickled once per worker process, never per task.
+* shared-memory transport for the candidate table: candidates of one
+  cardinality form an ``n × k`` **int64** matrix (integer support
+  arithmetic only — the same discipline the bound-soundness lint
+  enforces), published once per counting call and attached read-only
+  by every worker.
+* the fan-out telemetry helpers: one ``parallel.shard`` span per shard
+  (worker-measured wall time) plus the ``parallel.*`` timers and the
+  fan-out overhead counter, all through the existing :mod:`repro.obs`
+  seam.
+
+Worker functions are module-level (picklable by reference) and return
+plain ``(index, int64 vector/matrix, seconds)`` tuples, so reductions
+in the parent are explicit and exact: per-shard counts are summed,
+per-shard rows are concatenated in shard order. No float ever touches
+a support value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Iterator, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.ossm import OSSM
+from ..data.transactions import TransactionDatabase
+from ..mining.counting import SubsetCounter, SupportCounter, TidsetCounter
+from ..mining.hash_tree import HashTreeCounter
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
+
+__all__ = [
+    "WorkerPool",
+    "plain_pool",
+    "ENGINES",
+    "publish_int64",
+    "attach_int64",
+    "record_fanout",
+    "count_shard",
+    "segment_rows_shard",
+    "bounds_chunk",
+    "init_shards",
+    "init_bound_map",
+]
+
+Itemset = tuple[int, ...]
+
+#: Names of the per-shard counting engines a worker can instantiate.
+#: Strings (not instances) cross the process boundary, so every worker
+#: builds — and caches — its own engine per shard.
+ENGINES: tuple[str, ...] = ("subset", "tidset", "hashtree")
+
+_ENGINE_FACTORIES: dict[str, Callable[[], SupportCounter]] = {
+    "subset": SubsetCounter,
+    "tidset": TidsetCounter,
+    "hashtree": HashTreeCounter,
+}
+
+# -- worker-side state -------------------------------------------------------
+
+#: Shard databases held by this worker process (set by :func:`init_shards`).
+_SHARDS: tuple[TransactionDatabase, ...] = ()
+#: OSSM reconstructed in this worker (set by :func:`init_bound_map`).
+_BOUND_MAP: OSSM | None = None
+#: Per-(shard, engine) counter cache; lets the tidset engine pay its
+#: verticalization once per shard instead of once per level.
+_ENGINE_CACHE: dict[tuple[int, str], SupportCounter] = {}
+
+
+def init_shards(shards: tuple[TransactionDatabase, ...]) -> None:
+    """Pool initializer: install the shard snapshot in this worker."""
+    global _SHARDS
+    _SHARDS = shards
+    _ENGINE_CACHE.clear()
+
+
+def init_bound_map(matrix: np.ndarray) -> None:
+    """Pool initializer: rebuild the OSSM from its support matrix."""
+    global _BOUND_MAP
+    _BOUND_MAP = OSSM(matrix)
+
+
+def _shard_engine(shard_index: int, engine: str) -> SupportCounter:
+    key = (shard_index, engine)
+    counter = _ENGINE_CACHE.get(key)
+    if counter is None:
+        counter = _ENGINE_FACTORIES[engine]()
+        _ENGINE_CACHE[key] = counter
+    return counter
+
+
+# -- shared-memory transport -------------------------------------------------
+
+
+def publish_int64(array: np.ndarray) -> shared_memory.SharedMemory:
+    """Copy an int64 array into a fresh shared-memory segment.
+
+    The caller owns the segment: ``close()`` *and* ``unlink()`` it once
+    every worker has finished. Only int64 payloads are accepted — the
+    candidate table and the OSSM matrix are integer data by contract.
+    """
+    if array.dtype != np.int64:
+        raise TypeError(f"shared arrays must be int64, got {array.dtype}")
+    if array.size == 0:
+        raise ValueError("refusing to share an empty array")
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+    view[:] = array
+    return segment
+
+
+def attach_int64(
+    name: str, shape: tuple[int, ...]
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach a segment published by :func:`publish_int64` (worker side).
+
+    Returns the live view and the handle; the caller must ``close()``
+    the handle (never ``unlink()`` — the parent owns the segment) after
+    copying what it needs out of the view.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+    return view, segment
+
+
+# -- worker task functions ---------------------------------------------------
+
+
+def count_shard(
+    payload: tuple[int, str, str, int, int]
+) -> tuple[int, np.ndarray, float]:
+    """Count the shared candidate table against one shard.
+
+    Payload: ``(shard_index, engine, shm_name, n_candidates, k)``.
+    Returns ``(shard_index, int64 count vector, worker_seconds)``; the
+    vector is aligned with the candidate table's row order, so parent-
+    side reduction is a plain elementwise sum.
+    """
+    shard_index, engine, shm_name, n_candidates, k = payload
+    start = time.perf_counter()
+    view, segment = attach_int64(shm_name, (n_candidates, k))
+    try:
+        candidates: list[Itemset] = [tuple(map(int, row)) for row in view]
+    finally:
+        segment.close()
+    counter = _shard_engine(shard_index, engine)
+    counts = counter.count(_SHARDS[shard_index], candidates)
+    vector = np.fromiter(
+        (counts[candidate] for candidate in candidates),
+        dtype=np.int64,
+        count=n_candidates,
+    )
+    return shard_index, vector, time.perf_counter() - start
+
+
+def segment_rows_shard(
+    payload: tuple[int, tuple[int, ...]]
+) -> tuple[int, np.ndarray, list[int], float]:
+    """Per-segment singleton support rows for one shard's segments.
+
+    Payload: ``(shard_index, local_cuts)`` where *local_cuts* are the
+    segment boundaries relative to the shard start. Returns the rows in
+    segment order plus the segment sizes, so the parent's concatenation
+    reproduces the serial OSSM exactly.
+    """
+    shard_index, local_cuts = payload
+    start = time.perf_counter()
+    shard = _SHARDS[shard_index]
+    rows: list[np.ndarray] = []
+    sizes: list[int] = []
+    for lo, hi in zip(local_cuts, local_cuts[1:]):
+        segment = shard[lo:hi]
+        rows.append(segment.item_supports())
+        sizes.append(len(segment))
+    matrix = np.vstack(rows)
+    return shard_index, matrix, sizes, time.perf_counter() - start
+
+
+def bounds_chunk(
+    payload: tuple[int, str, int, int, int]
+) -> tuple[int, np.ndarray, float]:
+    """Equation (1) bounds for one chunk of the shared candidate table.
+
+    Payload: ``(chunk_index, shm_name, n_candidates, k, lo, hi)`` is
+    packed as ``(chunk_index, shm_name, n_candidates, k, (lo, hi))``
+    would be redundant — the chunk's row range is ``[lo, hi)`` of the
+    shared table. Uses the worker's reconstructed OSSM, so the bound
+    arithmetic is byte-for-byte the serial ``upper_bounds`` path.
+    """
+    chunk_index, shm_name, n_candidates, k, lo, hi = payload  # type: ignore[misc]
+    start = time.perf_counter()
+    if _BOUND_MAP is None:
+        raise RuntimeError("worker missing bound map; wrong initializer")
+    view, segment = attach_int64(shm_name, (n_candidates, k))
+    try:
+        chunk = np.array(view[lo:hi], dtype=np.int64, copy=True)
+    finally:
+        segment.close()
+    bounds = _BOUND_MAP.upper_bounds(chunk)
+    return chunk_index, bounds, time.perf_counter() - start
+
+
+# -- the pool ----------------------------------------------------------------
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where the platform offers it (payloads inherit for
+    free), the platform default otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A process pool whose workers hold one immutable payload.
+
+    The payload travels through the pool *initializer*: with the
+    ``fork`` start method workers inherit it by reference at creation
+    (no serialization at all); with ``spawn`` it is pickled once per
+    worker process — never once per task, which is what makes reusing
+    the pool across Apriori levels cheap.
+
+    Pools hold OS processes, so lifetime is explicit: use as a context
+    manager or call :meth:`close`. Dropping the last reference also
+    shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Callable[..., None] | None = None,
+        payload: Any = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        kwargs: dict[str, Any] = {}
+        if initializer is not None:
+            kwargs["initializer"] = initializer
+            kwargs["initargs"] = (payload,)
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_preferred_context(),
+            **kwargs,
+        )
+
+    def run(
+        self,
+        task: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> list[Any]:
+        """Run *task* over *payloads*; results in payload order."""
+        if self._executor is None:
+            raise RuntimeError("pool is closed")
+        futures: list[Future[Any]] = [
+            self._executor.submit(task, payload) for payload in payloads
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+
+@contextmanager
+def plain_pool(workers: int) -> Iterator[WorkerPool]:
+    """A payload-less :class:`WorkerPool` (task args pickled per task)."""
+    pool = WorkerPool(workers)
+    try:
+        yield pool
+    finally:
+        pool.close()
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+def record_fanout(
+    kind: str,
+    timings: Sequence[tuple[int, int, float]],
+    wall_seconds: float,
+) -> None:
+    """Record one fan-out: per-shard spans plus overhead metrics.
+
+    *timings* is ``(shard_index, shard_size, worker_seconds)`` per
+    shard. Each shard becomes a ``<kind>.shard`` span whose elapsed
+    time is the worker-measured wall time (the parent cannot time the
+    remote work directly). Fan-out overhead — parent wall time beyond
+    the busiest shard, i.e. serialization + scheduling — lands in
+    ``<kind>.fanout_overhead_seconds``, and ``<kind>.fanouts`` counts
+    dispatches.
+    """
+    for shard_index, size, seconds in timings:
+        with trace(
+            f"{kind}.shard", shard=shard_index, transactions=size
+        ) as span:
+            pass
+        if span is not None:
+            span.elapsed_seconds = seconds
+    registry = get_registry()
+    if registry.enabled:
+        timer = registry.timer(f"{kind}.shard_seconds")
+        busiest = 0.0
+        for _shard_index, _size, seconds in timings:
+            timer.observe(seconds)
+            if seconds > busiest:
+                busiest = seconds
+        overhead = wall_seconds - busiest
+        if overhead < 0.0:
+            overhead = 0.0
+        registry.timer(f"{kind}.fanout_overhead_seconds").observe(overhead)
+        registry.inc(f"{kind}.fanouts")
+        registry.inc(f"{kind}.shards", len(timings))

@@ -44,6 +44,25 @@ class TestEngineContract:
         with pytest.raises(ValueError, match="cardinality"):
             engine.count(tiny_db, [(0,), (0, 1)])
 
+    # The explicit empty-input contract (SupportCounter docstring):
+    # every engine, serial or parallel, must agree on these.
+
+    def test_empty_database_counts_zero(self, engine):
+        empty = TransactionDatabase([], n_items=3)
+        assert engine.count(empty, [(0,), (2,)]) == {(0,): 0, (2,): 0}
+
+    def test_empty_itemset_counts_every_transaction(self, engine, tiny_db):
+        assert engine.count(tiny_db, [()]) == {(): len(tiny_db)}
+
+    def test_empty_itemset_on_empty_database(self, engine):
+        empty = TransactionDatabase([], n_items=3)
+        assert engine.count(empty, [()]) == {(): 0}
+
+    def test_out_of_domain_items_count_zero(self, engine, tiny_db):
+        counts = engine.count(tiny_db, [(0, 99), (0, 1)])
+        assert counts[(0, 99)] == 0
+        assert counts[(0, 1)] == tiny_db.support((0, 1))
+
     def test_engines_agree_on_random_data(self, engine, quest_db):
         candidates = list(combinations(range(0, 20), 2))
         reference = {

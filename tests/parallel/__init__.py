@@ -1,0 +1,1 @@
+"""Differential and property tests for the parallel counting engine."""

@@ -1,0 +1,146 @@
+"""Parallel OSSM construction and chunk-parallel Equation (1) bounds.
+
+Soundness is the paper's core invariant — ``ŝup(X) >= sup(X)`` for
+every candidate — and the parallel evaluation must preserve it the
+strongest possible way: by returning the *same* bound vector as the
+serial code, element for element, on every segment composition we can
+throw at it (empty segments, single-transaction segments, all-ties
+collections, skewed splits).
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.ossm import build_from_database
+from repro.data import TransactionDatabase
+from repro.mining import OSSMPruner
+from repro.parallel import (
+    ParallelOSSMPruner,
+    parallel_build_ossm,
+    parallel_upper_bounds,
+)
+
+from ._support import N_ITEMS, given_database, pathological_compositions
+
+#: One candidate batch per cardinality — Equation (1) is evaluated per
+#: Apriori level, so each batch is uniform like the real call sites.
+CANDIDATE_LEVELS = (
+    [(i,) for i in range(N_ITEMS)],
+    list(combinations(range(N_ITEMS), 2)),
+    list(combinations(range(5), 3)),
+)
+
+PAIRS = CANDIDATE_LEVELS[1]
+
+
+# -- properties over arbitrary databases and compositions ---------------
+
+
+@given_database(max_examples=6)
+def test_parallel_build_matches_serial_on_pathological_cuts(db):
+    for cuts in pathological_compositions(len(db)):
+        serial = build_from_database(db, cuts)
+        parallel = parallel_build_ossm(db, cuts, workers=2)
+        assert np.array_equal(parallel.matrix, serial.matrix)
+        assert parallel.segment_sizes == serial.segment_sizes
+
+
+@given_database(max_examples=6)
+def test_parallel_bounds_equal_serial_and_stay_sound(db):
+    for cuts in pathological_compositions(len(db)):
+        ossm = build_from_database(db, cuts)
+        for candidates in CANDIDATE_LEVELS:
+            serial = ossm.upper_bounds(candidates)
+            parallel = parallel_upper_bounds(ossm, candidates, workers=2)
+            assert np.array_equal(parallel, serial)
+            for candidate, bound in zip(candidates, parallel):
+                assert int(bound) >= db.support(candidate)
+
+
+# -- deterministic pathological cases -----------------------------------
+
+
+@pytest.fixture(scope="module")
+def ties_db():
+    """Every transaction identical: the all-ties composition."""
+    return TransactionDatabase([(0, 2, 5)] * 24, n_items=N_ITEMS)
+
+
+def test_all_ties_single_transaction_segments(ties_db):
+    cuts = list(range(len(ties_db) + 1))  # one transaction per segment
+    ossm = build_from_database(ties_db, cuts)
+    for workers in (2, 3, 4):
+        bounds = parallel_upper_bounds(ossm, PAIRS, workers=workers)
+        assert np.array_equal(bounds, ossm.upper_bounds(PAIRS))
+    # The bound is tight here: every segment is pure.
+    assert parallel_upper_bounds(ossm, [(0, 2, 5)], workers=2)[0] == len(
+        ties_db
+    )
+    assert parallel_upper_bounds(ossm, [(0, 1), (2, 5)], workers=2)[
+        0
+    ] == 0
+
+
+def test_skewed_composition_matches_serial(quest_db):
+    n = len(quest_db)
+    cuts = [0, 1, 2, 3, n // 2, n // 2, n - 1, n]
+    ossm = build_from_database(quest_db, cuts)
+    for workers in (2, 3, 4):
+        built = parallel_build_ossm(quest_db, cuts, workers=workers)
+        assert np.array_equal(built.matrix, ossm.matrix)
+        for candidates in CANDIDATE_LEVELS:
+            assert np.array_equal(
+                parallel_upper_bounds(ossm, candidates, workers=workers),
+                ossm.upper_bounds(candidates),
+            )
+
+
+def test_degenerate_candidate_sets(quest_db):
+    ossm = build_from_database(
+        quest_db, [0, len(quest_db) // 2, len(quest_db)]
+    )
+    # Zero candidates and single candidates delegate to the serial path.
+    assert parallel_upper_bounds(ossm, [], workers=4).shape == (0,)
+    lone = parallel_upper_bounds(ossm, [(0, 1)], workers=4)
+    assert np.array_equal(lone, ossm.upper_bounds([(0, 1)]))
+
+
+def test_build_validates_boundaries(quest_db):
+    with pytest.raises(ValueError, match="non-decreasing"):
+        parallel_build_ossm(quest_db, [0, 10, 5, len(quest_db)], workers=2)
+    with pytest.raises(ValueError, match="start at 0"):
+        parallel_build_ossm(quest_db, [1, len(quest_db)], workers=2)
+
+
+# -- the drop-in parallel pruner ----------------------------------------
+
+
+def test_parallel_pruner_is_a_drop_in(quest_db):
+    n = len(quest_db)
+    ossm = build_from_database(quest_db, [0, n // 3, n // 3, 2 * n // 3, n])
+    serial = OSSMPruner(ossm)
+    with ParallelOSSMPruner(ossm, workers=3) as parallel:
+        assert parallel.label == serial.label == "+ossm"
+        for candidates in CANDIDATE_LEVELS:
+            for threshold in (1, 5, 40):
+                assert parallel.prune(
+                    candidates, threshold
+                ) == serial.prune(candidates, threshold)
+            assert np.array_equal(
+                parallel.candidate_bounds(candidates),
+                serial.candidate_bounds(candidates),
+            )
+        assert parallel.prune([], 5) == []
+        assert parallel.candidate_bounds([]) is None
+
+
+def test_parallel_pruner_close_is_idempotent(quest_db):
+    ossm = build_from_database(quest_db, [0, len(quest_db)])
+    pruner = ParallelOSSMPruner(ossm, workers=2)
+    pruner.prune(PAIRS, 5)
+    pruner.close()
+    pruner.close()
+    # Usable again after close: the pool is rebuilt lazily.
+    assert pruner.prune(PAIRS, 5) == OSSMPruner(ossm).prune(PAIRS, 5)

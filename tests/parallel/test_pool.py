@@ -1,0 +1,95 @@
+"""Worker-pool plumbing: shared memory, ordering, and fan-out telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import Apriori
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import TraceRecorder, use_recorder
+from repro.parallel import ParallelCounter, WorkerPool
+from repro.parallel.pool import attach_int64, publish_int64
+
+
+class TestSharedMemory:
+    def test_round_trip(self):
+        table = np.arange(12, dtype=np.int64).reshape(4, 3)
+        segment = publish_int64(table)
+        try:
+            view, handle = attach_int64(segment.name, table.shape)
+            copied = np.array(view, dtype=np.int64, copy=True)
+            handle.close()
+            assert np.array_equal(copied, table)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_rejects_non_int64(self):
+        with pytest.raises(TypeError, match="int64"):
+            publish_int64(np.ones((2, 2), dtype=np.float64))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            publish_int64(np.zeros((0, 2), dtype=np.int64))
+
+
+def _echo(payload):
+    return payload * 10
+
+
+class TestWorkerPool:
+    def test_results_follow_payload_order(self):
+        with WorkerPool(2) as pool:
+            assert pool.run(_echo, list(range(8))) == [
+                i * 10 for i in range(8)
+            ]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.run(_echo, [1])
+        pool.close()
+        pool.close()
+
+
+class TestFanoutTelemetry:
+    def _mine(self, db):
+        recorder = TraceRecorder()
+        registry = MetricsRegistry()
+        counter = ParallelCounter(workers=2)
+        with use_recorder(recorder), use_registry(registry), counter:
+            Apriori(counter=counter, max_level=2).mine(db, 2)
+        return recorder, registry
+
+    @pytest.fixture()
+    def run(self, tiny_db):
+        db = TransactionDatabase(list(tiny_db) * 4, n_items=tiny_db.n_items)
+        return self._mine(db)
+
+    def test_per_shard_spans_recorded(self, run):
+        recorder, _registry = run
+        spans = []
+
+        def walk(span):
+            spans.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in recorder.roots:
+            walk(root)
+        count_spans = [s for s in spans if s.name == "parallel.count"]
+        shard_spans = [s for s in spans if s.name == "parallel.count.shard"]
+        assert count_spans, "no parallel.count span recorded"
+        assert len(shard_spans) >= 2  # one per shard, >= 2 shards
+        for span in shard_spans:
+            assert {"shard", "transactions"} <= set(span.metadata)
+
+    def test_fanout_metrics_recorded(self, run):
+        _recorder, registry = run
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["parallel.count.fanouts"] >= 1
+        assert counters["parallel.count.shards"] >= 2
+        timers = snapshot["timers"]
+        assert timers["parallel.count.shard_seconds"]["count"] >= 2
+        assert "parallel.count.fanout_overhead_seconds" in timers
+        assert timers["counting.parallel_seconds"]["count"] >= 1

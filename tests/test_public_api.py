@@ -9,6 +9,7 @@ PACKAGES = [
     "repro.core",
     "repro.data",
     "repro.mining",
+    "repro.parallel",
     "repro.bench",
     "repro.obs",
 ]
@@ -55,5 +56,7 @@ def test_key_symbols_reachable_from_top_level():
         "partition_mine", "depth_project", "gsp",
         "mine_parallel_episodes", "mine_serial_episodes",
         "OSSMPruner", "generate_rules", "recommend",
+        "ParallelCounter", "ParallelOSSMPruner", "parallel_build_ossm",
+        "ShardPlanner",
     ):
         assert hasattr(repro, name), name
