@@ -1,0 +1,157 @@
+"""Closed-loop load test of the online bound-query service.
+
+A fleet of client coroutines issues bound queries back-to-back (each
+client sends its next query only after the previous answer arrives —
+a closed loop, so the offered load adapts to service speed). The
+query stream is skewed: itemsets are drawn from a small popular pool
+plus a long uniform tail, the access pattern the epoch-tagged LRU
+cache exists for.
+
+Emits one ``BENCH {json}`` line with throughput, p50/p99 latency, and
+the cache hit rate, and asserts:
+
+* every served bound equals the serial Equation (1) value;
+* the hit rate on the skewed stream is strictly positive.
+
+Scale knobs: ``REPRO_SERVE_BENCH_QUERIES`` overrides the per-client
+query count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import time
+
+from _shared import report
+from repro.bench import format_table
+from repro.bench.workloads import QuestConfig, QuestGenerator, current_scale
+from repro.core import GreedySegmenter
+from repro.data.pages import PagedDatabase
+from repro.serve import BoundQueryService
+
+N_CLIENTS = 8
+POPULAR_POOL = 32
+TAIL_POOL = 512
+POPULAR_SHARE = 0.7
+N_SEGMENTS = 40
+
+
+def _workload():
+    scale = current_scale()
+    config = QuestConfig(
+        n_transactions=scale.n_transactions,
+        n_items=scale.n_items,
+        avg_transaction_len=10.0,
+        avg_pattern_len=4.0,
+        n_patterns=scale.n_patterns,
+        seed=13,
+    )
+    return QuestGenerator(config).generate()
+
+
+def _query_stream(n_items: int, n_queries: int, seed: int):
+    """Skewed itemset stream: hot pool with a uniform cold tail."""
+    rng = random.Random(seed)
+
+    def draw_itemset():
+        size = rng.choice((1, 2, 2, 3))
+        return tuple(sorted(rng.sample(range(n_items), size)))
+
+    popular = [draw_itemset() for _ in range(POPULAR_POOL)]
+    tail = [draw_itemset() for _ in range(TAIL_POOL)]
+    stream = []
+    for _ in range(n_queries):
+        if rng.random() < POPULAR_SHARE:
+            stream.append(rng.choice(popular))
+        else:
+            stream.append(rng.choice(tail))
+    return stream
+
+
+async def _closed_loop(service, streams):
+    """Each client issues its stream back-to-back; returns latencies."""
+    latencies: list[float] = []
+
+    async def client(stream):
+        for itemset in stream:
+            start = time.perf_counter()
+            await service.query(itemset)
+            latencies.append(time.perf_counter() - start)
+
+    await asyncio.gather(*(client(stream) for stream in streams))
+    return latencies
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_serve_closed_loop_load():
+    db = _workload()
+    paged = PagedDatabase(db, page_size=100)
+    ossm = GreedySegmenter().segment(paged, n_segments=N_SEGMENTS).ossm
+
+    per_client = int(os.environ.get("REPRO_SERVE_BENCH_QUERIES", "250"))
+    streams = [
+        _query_stream(ossm.n_items, per_client, seed=100 + client)
+        for client in range(N_CLIENTS)
+    ]
+
+    service = BoundQueryService(ossm, cache_size=2048)
+
+    async def run():
+        async with service:
+            start = time.perf_counter()
+            latencies = await _closed_loop(service, streams)
+            wall = time.perf_counter() - start
+
+            # Exactness spot-check: replay a sample against the serial
+            # Equation (1) path.
+            sample = streams[0][:50]
+            served = await service.query_batch(sample)
+            serial = [ossm.upper_bound(itemset) for itemset in sample]
+            assert served == serial
+            return latencies, wall
+
+    latencies, wall = asyncio.run(run())
+    stats = service.stats()
+    hit_rate = stats["cache"]["hit_rate"]
+    assert hit_rate > 0, "skewed stream must produce cache hits"
+
+    n_queries = len(latencies)
+    latencies.sort()
+    record = {
+        "bench": "serve_closed_loop",
+        "clients": N_CLIENTS,
+        "queries": n_queries,
+        "wall_seconds": round(wall, 4),
+        "throughput_qps": round(n_queries / wall, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "cache_hit_rate": round(hit_rate, 4),
+        "cache_evictions": stats["cache"]["evictions"],
+        "epoch": stats["epoch"],
+    }
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+    rows = [
+        [
+            str(N_CLIENTS),
+            str(n_queries),
+            f"{record['throughput_qps']:.0f}",
+            f"{record['p50_ms']:.2f}",
+            f"{record['p99_ms']:.2f}",
+            f"{hit_rate:.0%}",
+        ]
+    ]
+    report(
+        "Online bound service — closed-loop load",
+        format_table(
+            ["clients", "queries", "qps", "p50 ms", "p99 ms", "hit rate"],
+            rows,
+        ),
+    )

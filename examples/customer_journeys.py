@@ -44,7 +44,7 @@ def main() -> None:
     )
     flattened = customers.flattened()
     ossm = GreedySegmenter().segment(
-        PagedDatabase(flattened, page_size=20), n_user=16
+        PagedDatabase(flattened, page_size=20), n_segments=16
     ).ossm
 
     minsup = 0.2
@@ -77,7 +77,7 @@ def main() -> None:
 
     # --- correlations over individual baskets ---------------------------
     basket_ossm = GreedySegmenter().segment(
-        PagedDatabase(db, page_size=40), n_user=16
+        PagedDatabase(db, page_size=40), n_segments=16
     ).ossm
     correlated = mine_correlations(
         db, 0.01, significance=0.01,

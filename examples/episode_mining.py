@@ -43,7 +43,7 @@ def main() -> None:
     # One OSSM over the windowed transactions serves both miners.
     window_db = WindowView(sequence, width).to_database()
     paged = PagedDatabase(window_db, page_size=40)
-    ossm = GreedySegmenter().segment(paged, n_user=16).ossm
+    ossm = GreedySegmenter().segment(paged, n_segments=16).ossm
     pruner = OSSMPruner(ossm)
 
     minsup = 0.2

@@ -51,7 +51,7 @@ def main() -> None:
         # Everything inside this block is traced and metered — the
         # segmentation span lands next to the mining spans.
         paged = PagedDatabase(db, page_size=40)
-        ossm = GreedySegmenter().segment(paged, n_user=60).ossm
+        ossm = GreedySegmenter().segment(paged, n_segments=60).ossm
         result = Apriori(pruner=OSSMPruner(ossm), max_level=3).mine(
             db, 0.01
         )

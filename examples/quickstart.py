@@ -38,7 +38,7 @@ def main() -> None:
     # cell that is 100 * 1000 * 2 = 200 kB — the paper's "light-weight
     # structure" (Section 6.2 quotes 0.2 MB for exactly this shape).
     paged = PagedDatabase(db, page_size=50)
-    segmentation = GreedySegmenter().segment(paged, n_user=100)
+    segmentation = GreedySegmenter().segment(paged, n_segments=100)
     ossm = segmentation.ossm
     print(
         f"segmented {paged.n_pages} pages -> {ossm.n_segments} segments "

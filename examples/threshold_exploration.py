@@ -39,7 +39,7 @@ def main() -> None:
     paged = PagedDatabase(db, page_size=50)
 
     start = time.perf_counter()
-    ossm = GreedySegmenter().segment(paged, n_user=60).ossm
+    ossm = GreedySegmenter().segment(paged, n_segments=60).ossm
     build_seconds = time.perf_counter() - start
     print(
         f"compile-time: built a {ossm.n_segments}-segment OSSM in "

@@ -40,6 +40,8 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "core/bubble.py",
     "parallel/counter.py",
     "parallel/pool.py",
+    "serve/cache.py",
+    "serve/service.py",
 )
 
 #: Method names that record telemetry; a call to one of these (or to a

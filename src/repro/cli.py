@@ -6,6 +6,9 @@ Subcommands cover the full pipeline:
   file;
 * ``ossm`` — segment a transaction file and save the resulting OSSM;
 * ``mine`` — run a miner (optionally OSSM-accelerated) over a file;
+* ``serve`` — answer Equation (1) bound queries from a saved OSSM
+  through the online :class:`~repro.serve.service.BoundQueryService`
+  (epoch-tagged cache, coalescing, back-pressure);
 * ``recipe`` — print the Figure 7 strategy recommendation.
 
 Every subcommand accepts the observability flags ``--log-level``,
@@ -19,6 +22,7 @@ bound-tightness histogram, counting timers).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import contextlib
 import sys
 from collections.abc import Sequence
@@ -47,6 +51,7 @@ from .obs.instrument import record_ossm_build
 from .obs.log import configure_logging, get_logger
 from .obs.metrics import MetricsRegistry, use_registry
 from .obs.trace import TraceRecorder, use_recorder
+from .serve.service import BoundQueryService
 
 __all__ = ["main"]
 
@@ -135,8 +140,35 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--workers", type=int, default=0,
                       help="worker processes for counting (0 = serial; "
                            "apriori/dhp/partition only)")
+    mine.add_argument("--engine", default=None,
+                      choices=("subset", "tidset", "hashtree", "parallel"),
+                      help="counting engine (registry name; "
+                           "apriori/partition only)")
     mine.add_argument("--top", type=int, default=20,
                       help="itemsets to print (0 = all)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer Equation (1) bound queries from a saved OSSM",
+        parents=[obs],
+    )
+    serve.add_argument("--ossm", required=True, help="OSSM .npz path")
+    serve.add_argument(
+        "--queries", default="-", metavar="PATH",
+        help="itemset-per-line query file ('-' = stdin; items "
+             "comma/space separated)",
+    )
+    serve.add_argument("--batch", type=int, default=64,
+                       help="itemsets per service batch")
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--max-pending", type=int, default=1024)
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-batch timeout in seconds")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for batch evaluation "
+                            "(0 = serial)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="print only the summary line")
 
     recipe = sub.add_parser(
         "recipe", help="Figure 7 recommendation", parents=[obs]
@@ -227,6 +259,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "running %s serially", args.algorithm,
         )
         workers = None
+    engine = getattr(args, "engine", None)
+    if engine is not None and args.algorithm not in ("apriori", "partition"):
+        logger.warning(
+            "--engine is only supported by apriori/partition; "
+            "ignoring it for %s", args.algorithm,
+        )
+        engine = None
     pruner = NullPruner()
     if args.ossm:
         ossm = OSSM.load(args.ossm)
@@ -234,13 +273,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         logger.info("loaded OSSM %r from %s", ossm, args.ossm)
         pruner = OSSMPruner(ossm)
     if args.algorithm == "apriori":
-        miner = Apriori(pruner=pruner, max_level=max_level, workers=workers)
+        miner = Apriori(
+            pruner=pruner, max_level=max_level, workers=workers,
+            engine=engine,
+        )
     elif args.algorithm == "dhp":
         miner = DHP(pruner=pruner, max_level=max_level, workers=workers)
     elif args.algorithm == "depthproject":
         miner = DepthProject(pruner=pruner, max_level=max_level)
     elif args.algorithm == "partition":
-        miner = Partition(max_level=max_level, workers=workers)
+        miner = Partition(
+            max_level=max_level, workers=workers, engine=engine
+        )
     elif args.algorithm == "fpgrowth":
         miner = FPGrowth(max_level=max_level)
     elif args.algorithm == "charm":
@@ -266,6 +310,56 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_lines(lines) -> list[tuple[int, ...]]:
+    """Parse itemset-per-line query text (comma or space separated)."""
+    queries: list[tuple[int, ...]] = []
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        items = text.replace(",", " ").split()
+        queries.append(tuple(int(item) for item in items))
+    return queries
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    ossm = OSSM.load(args.ossm)
+    record_ossm_build(ossm)
+    if args.queries == "-":
+        queries = _parse_query_lines(sys.stdin)
+    else:
+        with open(args.queries, encoding="utf-8") as source:
+            queries = _parse_query_lines(source)
+    service = BoundQueryService(
+        ossm,
+        cache_size=args.cache_size,
+        max_pending=args.max_pending,
+        timeout=args.timeout,
+        workers=args.workers or None,
+    )
+
+    async def run() -> None:
+        async with service:
+            batch = max(1, args.batch)
+            for start in range(0, len(queries), batch):
+                chunk = queries[start:start + batch]
+                bounds = await service.query_batch(chunk)
+                if not args.quiet:
+                    for itemset, bound in zip(chunk, bounds):
+                        print(f"{{{','.join(map(str, itemset))}}}: {bound}")
+
+    asyncio.run(run())
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"served {len(queries)} queries at epoch {stats['epoch']}: "
+        f"{cache['hits']} cache hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.2%}), "
+        f"{cache['evictions']} evictions"
+    )
+    return 0
+
+
 def _cmd_recipe(args: argparse.Namespace) -> int:
     strategy = recommend(
         RecipeInputs(
@@ -286,6 +380,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "ossm": _cmd_ossm,
         "mine": _cmd_mine,
+        "serve": _cmd_serve,
         "recipe": _cmd_recipe,
         "lint": run_lint,
     }

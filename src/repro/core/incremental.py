@@ -65,6 +65,10 @@ class StreamingOSSMBuilder:
         self._sizes: list[int] = []
         self.pages_consumed = 0
         self.loss_evaluations = 0
+        #: Ingestion epoch: bumped on every mutation of the held rows,
+        #: and stamped onto every :meth:`ossm` snapshot so consumers
+        #: (the serving layer's bound cache) can detect staleness.
+        self.epoch = 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -78,6 +82,7 @@ class StreamingOSSMBuilder:
         if row.size and row.min() < 0:
             raise ValueError("supports must be non-negative")
         self.pages_consumed += 1
+        self.epoch += 1
         if len(self._rows) < self.max_segments:
             self._rows.append(row.copy())
             self._sizes.append(int(size))
@@ -118,10 +123,19 @@ class StreamingOSSMBuilder:
         return len(self._rows)
 
     def ossm(self) -> OSSM:
-        """Snapshot the current map (cheap; copies the rows)."""
+        """Snapshot the current map (cheap; copies the rows).
+
+        The snapshot carries the builder's current :attr:`epoch`, so
+        two snapshots straddling an ingestion are distinguishable by a
+        single integer comparison.
+        """
         if not self._rows:
             raise ValueError("no pages ingested yet")
-        return OSSM(np.vstack(self._rows), segment_sizes=self._sizes)
+        return OSSM(
+            np.vstack(self._rows),
+            segment_sizes=self._sizes,
+            epoch=self.epoch,
+        )
 
 
 def extend_ossm(
@@ -137,6 +151,11 @@ def extend_ossm(
     than any single-segment summary of the new data. When
     *recoarsen_to* is given, the grown map is merged back down to that
     many segments with the Greedy rule.
+
+    The returned map's :attr:`~repro.core.ossm.OSSM.epoch` is the
+    input's epoch plus one — the collection grew, so any bound cached
+    against the old map is now potentially unsound for the grown
+    collection and must be invalidated (DESIGN.md §10).
     """
     if new_data.n_items > ossm.n_items:
         raise ValueError(
@@ -150,7 +169,9 @@ def extend_ossm(
     new_rows[:, : supports.shape[1]] = supports
     rows.append(new_rows)
     sizes.extend(int(n) for n in paged.page_lengths())
-    grown = OSSM(np.vstack(rows), segment_sizes=sizes)
+    grown = OSSM(
+        np.vstack(rows), segment_sizes=sizes, epoch=ossm.epoch + 1
+    )
     if recoarsen_to is None or grown.n_segments <= recoarsen_to:
         return grown
     result = GreedySegmenter().segment(grown.matrix, recoarsen_to)

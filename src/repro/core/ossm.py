@@ -47,12 +47,24 @@ class OSSM:
     segment_sizes:
         Optional per-segment transaction counts. Used only for
         reporting; ``None`` if unknown.
+    epoch:
+        Ingestion epoch of the map (default 0). Every operation that
+        grows the underlying collection — ``extend_ossm``, a
+        :class:`~repro.core.incremental.StreamingOSSMBuilder` snapshot
+        — produces a map with a strictly larger epoch, so downstream
+        caches (the serving layer's bound cache) can detect staleness
+        with a single integer comparison. Pure reshapes of the *same*
+        collection (``merge_segments``, ``restrict_items``) inherit
+        the epoch unchanged. The epoch never participates in
+        ``__eq__``: two maps over identical data are equal regardless
+        of ingestion history.
     """
 
     def __init__(
         self,
         segment_supports: np.ndarray,
         segment_sizes: Sequence[int] | None = None,
+        epoch: int = 0,
     ) -> None:
         matrix = np.asarray(segment_supports)
         if matrix.ndim != 2:
@@ -71,6 +83,9 @@ class OSSM:
             self._sizes: tuple[int, ...] | None = sizes
         else:
             self._sizes = None
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self._epoch = int(epoch)
 
     # -- construction ------------------------------------------------------
 
@@ -116,6 +131,11 @@ class OSSM:
     def segment_sizes(self) -> tuple[int, ...] | None:
         """Transactions per segment, if known."""
         return self._sizes
+
+    @property
+    def epoch(self) -> int:
+        """Ingestion epoch; grows whenever the collection grows."""
+        return self._epoch
 
     def __repr__(self) -> str:
         return f"OSSM({self.n_segments} segments x {self.n_items} items)"
@@ -252,13 +272,14 @@ class OSSM:
             sizes = [
                 sum(self._sizes[i] for i in group) for group in groups
             ]
-        return OSSM(rows, segment_sizes=sizes)
+        return OSSM(rows, segment_sizes=sizes, epoch=self._epoch)
 
     def restrict_items(self, items: Sequence[int]) -> "OSSM":
         """Project the map onto a subset of item columns (bubble list)."""
         return OSSM(
             self._matrix[:, list(items)],
             segment_sizes=self._sizes,
+            epoch=self._epoch,
         )
 
     # -- persistence -----------------------------------------------------
@@ -268,6 +289,8 @@ class OSSM:
         payload: dict[str, np.ndarray] = {"matrix": self._matrix}
         if self._sizes is not None:
             payload["sizes"] = np.asarray(self._sizes, dtype=np.int64)
+        if self._epoch:
+            payload["epoch"] = np.asarray(self._epoch, dtype=np.int64)
         np.savez_compressed(path, **payload)
 
     @classmethod
@@ -276,7 +299,8 @@ class OSSM:
         with np.load(path) as archive:
             matrix = archive["matrix"]
             sizes = archive["sizes"] if "sizes" in archive else None
-        return cls(matrix, segment_sizes=sizes)
+            epoch = int(archive["epoch"]) if "epoch" in archive else 0
+        return cls(matrix, segment_sizes=sizes, epoch=epoch)
 
 
 def build_from_pages(

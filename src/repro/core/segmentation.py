@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass
 from collections.abc import Sequence
 
@@ -191,13 +192,36 @@ class Segmenter(abc.ABC):
     def segment(
         self,
         source: PagedDatabase | np.ndarray,
-        n_user: int,
+        n_segments: int | None = None,
+        *,
+        n_user: int | None = None,
     ) -> SegmentationResult:
-        """Partition the pages of *source* into *n_user* segments."""
+        """Partition the pages of *source* into *n_segments* segments.
+
+        ``n_user`` (the paper's name for the segment budget) is accepted
+        as a deprecated keyword alias of ``n_segments``.
+        """
+        if n_user is not None:
+            if n_segments is not None:
+                raise TypeError(
+                    "pass n_segments= only; n_user= is its deprecated alias"
+                )
+            warnings.warn(
+                "the n_user= keyword of Segmenter.segment() is deprecated;"
+                " use n_segments=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            n_segments = n_user
+        if n_segments is None:
+            raise TypeError(
+                "segment() missing required argument: 'n_segments'"
+            )
+        n_user = int(n_segments)
         page_matrix, page_sizes = as_page_matrix(source)
         n_pages = page_matrix.shape[0]
         if n_user < 1:
-            raise ValueError("n_user must be >= 1")
+            raise ValueError("n_segments must be >= 1")
         if n_pages == 0:
             raise ValueError("cannot segment an empty collection")
         start = time.perf_counter()

@@ -28,7 +28,16 @@ from .correlations import (
     contingency_table,
     mine_correlations,
 )
-from .counting import SubsetCounter, SupportCounter, TidsetCounter, count_supports
+from .counting import (
+    SubsetCounter,
+    SupportCounter,
+    TidsetCounter,
+    count_supports,
+    make_counter,
+    make_pool,
+    register_engine,
+    registered_engines,
+)
 from .depth_project import DepthProject, depth_project
 from .dhp import DHP, dhp
 from .eclat import Eclat, eclat
@@ -75,6 +84,10 @@ __all__ = [
     "SupportCounter",
     "TidsetCounter",
     "count_supports",
+    "make_counter",
+    "make_pool",
+    "register_engine",
+    "registered_engines",
     "DepthProject",
     "depth_project",
     "DHP",

@@ -26,7 +26,7 @@ from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
-from .counting import SubsetCounter, SupportCounter
+from .counting import SupportCounter, make_counter
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
@@ -43,8 +43,8 @@ class Apriori:
     pruner:
         Candidate pruner applied before counting (default: none).
     counter:
-        Counting engine (default: subset enumeration). Mutually
-        exclusive with ``workers``.
+        Counting engine instance (default: subset enumeration).
+        Mutually exclusive with ``workers`` and ``engine``.
     max_level:
         Optional cap on itemset cardinality (``None`` = run to fixpoint).
     workers:
@@ -53,6 +53,11 @@ class Apriori:
         pruner carries an OSSM, its segment composition aligns the
         shard boundaries. Results are exactly those of the serial
         counter — the knob only changes where the counting runs.
+    engine:
+        Counting-engine name resolved through
+        :func:`~repro.mining.counting.make_counter` (``"subset"``,
+        ``"tidset"``, ``"hashtree"``, ``"parallel"``). Combined with
+        ``workers`` a serial name selects the per-shard engine.
     """
 
     name = "apriori"
@@ -63,27 +68,25 @@ class Apriori:
         counter: SupportCounter | None = None,
         max_level: int | None = None,
         workers: int | None = None,
+        engine: str | None = None,
     ) -> None:
         self.pruner = pruner if pruner is not None else NullPruner()
-        if workers is not None:
-            if counter is not None:
-                raise ValueError(
-                    "pass either counter= or workers=, not both"
-                )
-            counter = self._parallel_counter(workers)
-        self.counter = counter if counter is not None else SubsetCounter()
+        if counter is not None and (workers is not None or engine is not None):
+            raise ValueError(
+                "pass either counter= or engine=/workers=, not both"
+            )
+        if counter is None:
+            if engine is None:
+                engine = "parallel" if workers is not None else "subset"
+            ossm = getattr(self.pruner, "ossm", None)
+            sizes = ossm.segment_sizes if ossm is not None else None
+            counter = make_counter(
+                engine, workers=workers, segment_sizes=sizes
+            )
+        self.counter = counter
         if max_level is not None and max_level < 1:
             raise ValueError("max_level must be >= 1 or None")
         self.max_level = max_level
-
-    def _parallel_counter(self, workers: int) -> SupportCounter:
-        # Imported lazily: repro.parallel builds on repro.mining, so a
-        # module-level import here would be circular.
-        from ..parallel.counter import ParallelCounter
-
-        ossm = getattr(self.pruner, "ossm", None)
-        sizes = ossm.segment_sizes if ossm is not None else None
-        return ParallelCounter(workers=workers, segment_sizes=sizes)
 
     def mine(
         self,
@@ -180,9 +183,11 @@ def apriori(
     counter: SupportCounter | None = None,
     max_level: int | None = None,
     workers: int | None = None,
+    engine: str | None = None,
 ) -> MiningResult:
     """Functional entry point: ``apriori(db, 0.01, pruner=OSSMPruner(ossm))``."""
     miner = Apriori(
-        pruner=pruner, counter=counter, max_level=max_level, workers=workers
+        pruner=pruner, counter=counter, max_level=max_level,
+        workers=workers, engine=engine,
     )
     return miner.mine(database, min_support)

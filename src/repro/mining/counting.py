@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 from itertools import combinations
 from collections.abc import Iterable, Sequence
+from typing import Any, Callable, ContextManager
 
 import numpy as np
 
@@ -31,6 +32,11 @@ __all__ = [
     "SubsetCounter",
     "TidsetCounter",
     "count_supports",
+    "make_counter",
+    "make_pool",
+    "register_engine",
+    "register_parallel_backend",
+    "registered_engines",
 ]
 
 Itemset = tuple[int, ...]
@@ -179,3 +185,117 @@ def count_supports(
 ) -> dict[Itemset, int]:
     """Convenience wrapper around the default :class:`SubsetCounter`."""
     return SubsetCounter().count(database, candidates)
+
+
+# -- engine registry ---------------------------------------------------------
+#
+# Every counting engine the package ships registers itself here, and
+# every miner/CLI code path that needs a counter goes through
+# :func:`make_counter` — one place to resolve the engine name, the
+# ``workers=`` knob, and the OSSM segment composition, instead of
+# per-module ad-hoc constructor branching. Engines defined in modules
+# that *depend on* this one (the hash tree, the parallel counter)
+# register at their own import time, which keeps this module free of
+# circular imports.
+
+#: Zero-argument factories of the serial engines, by public name.
+_SERIAL_FACTORIES: dict[str, Callable[[], SupportCounter]] = {
+    "subset": SubsetCounter,
+    "tidset": TidsetCounter,
+}
+
+#: Factory for the sharded parallel counter, registered by
+#: :mod:`repro.parallel`: ``(workers, shard_engine, segment_sizes)``.
+_PARALLEL_FACTORY: (
+    Callable[[int | None, str, Sequence[int] | None], SupportCounter] | None
+) = None
+
+#: Factory for a plain worker pool (chunk-parallel passes that are not
+#: :class:`SupportCounter`-shaped, e.g. DHP's): ``(workers, n_tasks)``.
+_POOL_FACTORY: (
+    Callable[[int | None, int], ContextManager[Any] | None] | None
+) = None
+
+#: Name under which the parallel backend registers itself.
+PARALLEL_ENGINE = "parallel"
+
+
+def register_engine(
+    name: str, factory: Callable[[], SupportCounter]
+) -> None:
+    """Register a serial engine *factory* under *name*."""
+    _SERIAL_FACTORIES[name] = factory
+
+
+def register_parallel_backend(
+    counter_factory: Callable[
+        [int | None, str, Sequence[int] | None], SupportCounter
+    ],
+    pool_factory: Callable[[int | None, int], ContextManager[Any] | None],
+) -> None:
+    """Install the parallel execution backend (called by :mod:`repro.parallel`)."""
+    global _PARALLEL_FACTORY, _POOL_FACTORY
+    _PARALLEL_FACTORY = counter_factory
+    _POOL_FACTORY = pool_factory
+
+
+def registered_engines() -> tuple[str, ...]:
+    """Names :func:`make_counter` accepts, sorted."""
+    names = set(_SERIAL_FACTORIES)
+    if _PARALLEL_FACTORY is not None:
+        names.add(PARALLEL_ENGINE)
+    return tuple(sorted(names))
+
+
+def make_counter(
+    engine: str = "subset",
+    *,
+    workers: int | None = None,
+    segment_sizes: Sequence[int] | None = None,
+) -> SupportCounter:
+    """Build a counting engine by name — the one counter-selection seam.
+
+    ``engine`` is one of :func:`registered_engines`: a serial engine
+    (``"subset"``, ``"tidset"``, ``"hashtree"``) or ``"parallel"``.
+    With ``workers=`` the counting fans out over worker processes and
+    a serial *engine* name selects the per-shard engine; ``"parallel"``
+    alone uses the sharded counter's default shard engine.
+    *segment_sizes* (an OSSM's segment composition) aligns shard
+    boundaries with segments and is ignored by serial engines.
+    """
+    if engine == PARALLEL_ENGINE:
+        if _PARALLEL_FACTORY is None:
+            raise RuntimeError(
+                "parallel engine requested but repro.parallel is not "
+                "imported; import repro (or repro.parallel) first"
+            )
+        return _PARALLEL_FACTORY(workers, "tidset", segment_sizes)
+    factory = _SERIAL_FACTORIES.get(engine)
+    if factory is None:
+        raise ValueError(
+            f"unknown counting engine {engine!r}; expected one of "
+            f"{', '.join(registered_engines())}"
+        )
+    if workers is None:
+        return factory()
+    if _PARALLEL_FACTORY is None:
+        raise RuntimeError(
+            "workers= requested but repro.parallel is not imported; "
+            "import repro (or repro.parallel) first"
+        )
+    return _PARALLEL_FACTORY(workers, engine, segment_sizes)
+
+
+def make_pool(
+    workers: int | None, n_tasks: int
+) -> ContextManager[Any] | None:
+    """A plain worker pool for chunk-parallel passes, or ``None``.
+
+    Returns ``None`` — run serially — when *workers* is ``None``, when
+    the resolved worker count is 1, or when there are not enough tasks
+    to split. Used by miners whose parallel passes are not
+    :class:`SupportCounter`-shaped (DHP's hash-building count passes).
+    """
+    if workers is None or _POOL_FACTORY is None:
+        return None
+    return _POOL_FACTORY(workers, n_tasks)

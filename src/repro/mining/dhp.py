@@ -34,6 +34,7 @@ from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
+from .counting import make_pool
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
@@ -206,17 +207,14 @@ class DHP:
     # -- parallel plumbing -------------------------------------------------
 
     def _make_pool(self, database: TransactionDatabase):
-        """Worker pool for this run, or ``None`` for the serial path."""
-        if self.workers is None:
-            return None
-        # Imported lazily: repro.parallel builds on repro.mining.
-        from ..parallel.plan import resolve_workers
-        from ..parallel.pool import WorkerPool
+        """Worker pool for this run, or ``None`` for the serial path.
 
-        workers = resolve_workers(self.workers)
-        if workers <= 1 or len(database) <= 1:
-            return None
-        return WorkerPool(workers)
+        Routed through the engine registry's
+        :func:`~repro.mining.counting.make_pool` seam — the same place
+        Apriori and Partition resolve their counters — instead of
+        importing the parallel backend ad hoc.
+        """
+        return make_pool(self.workers, len(database))
 
     def _pass_one_parallel(
         self, database: TransactionDatabase, pool

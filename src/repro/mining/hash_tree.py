@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from ..data.transactions import TransactionDatabase
-from .counting import SupportCounter
+from .counting import SupportCounter, register_engine
 
 __all__ = ["HashTree", "HashTreeCounter"]
 
@@ -171,3 +171,6 @@ class HashTreeCounter(SupportCounter):
         for txn in database:
             tree.count_transaction(txn, counts)
         return counts
+
+
+register_engine("hashtree", HashTreeCounter)

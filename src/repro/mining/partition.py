@@ -34,7 +34,7 @@ from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .apriori import Apriori
 from .base import MiningResult, resolve_min_support
-from .counting import SubsetCounter
+from .counting import SupportCounter, make_counter
 from .pruning import CandidatePruner, NullPruner, OSSMPruner
 
 __all__ = ["Partition", "partition_mine"]
@@ -90,6 +90,10 @@ class Partition:
         :class:`~repro.parallel.counter.ParallelCounter`. Both phases
         produce exactly the serial result: the candidate union is
         order-independent and the parallel counter is exact.
+    engine:
+        Phase-2 counting-engine name resolved through
+        :func:`~repro.mining.counting.make_counter`; default subset
+        (serial) or the sharded parallel counter (with ``workers``).
     """
 
     name = "partition"
@@ -102,6 +106,7 @@ class Partition:
         auto_ossm: int | None = None,
         max_level: int | None = None,
         workers: int | None = None,
+        engine: str | None = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -119,6 +124,7 @@ class Partition:
         self.auto_ossm = auto_ossm
         self.max_level = max_level
         self.workers = workers
+        self.engine = engine
 
     def _resolved_workers(self) -> int:
         if self.workers is None:
@@ -293,15 +299,19 @@ class Partition:
 
     def _phase_two_counter(
         self, workers: int, global_pruner: CandidatePruner
-    ):
-        """Serial subset counter, or the sharded parallel counter."""
-        if workers <= 1:
-            return SubsetCounter()
-        from ..parallel.counter import ParallelCounter
-
+    ) -> SupportCounter:
+        """Serial subset counter, or the sharded parallel counter —
+        both resolved through the engine registry."""
         ossm = getattr(global_pruner, "ossm", None)
         sizes = ossm.segment_sizes if ossm is not None else None
-        return ParallelCounter(workers=workers, segment_sizes=sizes)
+        engine = self.engine
+        if engine is None:
+            engine = "parallel" if workers > 1 else "subset"
+        return make_counter(
+            engine,
+            workers=workers if workers > 1 else None,
+            segment_sizes=sizes,
+        )
 
 
 def partition_mine(

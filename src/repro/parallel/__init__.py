@@ -22,6 +22,11 @@ the differential harness that proves it on every build.
   (payload shipped once per worker, shared-memory candidate tables).
 """
 
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..mining.counting import SupportCounter, register_parallel_backend
 from .counter import ParallelCounter
 from .ossm import (
     ParallelOSSMPruner,
@@ -30,6 +35,30 @@ from .ossm import (
 )
 from .plan import ShardPlan, ShardPlanner, resolve_workers
 from .pool import WorkerPool
+
+
+def _counter_factory(
+    workers: int | None,
+    shard_engine: str,
+    segment_sizes: Sequence[int] | None,
+) -> SupportCounter:
+    """:func:`repro.mining.counting.make_counter` backend."""
+    return ParallelCounter(
+        workers=workers, engine=shard_engine, segment_sizes=segment_sizes
+    )
+
+
+def _pool_factory(workers: int | None, n_tasks: int) -> WorkerPool | None:
+    """:func:`repro.mining.counting.make_pool` backend."""
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or n_tasks <= 1:
+        return None
+    return WorkerPool(resolved)
+
+
+# Counter selection lives in repro.mining.counting; this package plugs
+# its process-parallel engines into that registry at import time.
+register_parallel_backend(_counter_factory, _pool_factory)
 
 __all__ = [
     "ParallelCounter",

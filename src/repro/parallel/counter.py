@@ -101,12 +101,16 @@ class ParallelCounter(SupportCounter):
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
+        """Release the worker processes (idempotent, safe on
+        half-built instances — ``__del__`` reaches here even when
+        ``__init__`` rejected the engine name before ``_pool`` existed).
+        """
+        pool = getattr(self, "_pool", None)
         self._pool = None
         self._plan = None
         self._database = None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "ParallelCounter":
         return self
@@ -115,7 +119,11 @@ class ParallelCounter(SupportCounter):
         self.close()
 
     def __del__(self) -> None:
-        self.close()
+        # Never propagate from a finalizer.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- binding ---------------------------------------------------------
 

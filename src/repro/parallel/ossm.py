@@ -220,10 +220,12 @@ class ParallelOSSMPruner(OSSMPruner):
         return self._pool
 
     def close(self) -> None:
-        """Release the worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
+        """Release the worker processes (idempotent, safe on
+        half-built instances)."""
+        pool = getattr(self, "_pool", None)
         self._pool = None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "ParallelOSSMPruner":
         return self
@@ -232,7 +234,11 @@ class ParallelOSSMPruner(OSSMPruner):
         self.close()
 
     def __del__(self) -> None:
-        self.close()
+        # Never propagate from a finalizer.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _bounds(self, candidates: Sequence[Itemset]) -> np.ndarray:
         if self.workers == 1 or len(candidates) < 2:

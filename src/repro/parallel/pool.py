@@ -274,10 +274,16 @@ class WorkerPool:
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut the pool down (idempotent, safe on half-built instances).
+
+        ``getattr`` rather than attribute access: ``__del__`` invokes
+        this even when ``__init__`` raised before ``_executor`` was
+        assigned (e.g. on a bad ``workers`` value).
+        """
+        executor = getattr(self, "_executor", None)
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -286,7 +292,12 @@ class WorkerPool:
         self.close()
 
     def __del__(self) -> None:
-        self.close()
+        # Never propagate from a finalizer: at interpreter shutdown the
+        # executor machinery may already be torn down.
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 @contextmanager

@@ -1,0 +1,28 @@
+"""Online bound-query serving layer.
+
+Answers Equation (1) upper-bound queries over a live OSSM as an
+asyncio service: epoch-tagged caching, duplicate coalescing,
+back-pressure, timeouts, and parallel batch evaluation with serial
+fallback. See DESIGN.md §10 for the epoch/invalidation correctness
+argument and ``repro-ossm serve`` for the CLI front end.
+
+* :class:`~repro.serve.service.BoundQueryService` — the service.
+* :class:`~repro.serve.cache.EpochLRUCache` — the bound cache.
+* :mod:`repro.serve.errors` — :class:`Overloaded`,
+  :class:`QueryTimeout`, :class:`ServiceClosed`.
+"""
+
+from .cache import CacheStats, EpochLRUCache
+from .errors import Overloaded, QueryTimeout, ServeError, ServiceClosed
+from .service import BoundQueryService, canonical_itemset
+
+__all__ = [
+    "BoundQueryService",
+    "CacheStats",
+    "EpochLRUCache",
+    "Overloaded",
+    "QueryTimeout",
+    "ServeError",
+    "ServiceClosed",
+    "canonical_itemset",
+]

@@ -1,0 +1,51 @@
+"""Typed errors of the online bound-query service.
+
+All service failures derive from :class:`ServeError` so callers can
+catch the family with one clause while still telling overload apart
+from timeout — the two need opposite client reactions (back off
+vs. retry elsewhere).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "Overloaded", "QueryTimeout", "ServiceClosed"]
+
+
+class ServeError(RuntimeError):
+    """Base class of every bound-query-service failure."""
+
+
+class Overloaded(ServeError):
+    """The request was shed: admitting it would exceed ``max_pending``.
+
+    Load shedding is deliberate back-pressure — the service rejects at
+    the door rather than queueing unboundedly. Clients should back off
+    and retry; the request had no side effects.
+    """
+
+    def __init__(self, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"service overloaded: {pending} itemsets pending "
+            f"(max_pending={max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class QueryTimeout(ServeError):
+    """The per-request timeout elapsed before the bound was computed.
+
+    The underlying evaluation is *not* cancelled — coalesced waiters
+    may still be counting on it, and its result still warms the cache.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(f"bound query timed out after {timeout:.3f}s")
+        self.timeout = timeout
+
+
+class ServiceClosed(ServeError):
+    """The service was asked for work after :meth:`aclose`."""
+
+    def __init__(self) -> None:
+        super().__init__("bound-query service is closed")

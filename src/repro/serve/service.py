@@ -1,0 +1,460 @@
+"""Asyncio online bound-query service over a live OSSM.
+
+:class:`BoundQueryService` answers Equation (1) upper-bound queries —
+single itemsets or batches — against the map it is currently serving,
+with:
+
+* an epoch-tagged bounded LRU cache
+  (:class:`~repro.serve.cache.EpochLRUCache`), invalidated wholesale
+  when :meth:`BoundQueryService.update` advances the map's epoch;
+* request coalescing — concurrent queries for the same canonical
+  itemset share one evaluation;
+* back-pressure — a bounded pending set; requests that would exceed it
+  are shed with :class:`~repro.serve.errors.Overloaded`;
+* per-request timeouts (:class:`~repro.serve.errors.QueryTimeout`) that
+  abandon the *wait*, never the shared evaluation;
+* batch evaluation through
+  :func:`~repro.parallel.ossm.parallel_upper_bounds` while the worker
+  pool is healthy, with retry-once on worker failure and graceful
+  fallback to the serial Equation (1) — the answers are byte-identical
+  either way, only the venue changes.
+
+Evaluation runs in a thread (``asyncio.to_thread``) so the event loop
+stays responsive while numpy and the worker pool do the arithmetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..core.ossm import OSSM
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import trace
+from ..parallel.ossm import parallel_upper_bounds
+from ..parallel.plan import resolve_workers
+from ..parallel.pool import WorkerPool, init_bound_map
+from .cache import EpochLRUCache
+from .errors import Overloaded, QueryTimeout, ServiceClosed
+
+__all__ = ["BoundQueryService", "canonical_itemset"]
+
+logger = get_logger(__name__)
+
+Itemset = tuple[int, ...]
+
+#: Smallest batch worth shipping to the worker pool; below this the
+#: serial numpy path wins on fixed fan-out cost (DESIGN.md §9).
+DEFAULT_PARALLEL_THRESHOLD = 64
+
+_UNSET = object()
+
+
+def canonical_itemset(itemset: Iterable[int]) -> Itemset:
+    """Sorted duplicate-free tuple — the cache/coalescing key.
+
+    Equation (1) is a min over the itemset's columns, so item order and
+    repetition cannot change the bound; canonicalizing lets ``(2, 1)``,
+    ``(1, 2, 2)`` and ``(1, 2)`` share one cache entry and one
+    in-flight evaluation.
+    """
+    items = sorted({int(item) for item in itemset})
+    if items and items[0] < 0:
+        raise ValueError("item ids must be >= 0")
+    return tuple(items)
+
+
+class BoundQueryService:
+    """Online Equation (1) bound server with an epoch-tagged cache.
+
+    Parameters
+    ----------
+    ossm:
+        The map to serve. :meth:`update` swaps in a grown map (its
+        ``epoch`` must not be lower than the current one).
+    cache_size:
+        LRU entry budget of the bound cache.
+    max_pending:
+        Maximum itemsets being evaluated at once; a request that would
+        push past this is shed with :class:`Overloaded`.
+    timeout:
+        Default per-request timeout in seconds (None = wait forever);
+        overridable per call.
+    workers:
+        Worker processes for batch evaluation (None or 1 = serial
+        only). The pool is created lazily and rebuilt when the map
+        changes.
+    parallel_threshold:
+        Minimum same-cardinality group size sent to the pool.
+    """
+
+    def __init__(
+        self,
+        ossm: OSSM,
+        *,
+        cache_size: int = 4096,
+        max_pending: int = 1024,
+        timeout: float | None = None,
+        workers: int | None = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        if parallel_threshold < 2:
+            raise ValueError("parallel_threshold must be >= 2")
+        self._ossm = ossm
+        self._cache = EpochLRUCache(cache_size, epoch=ossm.epoch)
+        self.max_pending = int(max_pending)
+        self.timeout = timeout
+        self.parallel_threshold = int(parallel_threshold)
+        self._workers = resolve_workers(workers) if workers is not None else 1
+        self._parallel_ok = self._workers > 1
+        self._pool: WorkerPool | None = None
+        self._pool_map: OSSM | None = None
+        self._pool_lock = threading.Lock()
+        self._retired: list[WorkerPool] = []
+        self._inflight: dict[Itemset, asyncio.Future[int]] = {}
+        self._pending = 0
+        self._tasks: set[asyncio.Task[None]] = set()
+        self._closed = False
+        self._published = {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "invalidations": 0, "stale_drops": 0,
+        }
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def ossm(self) -> OSSM:
+        """The map currently being served."""
+        return self._ossm
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the map currently being served."""
+        return self._ossm.epoch
+
+    @property
+    def pending(self) -> int:
+        """Itemsets currently being evaluated (the queue depth)."""
+        return self._pending
+
+    @property
+    def parallel_healthy(self) -> bool:
+        """False once the worker pool has failed twice on one batch."""
+        return self._parallel_ok
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-friendly snapshot of the service's counters."""
+        return {
+            "epoch": self._ossm.epoch,
+            "pending": self._pending,
+            "cache": self._cache.stats.as_dict(),
+            "cache_entries": len(self._cache),
+            "parallel_healthy": self._parallel_ok,
+            "workers": self._workers,
+        }
+
+    # -- epoch / map management ------------------------------------------
+
+    def update(self, ossm: OSSM) -> bool:
+        """Serve *ossm* from now on; returns True if anything changed.
+
+        Advancing the epoch invalidates the cache wholesale (DESIGN.md
+        §10); a same-epoch swap (e.g. a ``merge_segments`` reshape of
+        the same collection) also clears the cache, because a reshaped
+        map yields different — though equally sound — bound values.
+        In-flight evaluations finish against the map they started with
+        and deliver to their original waiters; their results are
+        dropped at the cache door by the epoch tag.
+        """
+        if ossm is self._ossm:
+            return False
+        if ossm.epoch < self._ossm.epoch:
+            raise ValueError(
+                f"cannot move the service backwards: serving epoch "
+                f"{self._ossm.epoch}, got {ossm.epoch}"
+            )
+        advanced = self._cache.advance_epoch(ossm.epoch)
+        if not advanced:
+            self._cache.clear()
+        self._ossm = ossm
+        # New queries must not coalesce onto old-map evaluations; the
+        # running batch keeps its own reference to the superseded dict.
+        self._inflight = {}
+        with self._pool_lock:
+            if self._pool is not None:
+                self._retired.append(self._pool)
+            self._pool = None
+            self._pool_map = None
+        self._parallel_ok = self._workers > 1
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("serve.updates")
+            self._flush_cache_metrics(metrics)
+        logger.debug("service now at epoch %d", ossm.epoch)
+        return True
+
+    # -- querying --------------------------------------------------------
+
+    async def query(
+        self, itemset: Iterable[int], *, timeout: Any = _UNSET
+    ) -> int:
+        """Equation (1) upper bound for one itemset."""
+        bounds = await self.query_batch([itemset], timeout=timeout)
+        return bounds[0]
+
+    async def query_batch(
+        self,
+        itemsets: Sequence[Iterable[int]],
+        *,
+        timeout: Any = _UNSET,
+    ) -> list[int]:
+        """Bounds for *itemsets*, aligned with the input order.
+
+        Cache hits are answered immediately; misses coalesce with any
+        identical in-flight query and the remainder is evaluated as one
+        batch. Raises :class:`Overloaded` when the miss set would
+        exceed ``max_pending`` and :class:`QueryTimeout` when the
+        per-request deadline passes first.
+        """
+        if self._closed:
+            raise ServiceClosed()
+        wait_for = self.timeout if timeout is _UNSET else timeout
+        ossm = self._ossm
+        inflight = self._inflight
+        cache = self._cache
+        results: dict[int, int] = {}
+        waiting: dict[int, asyncio.Future[int]] = {}
+        fresh: list[Itemset] = []
+        n_hits = 0
+        for index, raw in enumerate(itemsets):
+            key = canonical_itemset(raw)
+            if key and key[-1] >= ossm.n_items:
+                raise ValueError(
+                    f"item {key[-1]} out of range for a map over "
+                    f"{ossm.n_items} items"
+                )
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                n_hits += 1
+                continue
+            future = inflight.get(key)
+            if future is None:
+                future = asyncio.get_running_loop().create_future()
+                inflight[key] = future
+                fresh.append(key)
+            waiting[index] = future
+
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("serve.requests")
+            metrics.inc("serve.queries", len(itemsets))
+        if fresh:
+            if self._pending + len(fresh) > self.max_pending:
+                # The fresh futures were registered without an await in
+                # between, so no other task can have coalesced onto
+                # them yet; unregistering is race-free.
+                for key in fresh:
+                    inflight.pop(key, None)
+                if metrics.enabled:
+                    metrics.inc("serve.shed")
+                raise Overloaded(
+                    self._pending + len(fresh), self.max_pending
+                )
+            self._pending += len(fresh)
+            if metrics.enabled:
+                metrics.set_gauge("serve.queue_depth", self._pending)
+            task = asyncio.create_task(
+                self._run_batch(ossm, inflight, fresh)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+        if waiting:
+            gathered = asyncio.gather(
+                *waiting.values(), return_exceptions=False
+            )
+            try:
+                if wait_for is None:
+                    values = await gathered
+                else:
+                    # shield: a timed-out waiter must not cancel the
+                    # evaluation that coalesced waiters still need.
+                    values = await asyncio.wait_for(
+                        asyncio.shield(gathered), wait_for
+                    )
+            except asyncio.TimeoutError:
+                if metrics.enabled:
+                    metrics.inc("serve.timeouts")
+                raise QueryTimeout(float(wait_for)) from None
+            for index, value in zip(waiting, values):
+                results[index] = value
+        if metrics.enabled:
+            self._flush_cache_metrics(metrics)
+        return [results[index] for index in range(len(itemsets))]
+
+    async def _run_batch(
+        self,
+        ossm: OSSM,
+        inflight: dict[Itemset, asyncio.Future[int]],
+        keys: list[Itemset],
+    ) -> None:
+        """Evaluate *keys* against *ossm* and deliver to the futures."""
+        metrics = get_registry()
+        try:
+            with trace(
+                "serve.batch", size=len(keys), epoch=ossm.epoch
+            ), metrics.time("serve.batch_seconds"):
+                bounds = await asyncio.to_thread(self._evaluate, ossm, keys)
+        except BaseException as exc:
+            # Deliver the failure through the futures; re-raising here
+            # would only produce an unretrieved-task warning since no
+            # one awaits the batch task itself.
+            logger.error("batch evaluation failed: %r", exc)
+            for key in keys:
+                future = inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+        else:
+            cache = self._cache
+            for key, bound in zip(keys, bounds):
+                cache.put(key, bound, ossm.epoch)
+                future = inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(bound)
+        finally:
+            self._pending -= len(keys)
+            if metrics.enabled:
+                metrics.set_gauge("serve.queue_depth", self._pending)
+
+    # -- evaluation (worker thread) --------------------------------------
+
+    def _evaluate(self, ossm: OSSM, keys: list[Itemset]) -> list[int]:
+        """Bounds for *keys* (mixed cardinality), grouped per level."""
+        self._drain_retired()
+        out = [0] * len(keys)
+        by_size: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            by_size.setdefault(len(key), []).append(position)
+        for size in sorted(by_size):
+            positions = by_size[size]
+            if size == 0:
+                empty_bound = ossm.upper_bound(())
+                for position in positions:
+                    out[position] = empty_bound
+                continue
+            group = [keys[position] for position in positions]
+            values = self._group_bounds(ossm, group)
+            for position, value in zip(positions, values):
+                out[position] = int(value)
+        return out
+
+    def _group_bounds(
+        self, ossm: OSSM, group: list[Itemset]
+    ) -> np.ndarray:
+        """One same-cardinality group: pool when healthy, else serial."""
+        if (
+            self._parallel_ok
+            and self._workers > 1
+            and len(group) >= self.parallel_threshold
+        ):
+            try:
+                return self._parallel_bounds(ossm, group)
+            except Exception:
+                # Two strikes (first try + fresh-pool retry): degrade
+                # to the serial path, which is always exact.
+                self._parallel_ok = False
+                metrics = get_registry()
+                if metrics.enabled:
+                    metrics.inc("serve.fallbacks")
+                logger.warning(
+                    "worker pool failed twice; serving serially",
+                    exc_info=True,
+                )
+        return ossm.upper_bounds(group)
+
+    def _parallel_bounds(
+        self, ossm: OSSM, group: list[Itemset]
+    ) -> np.ndarray:
+        """Pool evaluation with one retry on a fresh pool."""
+        with self._pool_lock:
+            pool = self._ensure_pool(ossm)
+        try:
+            return parallel_upper_bounds(ossm, group, pool=pool)
+        except Exception:
+            # A worker died (or the pool was retired under us); retry
+            # once on a rebuilt pool before giving up on parallelism.
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+                    self._pool_map = None
+                self._retired.append(pool)
+                fresh_pool = self._ensure_pool(ossm)
+            metrics = get_registry()
+            if metrics.enabled:
+                metrics.inc("serve.retries")
+            return parallel_upper_bounds(ossm, group, pool=fresh_pool)
+
+    def _ensure_pool(self, ossm: OSSM) -> WorkerPool:
+        """The pool bound to *ossm*'s matrix; caller holds the lock."""
+        if self._pool is not None and self._pool_map is ossm:
+            return self._pool
+        if self._pool is not None:
+            self._retired.append(self._pool)
+        self._pool = WorkerPool(
+            self._workers, init_bound_map, np.asarray(ossm.matrix)
+        )
+        self._pool_map = ossm
+        return self._pool
+
+    def _drain_retired(self) -> None:
+        """Close pools retired by updates/rebuilds (worker thread)."""
+        while True:
+            with self._pool_lock:
+                if not self._retired:
+                    return
+                pool = self._retired.pop()
+            pool.close()
+
+    # -- metrics ---------------------------------------------------------
+
+    def _flush_cache_metrics(self, metrics: Any) -> None:
+        """Publish cache-counter deltas since the last flush."""
+        snapshot = self._cache.stats.as_dict()
+        for name in self._published:
+            delta = int(snapshot[name]) - self._published[name]
+            if delta and metrics.enabled:
+                metrics.inc(f"serve.cache.{name}", delta)
+                self._published[name] += delta
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Drain in-flight batches and release every worker pool."""
+        self._closed = True
+        if self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+        with self._pool_lock:
+            pools = list(self._retired)
+            self._retired.clear()
+            if self._pool is not None:
+                pools.append(self._pool)
+                self._pool = None
+                self._pool_map = None
+        for pool in pools:
+            await asyncio.to_thread(pool.close)
+
+    async def __aenter__(self) -> "BoundQueryService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

@@ -1,0 +1,78 @@
+"""Tests of the OSSM epoch counter (DESIGN.md §10).
+
+The epoch is the serving layer's invalidation signal: it advances
+whenever the underlying collection grows, is inherited by reshapes of
+the same collection, never participates in equality, and survives
+persistence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OSSM, StreamingOSSMBuilder, extend_ossm
+from repro.data import TransactionDatabase
+
+MATRIX = np.array([[3, 1, 0], [2, 2, 1]], dtype=np.int64)
+
+
+def small_db(seed_rows):
+    return TransactionDatabase(seed_rows, n_items=3)
+
+
+class TestEpochBasics:
+    def test_defaults_to_zero(self):
+        assert OSSM(MATRIX).epoch == 0
+
+    def test_explicit_epoch(self):
+        assert OSSM(MATRIX, epoch=5).epoch == 5
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            OSSM(MATRIX, epoch=-1)
+
+    def test_equality_ignores_epoch(self):
+        assert OSSM(MATRIX, epoch=0) == OSSM(MATRIX, epoch=7)
+
+    def test_reshapes_inherit_epoch(self):
+        ossm = OSSM(MATRIX, segment_sizes=[4, 5], epoch=3)
+        assert ossm.merge_segments([[0, 1]]).epoch == 3
+        assert ossm.restrict_items([0, 2]).epoch == 3
+
+
+class TestEpochGrowth:
+    def test_extend_ossm_bumps_epoch(self):
+        ossm = OSSM(MATRIX, segment_sizes=[4, 5])
+        extra = small_db([{0, 1}, {2}])
+        grown = extend_ossm(ossm, extra, page_size=2)
+        assert grown.epoch == 1
+        again = extend_ossm(grown, extra, page_size=2)
+        assert again.epoch == 2
+
+    def test_extend_with_recoarsen_keeps_bumped_epoch(self):
+        ossm = OSSM(MATRIX, segment_sizes=[4, 5])
+        extra = small_db([{0, 1}, {2}, {0}, {1, 2}])
+        grown = extend_ossm(ossm, extra, page_size=1, recoarsen_to=2)
+        assert grown.n_segments == 2
+        assert grown.epoch == 1
+
+    def test_streaming_builder_counts_rows(self):
+        builder = StreamingOSSMBuilder(n_items=3, max_segments=2)
+        assert builder.epoch == 0
+        builder.add_page_row(np.array([1, 0, 1]), size=2)
+        builder.add_page_row(np.array([0, 1, 1]), size=2)
+        assert builder.epoch == 2
+        assert builder.ossm().epoch == 2
+
+
+class TestEpochPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "map.npz"
+        OSSM(MATRIX, segment_sizes=[4, 5], epoch=6).save(str(path))
+        assert OSSM.load(str(path)).epoch == 6
+
+    def test_zero_epoch_omitted_from_archive(self, tmp_path):
+        path = tmp_path / "map.npz"
+        OSSM(MATRIX, segment_sizes=[4, 5]).save(str(path))
+        with np.load(str(path)) as archive:
+            assert "epoch" not in archive
+        assert OSSM.load(str(path)).epoch == 0

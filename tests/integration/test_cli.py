@@ -133,6 +133,68 @@ class TestMineCommand:
         assert len(counts) == 1  # all miners report the same count
 
 
+@pytest.fixture
+def ossm_file(data_file, tmp_path):
+    path = tmp_path / "map.npz"
+    assert main(
+        [
+            "ossm", "--data", str(data_file), "--out", str(path),
+            "--segments", "5", "--page-size", "20",
+        ]
+    ) == 0
+    return path
+
+
+class TestServe:
+    QUERIES = "1,2\n3 4\n1,2\n\n# comment\n5\n"
+
+    def test_bounds_match_equation_one(self, ossm_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(self.QUERIES)
+        capsys.readouterr()
+        assert main(
+            ["serve", "--ossm", str(ossm_file), "--queries", str(queries),
+             "--batch", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.core import OSSM
+
+        ossm = OSSM.load(ossm_file)
+        lines = out.strip().splitlines()
+        assert lines[:4] == [
+            f"{{1,2}}: {ossm.upper_bound((1, 2))}",
+            f"{{3,4}}: {ossm.upper_bound((3, 4))}",
+            f"{{1,2}}: {ossm.upper_bound((1, 2))}",
+            f"{{5}}: {ossm.upper_bound((5,))}",
+        ]
+        # The repeated {1,2} query must have been a cache hit.
+        assert "served 4 queries at epoch 0: 1 cache hits / 3 misses" in (
+            lines[-1]
+        )
+
+    def test_quiet_prints_only_summary(self, ossm_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(self.QUERIES)
+        capsys.readouterr()
+        assert main(
+            ["serve", "--ossm", str(ossm_file), "--queries", str(queries),
+             "--quiet"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("served 4 queries")
+
+    def test_reads_queries_from_stdin(
+        self, ossm_file, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1,2\n3\n"))
+        capsys.readouterr()
+        assert main(["serve", "--ossm", str(ossm_file)]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 queries" in out
+
+
 class TestRecipeCommand:
     def test_recommendation_printed(self, capsys):
         assert main(

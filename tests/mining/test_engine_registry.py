@@ -1,0 +1,142 @@
+"""Tests of the counting-engine registry (`make_counter`/`make_pool`).
+
+The registry is the single seam through which Apriori, DHP, Partition
+and the CLI select a counting engine. Two families of checks:
+
+* resolution — every registered name yields the documented class,
+  serial names compose with ``workers=`` into the sharded counter, and
+  unknown names fail with a message listing the registry;
+* contract — every registry engine honors the pinned
+  :class:`~repro.mining.counting.SupportCounter` empty-input contract.
+"""
+
+import pytest
+
+import repro  # ensures repro.parallel registered its backend
+from repro.data import TransactionDatabase
+from repro.mining import HashTreeCounter, SubsetCounter
+from repro.mining.counting import (
+    TidsetCounter,
+    make_counter,
+    make_pool,
+    register_engine,
+    registered_engines,
+)
+from repro.parallel import ParallelCounter
+
+assert repro  # imported for its registration side effect
+
+SERIAL_NAMES = ("subset", "tidset", "hashtree")
+
+
+@pytest.fixture
+def tiny_db():
+    return TransactionDatabase([{0, 1}, {1, 2}, {0, 1, 2}], n_items=3)
+
+
+class TestResolution:
+    def test_all_engines_registered(self):
+        assert set(registered_engines()) >= {
+            "subset", "tidset", "hashtree", "parallel",
+        }
+
+    def test_serial_names_resolve(self):
+        assert isinstance(make_counter("subset"), SubsetCounter)
+        assert isinstance(make_counter("tidset"), TidsetCounter)
+        assert isinstance(make_counter("hashtree"), HashTreeCounter)
+
+    def test_parallel_name_resolves(self):
+        counter = make_counter("parallel", workers=2)
+        try:
+            assert isinstance(counter, ParallelCounter)
+            assert counter.engine == "tidset"   # default shard engine
+            assert counter.workers == 2
+        finally:
+            counter.close()
+
+    def test_serial_name_with_workers_shards(self):
+        counter = make_counter("subset", workers=2)
+        try:
+            assert isinstance(counter, ParallelCounter)
+            assert counter.engine == "subset"
+        finally:
+            counter.close()
+
+    def test_segment_sizes_forwarded(self):
+        counter = make_counter(
+            "parallel", workers=2, segment_sizes=[2, 1]
+        )
+        try:
+            assert counter.segment_sizes == (2, 1)
+        finally:
+            counter.close()
+
+    def test_unknown_engine_lists_registry(self):
+        with pytest.raises(ValueError, match="subset"):
+            make_counter("btree")
+
+    def test_register_engine_round_trip(self):
+        class FakeCounter(SubsetCounter):
+            pass
+
+        register_engine("fake-for-test", FakeCounter)
+        try:
+            assert "fake-for-test" in registered_engines()
+            assert isinstance(make_counter("fake-for-test"), FakeCounter)
+        finally:
+            from repro.mining import counting
+
+            counting._SERIAL_FACTORIES.pop("fake-for-test")
+
+    def test_make_pool_serial_is_none(self):
+        assert make_pool(None, 100) is None
+        assert make_pool(1, 100) is None
+        assert make_pool(4, 1) is None
+
+    def test_make_pool_parallel(self):
+        pool = make_pool(2, 100)
+        assert pool is not None
+        with pool:
+            assert pool.workers == 2
+
+
+@pytest.fixture(
+    params=["subset", "tidset", "hashtree", "parallel"],
+)
+def registry_engine(request):
+    kwargs = {"workers": 2} if request.param == "parallel" else {}
+    counter = make_counter(request.param, **kwargs)
+    yield counter
+    closer = getattr(counter, "close", None)
+    if closer is not None:
+        closer()
+
+
+class TestRegistryEngineContract:
+    """Every registry engine passes the pinned empty-input contract."""
+
+    def test_no_candidates(self, registry_engine, tiny_db):
+        assert registry_engine.count(tiny_db, []) == {}
+
+    def test_empty_database_counts_zero(self, registry_engine):
+        empty = TransactionDatabase([], n_items=3)
+        assert registry_engine.count(empty, [(0,), (2,)]) == {
+            (0,): 0, (2,): 0,
+        }
+
+    def test_empty_itemset_counts_every_transaction(
+        self, registry_engine, tiny_db
+    ):
+        assert registry_engine.count(tiny_db, [()]) == {(): 3}
+
+    def test_out_of_domain_items_count_zero(self, registry_engine, tiny_db):
+        assert registry_engine.count(tiny_db, [(7,)]) == {(7,): 0}
+
+    def test_mixed_cardinality_rejected(self, registry_engine, tiny_db):
+        with pytest.raises(ValueError):
+            registry_engine.count(tiny_db, [(0,), (0, 1)])
+
+    def test_exact_counts(self, registry_engine, tiny_db):
+        assert registry_engine.count(tiny_db, [(0, 1), (1, 2), (0, 2)]) == {
+            (0, 1): 2, (1, 2): 2, (0, 2): 1,
+        }

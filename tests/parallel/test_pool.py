@@ -51,6 +51,44 @@ class TestWorkerPool:
         pool.close()
 
 
+class TestDefensiveTeardown:
+    """close()/__del__ must be safe on half-built or closed instances."""
+
+    def test_half_built_pool_has_safe_del(self):
+        # workers is validated before the executor exists; the
+        # interpreter still calls __del__ on the dead instance.
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(0)
+
+    def test_half_built_counter_has_safe_del(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ParallelCounter(workers=2, engine="bogus")
+
+    def test_explicit_del_after_close(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.__del__()          # must not raise
+
+        counter = ParallelCounter(workers=2)
+        counter.close()
+        counter.__del__()       # must not raise
+
+    def test_context_manager_exit_then_close(self):
+        with ParallelCounter(workers=2) as counter:
+            pass
+        counter.close()         # idempotent after __exit__
+
+    def test_count_after_close_builds_fresh_pool(self):
+        db = TransactionDatabase([{0, 1}, {1, 2}], n_items=3)
+        counter = ParallelCounter(workers=2)
+        try:
+            first = counter.count(db, [(1,)])
+            counter.close()
+            assert counter.count(db, [(1,)]) == first == {(1,): 2}
+        finally:
+            counter.close()
+
+
 class TestFanoutTelemetry:
     def _mine(self, db):
         recorder = TraceRecorder()

@@ -1,0 +1,1 @@
+"""Tests of the online bound-query serving layer."""

@@ -1,0 +1,462 @@
+"""Behavioral tests of :class:`repro.serve.BoundQueryService`.
+
+The load-bearing properties, in rough order of importance:
+
+* every served bound — cached or not, parallel or serial — is
+  byte-identical to the serial Equation (1) value of the map being
+  served;
+* no stale bound survives an epoch bump (DESIGN.md §10), including
+  under interleaved query/extend traffic (hypothesis);
+* worker-pool failure degrades, never corrupts: retry once on a fresh
+  pool, then fall back to the serial path;
+* back-pressure sheds with :class:`Overloaded`, timeouts raise
+  :class:`QueryTimeout` without cancelling the shared evaluation.
+"""
+
+import asyncio
+import os
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.serve.service as service_module
+from repro.core import GreedySegmenter, extend_ossm
+from repro.data import PagedDatabase, generate_quest
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import TraceRecorder, use_recorder
+from repro.serve import (
+    BoundQueryService,
+    Overloaded,
+    QueryTimeout,
+    ServiceClosed,
+    canonical_itemset,
+)
+
+N_ITEMS = 60
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_quest(
+        n_transactions=600, n_items=N_ITEMS,
+        avg_transaction_len=8.0, n_patterns=80, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def ossm(db):
+    paged = PagedDatabase(db, page_size=50)
+    return GreedySegmenter().segment(paged, n_segments=6).ossm
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# -- exactness -----------------------------------------------------------
+
+
+class TestExactness:
+    def test_single_query_matches_serial(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                for itemset in [(0,), (1, 2), (3, 4, 5), ()]:
+                    assert await service.query(itemset) == \
+                        ossm.upper_bound(itemset)
+
+        run(main())
+
+    def test_batch_mixed_cardinality_matches_serial(self, ossm):
+        batch = [(1,), (2, 3), (), (4, 5, 6), (7,), (2, 3)]
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                bounds = await service.query_batch(batch)
+                assert bounds == [ossm.upper_bound(s) for s in batch]
+
+        run(main())
+
+    def test_cached_answer_is_identical(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                first = await service.query((2, 5))
+                second = await service.query((2, 5))
+                assert first == second == ossm.upper_bound((2, 5))
+                assert service.stats()["cache"]["hits"] == 1
+
+        run(main())
+
+    def test_canonicalization_shares_cache_entries(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                a = await service.query((5, 2))
+                b = await service.query((2, 5, 5))
+                assert a == b == ossm.upper_bound((2, 5))
+                stats = service.stats()["cache"]
+                assert stats["hits"] == 1 and stats["misses"] == 1
+
+        run(main())
+
+    def test_empty_batch(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                assert await service.query_batch([]) == []
+
+        run(main())
+
+    def test_rejects_bad_items(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                with pytest.raises(ValueError, match="out of range"):
+                    await service.query((ossm.n_items,))
+                with pytest.raises(ValueError, match=">= 0"):
+                    await service.query((-1,))
+
+        run(main())
+
+
+def test_canonical_itemset():
+    assert canonical_itemset((3, 1, 3)) == (1, 3)
+    assert canonical_itemset(()) == ()
+    with pytest.raises(ValueError):
+        canonical_itemset((-2,))
+
+
+# -- coalescing ----------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_evaluate_once(self, ossm):
+        service = BoundQueryService(ossm)
+        calls = []
+        inner = service._evaluate
+
+        def slow_evaluate(current, keys):
+            calls.append(list(keys))
+            time.sleep(0.02)
+            return inner(current, keys)
+
+        service._evaluate = slow_evaluate
+
+        async def main():
+            async with service:
+                bounds = await asyncio.gather(
+                    *(service.query((4, 9)) for _ in range(8))
+                )
+            assert set(bounds) == {ossm.upper_bound((4, 9))}
+
+        run(main())
+        evaluated = [key for batch in calls for key in batch]
+        assert evaluated == [(4, 9)]
+
+
+# -- back-pressure and timeouts ------------------------------------------
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_typed_error(self, ossm):
+        service = BoundQueryService(ossm, max_pending=2)
+        release = threading.Event()
+        inner = service._evaluate
+
+        def blocked_evaluate(current, keys):
+            release.wait()
+            return inner(current, keys)
+
+        service._evaluate = blocked_evaluate
+
+        async def main():
+            async with service:
+                filler = asyncio.create_task(
+                    service.query_batch([(1,), (2,)])
+                )
+                await asyncio.sleep(0.05)
+                assert service.pending == 2
+                with pytest.raises(Overloaded) as excinfo:
+                    await service.query((3,))
+                assert excinfo.value.max_pending == 2
+                release.set()
+                bounds = await filler
+                assert bounds == [
+                    ossm.upper_bound((1,)), ossm.upper_bound((2,))
+                ]
+                assert service.pending == 0
+                # Capacity is back: the shed itemset now succeeds.
+                assert await service.query((3,)) == ossm.upper_bound((3,))
+
+        run(main())
+
+    def test_timeout_raises_but_evaluation_completes(self, ossm):
+        service = BoundQueryService(ossm, timeout=0.05)
+        inner = service._evaluate
+
+        def slow_evaluate(current, keys):
+            time.sleep(0.25)
+            return inner(current, keys)
+
+        service._evaluate = slow_evaluate
+
+        async def main():
+            async with service:
+                with pytest.raises(QueryTimeout):
+                    await service.query((6, 7))
+                # The shared evaluation was not cancelled: it finishes
+                # and warms the cache for the next caller.
+                while service.pending:
+                    await asyncio.sleep(0.02)
+                assert await service.query((6, 7), timeout=None) == \
+                    ossm.upper_bound((6, 7))
+                assert service.stats()["cache"]["hits"] == 1
+
+        run(main())
+
+    def test_per_call_timeout_overrides_default(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm, timeout=0.001) as service:
+                # Generous per-call override on a fast query: no timeout.
+                assert await service.query((1,), timeout=30.0) == \
+                    ossm.upper_bound((1,))
+
+        run(main())
+
+    def test_closed_service_refuses_work(self, ossm):
+        async def main():
+            service = BoundQueryService(ossm)
+            await service.aclose()
+            with pytest.raises(ServiceClosed):
+                await service.query((1,))
+
+        run(main())
+
+
+# -- epochs --------------------------------------------------------------
+
+
+class TestEpochs:
+    def test_update_invalidates_and_serves_new_map(self, db, ossm):
+        extra = generate_quest(
+            n_transactions=200, n_items=N_ITEMS,
+            avg_transaction_len=8.0, n_patterns=80, seed=6,
+        )
+        grown = extend_ossm(ossm, extra, page_size=50)
+        assert grown.epoch == ossm.epoch + 1
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                before = await service.query((2, 3))
+                assert before == ossm.upper_bound((2, 3))
+                assert service.update(grown) is True
+                assert service.epoch == grown.epoch
+                after = await service.query((2, 3))
+                assert after == grown.upper_bound((2, 3))
+                assert service.stats()["cache"]["invalidations"] >= 1
+
+        run(main())
+
+    def test_update_rejects_older_epoch(self, ossm):
+        extra = generate_quest(
+            n_transactions=100, n_items=N_ITEMS, seed=7,
+        )
+        grown = extend_ossm(ossm, extra, page_size=50)
+
+        async def main():
+            async with BoundQueryService(grown) as service:
+                with pytest.raises(ValueError, match="backwards"):
+                    service.update(ossm)
+
+        run(main())
+
+    def test_same_epoch_reshape_clears_cache(self, ossm):
+        coarser = ossm.merge_segments([[0, 1], [2, 3], [4, 5]])
+        assert coarser.epoch == ossm.epoch
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                await service.query((2, 3))
+                service.update(coarser)
+                bound = await service.query((2, 3))
+                assert bound == coarser.upper_bound((2, 3))
+
+        run(main())
+
+    def test_update_with_same_object_is_noop(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                await service.query((1, 2))
+                assert service.update(ossm) is False
+                assert service.stats()["cache"]["invalidations"] == 0
+
+        run(main())
+
+
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("query"),
+                st.lists(
+                    st.integers(min_value=0, max_value=19),
+                    min_size=0, max_size=3,
+                ),
+            ),
+            st.tuples(st.just("extend"), st.integers(0, 2**16)),
+        ),
+        min_size=1, max_size=8,
+    )
+)
+def test_no_stale_bound_under_interleaving(ops):
+    """Interleaved queries and extensions never serve a stale bound."""
+    base = generate_quest(
+        n_transactions=120, n_items=20,
+        avg_transaction_len=5.0, n_patterns=20, seed=1,
+    )
+    paged = PagedDatabase(base, page_size=30)
+    current = GreedySegmenter().segment(paged, n_segments=4).ossm
+
+    async def main(current):
+        async with BoundQueryService(current) as service:
+            for op, payload in ops:
+                if op == "query":
+                    bound = await service.query(payload)
+                    assert bound == current.upper_bound(payload)
+                    # Ask again: the cached answer must agree too.
+                    assert await service.query(payload) == bound
+                else:
+                    extra = generate_quest(
+                        n_transactions=40, n_items=20,
+                        avg_transaction_len=5.0, n_patterns=20,
+                        seed=payload,
+                    )
+                    current = extend_ossm(current, extra, page_size=30)
+                    service.update(current)
+                    assert service.epoch == current.epoch
+
+    asyncio.run(main(current))
+
+
+# -- parallel evaluation and worker failure ------------------------------
+
+
+class TestParallelPath:
+    def _batch(self, n):
+        return [(i % N_ITEMS, (i + 7) % N_ITEMS) for i in range(n)]
+
+    def test_parallel_batch_matches_serial(self, ossm):
+        batch = [s for s in self._batch(100) if len(set(s)) == 2]
+
+        async def main():
+            async with BoundQueryService(
+                ossm, workers=2, parallel_threshold=8
+            ) as service:
+                bounds = await service.query_batch(batch)
+                assert bounds == [ossm.upper_bound(s) for s in batch]
+                assert service.parallel_healthy
+
+        run(main())
+
+    def test_retry_once_recovers(self, ossm, monkeypatch):
+        real = service_module.parallel_upper_bounds
+        calls = {"n": 0}
+
+        def flaky(current, group, workers=None, pool=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("worker died")
+            return real(current, group, workers=workers, pool=pool)
+
+        monkeypatch.setattr(
+            service_module, "parallel_upper_bounds", flaky
+        )
+        batch = self._batch(40)
+
+        async def main():
+            async with BoundQueryService(
+                ossm, workers=2, parallel_threshold=8
+            ) as service:
+                bounds = await service.query_batch(batch)
+                assert bounds == [ossm.upper_bound(s) for s in batch]
+                # First attempt failed, the fresh-pool retry succeeded.
+                assert calls["n"] == 2
+                assert service.parallel_healthy
+
+        run(main())
+
+    def test_double_failure_falls_back_to_serial(self, ossm, monkeypatch):
+        def broken(current, group, workers=None, pool=None):
+            raise RuntimeError("pool is gone")
+
+        monkeypatch.setattr(
+            service_module, "parallel_upper_bounds", broken
+        )
+        batch = self._batch(40)
+
+        async def main():
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                async with BoundQueryService(
+                    ossm, workers=2, parallel_threshold=8
+                ) as service:
+                    bounds = await service.query_batch(batch)
+                    assert bounds == [ossm.upper_bound(s) for s in batch]
+                    assert not service.parallel_healthy
+            snapshot = registry.snapshot()
+            assert snapshot["counters"]["serve.fallbacks"] >= 1
+            assert snapshot["counters"]["serve.retries"] >= 1
+
+        run(main())
+
+    def test_killed_workers_mid_batch_still_exact(self, ossm):
+        """A real SIGKILL on the pool's workers: the service retries on
+        a fresh pool (or falls back serially) and stays exact."""
+        batch = self._batch(64)
+
+        async def main():
+            async with BoundQueryService(
+                ossm, workers=2, parallel_threshold=8
+            ) as service:
+                first = await service.query_batch(batch)
+                assert first == [ossm.upper_bound(s) for s in batch]
+                pool = service._pool
+                assert pool is not None
+                for pid in list(pool._executor._processes):
+                    os.kill(pid, signal.SIGKILL)
+                fresh = [(i % N_ITEMS, (i + 11) % N_ITEMS)
+                         for i in range(64)]
+                bounds = await service.query_batch(fresh)
+                assert bounds == [ossm.upper_bound(s) for s in fresh]
+
+        run(main())
+
+
+# -- observability -------------------------------------------------------
+
+
+class TestObservability:
+    def test_metrics_and_spans(self, ossm):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder()
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                await service.query_batch([(1, 2), (3, 4)])
+                await service.query((1, 2))
+
+        with use_registry(registry), use_recorder(recorder):
+            run(main())
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["serve.queries"] == 3
+        assert counters["serve.cache.misses"] == 2
+        assert counters["serve.cache.hits"] == 1
+        assert snapshot["gauges"]["serve.queue_depth"] == 0
+        assert "serve.batch_seconds" in snapshot["timers"]
+        names = {span["name"] for span in recorder.to_dicts()}
+        assert "serve.batch" in names

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.bench",
     "repro.obs",
+    "repro.serve",
 ]
 
 
@@ -57,6 +58,8 @@ def test_key_symbols_reachable_from_top_level():
         "mine_parallel_episodes", "mine_serial_episodes",
         "OSSMPruner", "generate_rules", "recommend",
         "ParallelCounter", "ParallelOSSMPruner", "parallel_build_ossm",
-        "ShardPlanner",
+        "ShardPlanner", "Session", "make_counter", "registered_engines",
+        "BoundQueryService", "EpochLRUCache", "Overloaded",
+        "QueryTimeout", "ServiceClosed",
     ):
         assert hasattr(repro, name), name

@@ -1,0 +1,172 @@
+"""Tests of the top-level ``repro.Session`` facade and the parameter-
+name deprecation shims.
+
+The facade must be a pure convenience: everything it returns is
+exactly what calling the layers directly would produce. The shim must
+warn exactly once per call and delegate with identical results.
+"""
+
+import asyncio
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    GreedySegmenter,
+    OSSMPruner,
+    PagedDatabase,
+    Session,
+    apriori,
+    generate_quest,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_quest(
+        n_transactions=500, n_items=50,
+        avg_transaction_len=6.0, n_patterns=60, seed=9,
+    )
+
+
+class TestSessionPipeline:
+    def test_generate_segment_mine_matches_direct_api(self, db):
+        session = (
+            Session(page_size=50)
+            .use(db)
+            .segment(n_segments=5, algorithm="greedy")
+        )
+        facade = session.mine(min_support=0.05, max_level=2)
+
+        paged = PagedDatabase(db, page_size=50)
+        ossm = GreedySegmenter().segment(paged, n_segments=5).ossm
+        direct = apriori(
+            db, 0.05, pruner=OSSMPruner(ossm), max_level=2
+        )
+        assert facade.frequent == direct.frequent
+
+    def test_generate_kinds(self):
+        for kind in ("quest", "skewed", "alarms"):
+            session = Session().generate(
+                kind,
+                **{
+                    "quest": dict(n_transactions=50, n_items=20, seed=1),
+                    "skewed": dict(n_transactions=50, n_items=20, seed=1),
+                    "alarms": dict(n_windows=50, n_alarm_types=20, seed=1),
+                }[kind],
+            )
+            assert len(session.database) > 0
+        with pytest.raises(ValueError, match="unknown workload"):
+            Session().generate("nonsense")
+
+    def test_load_roundtrip(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        repro.save(db, str(path))
+        session = Session().load(path)
+        assert len(session.database) == len(db)
+
+    def test_accessors_raise_before_state_exists(self):
+        session = Session()
+        with pytest.raises(RuntimeError, match="no database"):
+            session.database
+        with pytest.raises(RuntimeError, match="no OSSM"):
+            session.ossm
+        assert session.segmentation is None
+
+    def test_use_ossm(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        ossm = GreedySegmenter().segment(paged, n_segments=4).ossm
+        session = Session().use(db).use_ossm(ossm)
+        assert session.ossm is ossm
+
+    def test_mine_algorithms_agree(self, db):
+        session = Session().use(db).segment(n_segments=4)
+        reference = session.mine(min_support=0.05, max_level=2)
+        for algorithm in ("fpgrowth", "eclat", "partition"):
+            result = session.mine(
+                min_support=0.05, algorithm=algorithm, max_level=2
+            )
+            assert result.frequent == reference.frequent, algorithm
+        with pytest.raises(ValueError, match="unknown mining"):
+            session.mine(min_support=0.05, algorithm="magic")
+
+    def test_unknown_segmenter_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown segmenter"):
+            Session().use(db).segment(algorithm="quantum")
+
+    def test_segmenter_instance_accepted(self, db):
+        session = Session().use(db).segment(
+            n_segments=4, algorithm=GreedySegmenter()
+        )
+        assert session.ossm.n_segments == 4
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            Session(page_size=0)
+
+    def test_repr(self, db):
+        session = Session().use(db).segment(n_segments=4)
+        text = repr(session)
+        assert "transactions=500" in text and "epoch=0" in text
+
+
+class TestSessionServing:
+    def test_serve_and_extend_push_epoch(self, db):
+        session = Session(page_size=50).use(db).segment(n_segments=5)
+        extra = generate_quest(
+            n_transactions=100, n_items=50,
+            avg_transaction_len=6.0, n_patterns=60, seed=10,
+        )
+
+        async def main():
+            async with session.serve(cache_size=128) as service:
+                before = await service.query((1, 2))
+                assert before == session.ossm.upper_bound((1, 2))
+                session.extend(extra)
+                assert service.epoch == session.ossm.epoch == 1
+                after = await service.query((1, 2))
+                assert after == session.ossm.upper_bound((1, 2))
+                assert len(session.database) == len(db) + 100
+
+        asyncio.run(main())
+
+
+class TestDeprecatedNames:
+    def test_n_user_keyword_warns_once_and_delegates(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            old = GreedySegmenter().segment(paged, n_user=4)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "n_segments" in str(deprecations[0].message)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            new = GreedySegmenter().segment(paged, n_segments=4)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert old.ossm == new.ossm
+        assert old.groups == new.groups
+
+    def test_positional_still_works_silently(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = GreedySegmenter().segment(paged, 4)
+        assert not caught
+        assert result.n_segments == 4
+
+    def test_both_names_rejected(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with pytest.raises(TypeError, match="deprecated alias"):
+            GreedySegmenter().segment(paged, 4, n_user=4)
+
+    def test_missing_segment_count_rejected(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with pytest.raises(TypeError, match="n_segments"):
+            GreedySegmenter().segment(paged)
