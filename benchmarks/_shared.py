@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 REPORTS: list[str] = []
+
+#: Repo root — BENCH_<name>.json artifacts land here so CI can collect
+#: them with one glob.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_BENCH_RECORDS: dict[str, list[dict]] = {}
 
 
 def report(title: str, body: str) -> None:
@@ -10,6 +19,24 @@ def report(title: str, body: str) -> None:
     from repro.bench import banner
 
     REPORTS.append(f"{banner(title)}\n{body}")
+
+
+def emit_bench(record: dict) -> None:
+    """Print the ``BENCH {json}`` line and persist the record to disk.
+
+    Records accumulate per ``record["bench"]`` name; every call
+    rewrites ``BENCH_<name>.json`` at the repo root with the list
+    emitted so far, so even a run that dies mid-sweep leaves the
+    completed configurations on disk.
+    """
+    name = record["bench"]
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    _BENCH_RECORDS.setdefault(name, []).append(record)
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(_BENCH_RECORDS[name], indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 from repro.bench import (

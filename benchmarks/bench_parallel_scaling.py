@@ -17,13 +17,12 @@ the transaction count with ``REPRO_PARALLEL_BENCH_N``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import MINSUP, format_table
 from repro.bench.workloads import QuestConfig, QuestGenerator, current_scale
 from repro.mining import Apriori
@@ -105,7 +104,7 @@ def scaling_sweep():
             "exact": True,
             "cpu_count": os.cpu_count(),
         }
-        print("BENCH " + json.dumps(record, sort_keys=True))
+        emit_bench(record)
         emitted.append(record)
         rows.append(
             [

@@ -20,12 +20,11 @@ query count.
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import random
 import time
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import format_table
 from repro.bench.workloads import QuestConfig, QuestGenerator, current_scale
 from repro.core import GreedySegmenter
@@ -136,7 +135,7 @@ def test_serve_closed_loop_load():
         "cache_evictions": stats["cache"]["evictions"],
         "epoch": stats["epoch"],
     }
-    print("BENCH " + json.dumps(record, sort_keys=True))
+    emit_bench(record)
 
     rows = [
         [

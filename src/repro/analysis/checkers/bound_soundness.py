@@ -40,6 +40,10 @@ DEFAULT_BOUND_MODULES: tuple[str, ...] = (
     "core/generalized.py",
     "core/loss.py",
     "parallel/ossm.py",
+    # Checkpoints and artifacts carry exact counts; float arithmetic
+    # sneaking into their (de)serialization would corrupt resumes.
+    "resilience/checkpoint.py",
+    "resilience/integrity.py",
 )
 
 _FLOAT_DTYPES = frozenset({"float", "float16", "float32", "float64"})

@@ -42,6 +42,10 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "parallel/pool.py",
     "serve/cache.py",
     "serve/service.py",
+    # Injection points sit inside the level loop and the task-wrap
+    # path, so their telemetry must be guarded like any other hot code.
+    "resilience/faults.py",
+    "resilience/breaker.py",
 )
 
 #: Method names that record telemetry; a call to one of these (or to a

@@ -51,6 +51,7 @@ from .obs.instrument import record_ossm_build
 from .obs.log import configure_logging, get_logger
 from .obs.metrics import MetricsRegistry, use_registry
 from .obs.trace import TraceRecorder, use_recorder
+from .resilience import ResilienceError
 from .serve.service import BoundQueryService
 
 __all__ = ["main"]
@@ -146,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            "apriori/partition only)")
     mine.add_argument("--top", type=int, default=20,
                       help="itemsets to print (0 = all)")
+    mine.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                      help="snapshot loop state there after every level "
+                           "(apriori/dhp/partition only)")
+    mine.add_argument("--resume", action="store_true",
+                      help="resume from the newest valid checkpoint in "
+                           "--checkpoint-dir")
 
     serve = sub.add_parser(
         "serve",
@@ -266,6 +273,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "ignoring it for %s", args.algorithm,
         )
         engine = None
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    if (checkpoint_dir or resume) and args.algorithm not in (
+        "apriori", "dhp", "partition"
+    ):
+        logger.warning(
+            "--checkpoint-dir/--resume are only supported by "
+            "apriori/dhp/partition; ignoring them for %s", args.algorithm,
+        )
+        checkpoint_dir, resume = None, False
+    if resume and not checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
     pruner = NullPruner()
     if args.ossm:
         ossm = OSSM.load(args.ossm)
@@ -275,15 +294,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.algorithm == "apriori":
         miner = Apriori(
             pruner=pruner, max_level=max_level, workers=workers,
-            engine=engine,
+            engine=engine, checkpoint_dir=checkpoint_dir, resume=resume,
         )
     elif args.algorithm == "dhp":
-        miner = DHP(pruner=pruner, max_level=max_level, workers=workers)
+        miner = DHP(
+            pruner=pruner, max_level=max_level, workers=workers,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+        )
     elif args.algorithm == "depthproject":
         miner = DepthProject(pruner=pruner, max_level=max_level)
     elif args.algorithm == "partition":
         miner = Partition(
-            max_level=max_level, workers=workers, engine=engine
+            max_level=max_level, workers=workers, engine=engine,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         )
     elif args.algorithm == "fpgrowth":
         miner = FPGrowth(max_level=max_level)
@@ -394,7 +417,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             stack.enter_context(use_recorder(recorder))
         if registry is not None:
             stack.enter_context(use_registry(registry))
-        code = handlers[args.command](args)
+        try:
+            code = handlers[args.command](args)
+        except (ResilienceError, OSError, ValueError) as exc:
+            # Operational failures — missing or damaged inputs, an
+            # unusable checkpoint directory, mismatched resume state —
+            # become one diagnosable line, not a traceback.
+            print(
+                f"error: {type(exc).__name__}: {exc}", file=sys.stderr
+            )
+            return 2
     if recorder is not None:
         with open(args.trace_out, "w", encoding="utf-8") as sink:
             sink.write(recorder.to_json())

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..data.pages import PagedDatabase
 from ..data.transactions import TransactionDatabase
+from ..resilience import CorruptArtifact, atomic_savez, verified_load_npz
 
 __all__ = ["OSSM", "build_from_pages", "build_from_database"]
 
@@ -285,21 +286,36 @@ class OSSM:
     # -- persistence -----------------------------------------------------
 
     def save(self, path: str | os.PathLike) -> None:
-        """Persist the map as a compressed ``.npz`` archive."""
+        """Persist the map as a compressed ``.npz`` archive.
+
+        Written atomically (temp + fsync + rename) with an embedded
+        format version and CRC32, so :meth:`load` can tell a damaged
+        file from a valid one and a crash mid-save can never leave a
+        torn archive at *path*.
+        """
         payload: dict[str, np.ndarray] = {"matrix": self._matrix}
         if self._sizes is not None:
             payload["sizes"] = np.asarray(self._sizes, dtype=np.int64)
         if self._epoch:
             payload["epoch"] = np.asarray(self._epoch, dtype=np.int64)
-        np.savez_compressed(path, **payload)
+        atomic_savez(path, payload, kind="ossm", fault_base="io.ossm")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "OSSM":
-        """Load a map written by :meth:`save`."""
-        with np.load(path) as archive:
-            matrix = archive["matrix"]
-            sizes = archive["sizes"] if "sizes" in archive else None
-            epoch = int(archive["epoch"]) if "epoch" in archive else 0
+        """Load a map written by :meth:`save`.
+
+        Raises :class:`~repro.resilience.errors.CorruptArtifact` on
+        damaged bytes and
+        :class:`~repro.resilience.errors.IntegrityError` on a wrong
+        artifact kind or future format version; archives written before
+        the integrity format still load.
+        """
+        payload = verified_load_npz(path, kind="ossm")
+        if "matrix" not in payload:
+            raise CorruptArtifact(path, "missing 'matrix' array")
+        matrix = payload["matrix"]
+        sizes = payload.get("sizes")
+        epoch = int(payload["epoch"]) if "epoch" in payload else 0
         return cls(matrix, segment_sizes=sizes, epoch=epoch)
 
 

@@ -18,6 +18,7 @@ per-level stats expose.
 
 from __future__ import annotations
 
+import os
 import time
 
 from ..data.transactions import TransactionDatabase
@@ -26,6 +27,7 @@ from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
+from .checkpointing import MiningCheckpointer, level_crash_point
 from .counting import SupportCounter, make_counter
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
@@ -58,6 +60,17 @@ class Apriori:
         :func:`~repro.mining.counting.make_counter` (``"subset"``,
         ``"tidset"``, ``"hashtree"``, ``"parallel"``). Combined with
         ``workers`` a serial name selects the per-shard engine.
+    checkpoint_dir:
+        Snapshot the loop state there after every completed level
+        (atomic, checksummed — see
+        :mod:`repro.resilience.checkpoint`). ``None`` disables
+        checkpointing entirely.
+    resume:
+        Restart from the newest valid snapshot in ``checkpoint_dir``
+        instead of level 1. The resumed run is bit-identical to an
+        uninterrupted one (apart from wall-clock timings); resuming
+        against a different database/threshold/configuration raises
+        :class:`~repro.resilience.errors.CheckpointMismatch`.
     """
 
     name = "apriori"
@@ -69,6 +82,8 @@ class Apriori:
         max_level: int | None = None,
         workers: int | None = None,
         engine: str | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        resume: bool = False,
     ) -> None:
         self.pruner = pruner if pruner is not None else NullPruner()
         if counter is not None and (workers is not None or engine is not None):
@@ -87,6 +102,8 @@ class Apriori:
         if max_level is not None and max_level < 1:
             raise ValueError("max_level must be >= 1 or None")
         self.max_level = max_level
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     def mine(
         self,
@@ -102,6 +119,11 @@ class Apriori:
         )
         start = time.perf_counter()
         metrics = get_registry()
+        ckpt = MiningCheckpointer.open(
+            self.checkpoint_dir, self.resume, result.algorithm, threshold,
+            database, max_level=self.max_level,
+        )
+        restored = ckpt.restored() if ckpt is not None else None
 
         with trace(
             "apriori.mine",
@@ -109,32 +131,43 @@ class Apriori:
             min_support=threshold,
             n_transactions=len(database),
         ):
-            # Level 1: count all singletons directly.
-            with trace("apriori.level", level=1):
-                supports = database.item_supports()
-                level1 = result.level(1)
-                level1.candidates_generated = database.n_items
-                singletons = [
-                    (int(item),) for item in range(database.n_items)
-                ]
-                pruned1 = self.pruner.prune(singletons, threshold)
-                level1.candidates_pruned = len(singletons) - len(pruned1)
-                level1.candidates_counted = len(pruned1)
-                frequent_prev = []
-                for itemset in pruned1:
-                    support = int(supports[itemset[0]])
-                    if support >= threshold:
-                        result.frequent[itemset] = support
-                        frequent_prev.append(itemset)
-                level1.frequent = len(frequent_prev)
-                record_level_stats(self.name, level1)
-            self._log_level(level1)
+            if restored is not None:
+                k, state = restored
+                result.frequent = dict(state["frequent"])
+                frequent_prev = list(state["frequent_prev"])
+                MiningCheckpointer.unpack_levels(result, state["levels"])
+            else:
+                # Level 1: count all singletons directly.
+                with trace("apriori.level", level=1):
+                    level_crash_point()
+                    supports = database.item_supports()
+                    level1 = result.level(1)
+                    level1.candidates_generated = database.n_items
+                    singletons = [
+                        (int(item),) for item in range(database.n_items)
+                    ]
+                    pruned1 = self.pruner.prune(singletons, threshold)
+                    level1.candidates_pruned = len(singletons) - len(pruned1)
+                    level1.candidates_counted = len(pruned1)
+                    frequent_prev = []
+                    for itemset in pruned1:
+                        support = int(supports[itemset[0]])
+                        if support >= threshold:
+                            result.frequent[itemset] = support
+                            frequent_prev.append(itemset)
+                    level1.frequent = len(frequent_prev)
+                    record_level_stats(self.name, level1)
+                self._log_level(level1)
+                k = 1
+                if ckpt is not None:
+                    ckpt.save_level(1, self._snapshot(result, frequent_prev))
 
-            k = 2
+            k += 1
             while frequent_prev and (
                 self.max_level is None or k <= self.max_level
             ):
                 with trace("apriori.level", level=k):
+                    level_crash_point()
                     candidates = apriori_gen(frequent_prev)
                     stats = result.level(k)
                     stats.candidates_generated = len(candidates)
@@ -157,6 +190,8 @@ class Apriori:
                     stats.frequent = len(frequent_prev)
                     record_level_stats(self.name, stats)
                 self._log_level(stats)
+                if ckpt is not None:
+                    ckpt.save_level(k, self._snapshot(result, frequent_prev))
                 k += 1
 
         result.elapsed_seconds = time.perf_counter() - start
@@ -165,6 +200,16 @@ class Apriori:
             result.algorithm, result.n_frequent, result.elapsed_seconds,
         )
         return result
+
+    @staticmethod
+    def _snapshot(result: MiningResult, frequent_prev: list) -> dict:
+        """Exact loop state carried into the next level (see
+        :mod:`repro.mining.checkpointing` for the bit-identity contract)."""
+        return {
+            "frequent": dict(result.frequent),
+            "frequent_prev": list(frequent_prev),
+            "levels": MiningCheckpointer.pack_levels(result),
+        }
 
     @staticmethod
     def _log_level(stats) -> None:
@@ -184,10 +229,13 @@ def apriori(
     max_level: int | None = None,
     workers: int | None = None,
     engine: str | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> MiningResult:
     """Functional entry point: ``apriori(db, 0.01, pruner=OSSMPruner(ossm))``."""
     miner = Apriori(
         pruner=pruner, counter=counter, max_level=max_level,
         workers=workers, engine=engine,
+        checkpoint_dir=checkpoint_dir, resume=resume,
     )
     return miner.mine(database, min_support)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..data.transactions import TransactionDatabase
 from ..obs.metrics import get_registry
+from ..resilience import CircuitBreaker
 
 __all__ = [
     "SupportCounter",
@@ -34,6 +35,7 @@ __all__ = [
     "count_supports",
     "make_counter",
     "make_pool",
+    "parallel_breaker",
     "register_engine",
     "register_parallel_backend",
     "registered_engines",
@@ -219,6 +221,22 @@ _POOL_FACTORY: (
 #: Name under which the parallel backend registers itself.
 PARALLEL_ENGINE = "parallel"
 
+#: Circuit breaker guarding the process-parallel execution backend.
+#: Every :class:`~repro.parallel.counter.ParallelCounter` consults it:
+#: a pool that exhausts its rebuild budget records a failure here, and
+#: once it trips, *all* counter selection (this registry included)
+#: degrades to the serial engines — always exact, merely slower — until
+#: the recovery window admits a probe that succeeds. This replaces the
+#: per-call one-shot retry the serve layer used to hand-roll.
+_PARALLEL_BREAKER = CircuitBreaker(
+    failure_threshold=3, recovery_time=30.0, name="engine.parallel"
+)
+
+
+def parallel_breaker() -> CircuitBreaker:
+    """The breaker guarding the parallel backend (shared, process-wide)."""
+    return _PARALLEL_BREAKER
+
 
 def register_engine(
     name: str, factory: Callable[[], SupportCounter]
@@ -269,6 +287,8 @@ def make_counter(
                 "parallel engine requested but repro.parallel is not "
                 "imported; import repro (or repro.parallel) first"
             )
+        if _PARALLEL_BREAKER.is_open:
+            return _degraded_serial("tidset")
         return _PARALLEL_FACTORY(workers, "tidset", segment_sizes)
     factory = _SERIAL_FACTORIES.get(engine)
     if factory is None:
@@ -283,7 +303,17 @@ def make_counter(
             "workers= requested but repro.parallel is not imported; "
             "import repro (or repro.parallel) first"
         )
+    if _PARALLEL_BREAKER.is_open:
+        return _degraded_serial(engine)
     return _PARALLEL_FACTORY(workers, engine, segment_sizes)
+
+
+def _degraded_serial(engine: str) -> SupportCounter:
+    """The serial engine handed out while the parallel breaker is open."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("resilience.engine.degraded")
+    return _SERIAL_FACTORIES[engine]()
 
 
 def make_pool(
@@ -297,5 +327,10 @@ def make_pool(
     :class:`SupportCounter`-shaped (DHP's hash-building count passes).
     """
     if workers is None or _POOL_FACTORY is None:
+        return None
+    if _PARALLEL_BREAKER.is_open:
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("resilience.engine.degraded")
         return None
     return _POOL_FACTORY(workers, n_tasks)

@@ -23,6 +23,7 @@ pruner.
 
 from __future__ import annotations
 
+import os
 import time
 from itertools import combinations
 
@@ -34,6 +35,7 @@ from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
+from .checkpointing import MiningCheckpointer, level_crash_point
 from .counting import make_pool
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
@@ -180,6 +182,13 @@ class DHP:
         many worker processes in contiguous transaction chunks. Counts
         and bucket tables sum and trimmed runs concatenate in order, so
         the result is exactly the serial one.
+    checkpoint_dir:
+        Snapshot the loop state (frequent sets, bucket table, trimmed
+        transactions) there after every completed level; ``None``
+        disables checkpointing.
+    resume:
+        Restart from the newest valid snapshot in ``checkpoint_dir``;
+        the resumed run is bit-identical to an uninterrupted one.
     """
 
     name = "dhp"
@@ -192,6 +201,8 @@ class DHP:
         max_level: int | None = None,
         trim: bool = True,
         workers: int | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        resume: bool = False,
     ) -> None:
         if n_buckets < 1:
             raise ValueError("n_buckets must be >= 1")
@@ -203,6 +214,8 @@ class DHP:
         self.max_level = max_level
         self.trim = trim
         self.workers = workers
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     # -- parallel plumbing -------------------------------------------------
 
@@ -321,6 +334,27 @@ class DHP:
             self.n_buckets, self.trim,
         )
 
+    @staticmethod
+    def _snapshot(
+        result: MiningResult,
+        frequent_prev: list[Itemset],
+        buckets: np.ndarray | None,
+        transactions: list[Itemset],
+    ) -> dict:
+        """Exact loop state carried into the next level: on top of the
+        Apriori state, DHP also rolls the live hash table and the
+        trimmed transaction run forward."""
+        return {
+            "frequent": dict(result.frequent),
+            "frequent_prev": list(frequent_prev),
+            "levels": MiningCheckpointer.pack_levels(result),
+            "buckets": (
+                None if buckets is None
+                else np.array(buckets, dtype=np.int64)
+            ),
+            "transactions": list(transactions),
+        }
+
     # -- driver ------------------------------------------------------------
 
     def mine(
@@ -338,6 +372,13 @@ class DHP:
         start = time.perf_counter()
         metrics = get_registry()
         pool = self._make_pool(database)
+        ckpt = MiningCheckpointer.open(
+            self.checkpoint_dir, self.resume, result.algorithm, threshold,
+            database, n_buckets=self.n_buckets,
+            hash_passes=self.hash_passes, trim=self.trim,
+            max_level=self.max_level,
+        )
+        restored = ckpt.restored() if ckpt is not None else None
 
         with trace(
             "dhp.mine",
@@ -345,35 +386,56 @@ class DHP:
             min_support=threshold,
             n_transactions=len(database),
         ):
-            with trace("dhp.level", level=1):
-                with metrics.time("dhp.pass_one_seconds"):
-                    if pool is not None:
-                        supports, buckets = self._pass_one_parallel(
-                            database, pool
-                        )
-                    else:
-                        supports, buckets = self._pass_one(database)
-                level1 = result.level(1)
-                level1.candidates_generated = database.n_items
-                singletons = [(int(i),) for i in range(database.n_items)]
-                survivors1 = self.pruner.prune(singletons, threshold)
-                level1.candidates_pruned = len(singletons) - len(survivors1)
-                level1.candidates_counted = len(survivors1)
-                frequent_prev: list[Itemset] = []
-                for itemset in survivors1:
-                    support = int(supports[itemset[0]])
-                    if support >= threshold:
-                        result.frequent[itemset] = support
-                        frequent_prev.append(itemset)
-                level1.frequent = len(frequent_prev)
-                record_level_stats(self.name, level1)
+            if restored is not None:
+                k, state = restored
+                result.frequent = dict(state["frequent"])
+                frequent_prev: list[Itemset] = list(state["frequent_prev"])
+                MiningCheckpointer.unpack_levels(result, state["levels"])
+                buckets = state["buckets"]
+                transactions: list[Itemset] = list(state["transactions"])
+            else:
+                with trace("dhp.level", level=1):
+                    level_crash_point()
+                    with metrics.time("dhp.pass_one_seconds"):
+                        if pool is not None:
+                            supports, buckets = self._pass_one_parallel(
+                                database, pool
+                            )
+                        else:
+                            supports, buckets = self._pass_one(database)
+                    level1 = result.level(1)
+                    level1.candidates_generated = database.n_items
+                    singletons = [(int(i),) for i in range(database.n_items)]
+                    survivors1 = self.pruner.prune(singletons, threshold)
+                    level1.candidates_pruned = (
+                        len(singletons) - len(survivors1)
+                    )
+                    level1.candidates_counted = len(survivors1)
+                    frequent_prev = []
+                    for itemset in survivors1:
+                        support = int(supports[itemset[0]])
+                        if support >= threshold:
+                            result.frequent[itemset] = support
+                            frequent_prev.append(itemset)
+                    level1.frequent = len(frequent_prev)
+                    record_level_stats(self.name, level1)
 
-            transactions: list[Itemset] = list(database)
-            k = 2
+                transactions = list(database)
+                k = 1
+                if ckpt is not None:
+                    ckpt.save_level(
+                        1,
+                        self._snapshot(
+                            result, frequent_prev, buckets, transactions
+                        ),
+                    )
+
+            k += 1
             while frequent_prev and (
                 self.max_level is None or k <= self.max_level
             ):
                 with trace("dhp.level", level=k):
+                    level_crash_point()
                     raw = apriori_gen(frequent_prev)
                     stats = result.level(k)
                     stats.candidates_generated = len(raw)
@@ -419,6 +481,13 @@ class DHP:
                     k, stats.candidates_generated, stats.candidates_pruned,
                     stats.candidates_counted, stats.frequent,
                 )
+                if ckpt is not None:
+                    ckpt.save_level(
+                        k,
+                        self._snapshot(
+                            result, frequent_prev, buckets, transactions
+                        ),
+                    )
                 k += 1
 
         if pool is not None:

@@ -23,6 +23,7 @@ implemented here:
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections.abc import Callable
 
@@ -34,6 +35,7 @@ from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .apriori import Apriori
 from .base import MiningResult, resolve_min_support
+from .checkpointing import MiningCheckpointer, level_crash_point
 from .counting import SupportCounter, make_counter
 from .pruning import CandidatePruner, NullPruner, OSSMPruner
 
@@ -94,6 +96,14 @@ class Partition:
         Phase-2 counting-engine name resolved through
         :func:`~repro.mining.counting.make_counter`; default subset
         (serial) or the sharded parallel counter (with ``workers``).
+    checkpoint_dir:
+        Snapshot progress there: unit 0 is the completed phase-1
+        candidate union, unit ``k`` each completed phase-2 level.
+        ``None`` disables checkpointing.
+    resume:
+        Restart from the newest valid snapshot in ``checkpoint_dir``
+        (skipping phase 1 entirely once unit 0 exists); the resumed
+        run is bit-identical to an uninterrupted one.
     """
 
     name = "partition"
@@ -107,6 +117,8 @@ class Partition:
         max_level: int | None = None,
         workers: int | None = None,
         engine: str | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        resume: bool = False,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -125,6 +137,8 @@ class Partition:
         self.max_level = max_level
         self.workers = workers
         self.engine = engine
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     def _resolved_workers(self) -> int:
         if self.workers is None:
@@ -200,6 +214,12 @@ class Partition:
         workers = self._resolved_workers()
         start = time.perf_counter()
         metrics = get_registry()
+        ckpt = MiningCheckpointer.open(
+            self.checkpoint_dir, self.resume, result.algorithm, threshold,
+            database, n_partitions=self.n_partitions,
+            auto_ossm=self.auto_ossm, max_level=self.max_level,
+        )
+        restored = ckpt.restored() if ckpt is not None else None
 
         with trace(
             "partition.mine",
@@ -207,34 +227,49 @@ class Partition:
             min_support=threshold,
             n_partitions=len(partitions),
         ):
-            # Phase 1: local mining.
+            # Phase 1: local mining (skipped once checkpoint unit 0 —
+            # the complete candidate union — is on disk).
             candidates: set[Itemset] = set()
-            with trace("partition.phase1", workers=workers):
-                tasks = []
-                for index, (part, pruner) in enumerate(
-                    zip(partitions, local_pruners)
-                ):
-                    if len(part) == 0:
-                        continue
-                    local_threshold = max(1, math.ceil(relative * len(part)))
-                    tasks.append((index, part, pruner, local_threshold))
-                if workers > 1 and len(tasks) > 1:
-                    self._phase_one_parallel(tasks, candidates, workers)
-                else:
-                    for index, part, pruner, local_threshold in tasks:
-                        with trace(
-                            "partition.local", partition=index,
-                            size=len(part),
-                        ):
-                            local = Apriori(
-                                pruner=pruner, max_level=self.max_level
-                            ).mine(part, local_threshold)
-                        candidates.update(local.frequent)
-            metrics.inc("partition.global_candidates", len(candidates))
-            logger.debug(
-                "phase 1: %d global candidates from %d partitions",
-                len(candidates), len(partitions),
-            )
+            done_levels: set[int] = set()
+            if restored is not None:
+                unit, state = restored
+                candidates = set(state["candidates"])
+                if unit > 0:
+                    result.frequent = dict(state["frequent"])
+                    MiningCheckpointer.unpack_levels(result, state["levels"])
+                    done_levels = set(state["done"])
+            else:
+                with trace("partition.phase1", workers=workers):
+                    level_crash_point()
+                    tasks = []
+                    for index, (part, pruner) in enumerate(
+                        zip(partitions, local_pruners)
+                    ):
+                        if len(part) == 0:
+                            continue
+                        local_threshold = max(
+                            1, math.ceil(relative * len(part))
+                        )
+                        tasks.append((index, part, pruner, local_threshold))
+                    if workers > 1 and len(tasks) > 1:
+                        self._phase_one_parallel(tasks, candidates, workers)
+                    else:
+                        for index, part, pruner, local_threshold in tasks:
+                            with trace(
+                                "partition.local", partition=index,
+                                size=len(part),
+                            ):
+                                local = Apriori(
+                                    pruner=pruner, max_level=self.max_level
+                                ).mine(part, local_threshold)
+                            candidates.update(local.frequent)
+                metrics.inc("partition.global_candidates", len(candidates))
+                logger.debug(
+                    "phase 1: %d global candidates from %d partitions",
+                    len(candidates), len(partitions),
+                )
+                if ckpt is not None:
+                    ckpt.save_level(0, {"candidates": sorted(candidates)})
 
             # Phase 2: one global counting scan, level by level.
             counter = self._phase_two_counter(workers, global_pruner)
@@ -243,7 +278,10 @@ class Partition:
                 by_size.setdefault(len(candidate), []).append(candidate)
             with trace("partition.phase2"):
                 for k in sorted(by_size):
+                    if k in done_levels:
+                        continue
                     with trace("partition.level", level=k):
+                        level_crash_point()
                         level = result.level(k)
                         level_candidates = sorted(by_size[k])
                         level.candidates_generated = len(level_candidates)
@@ -262,6 +300,19 @@ class Partition:
                                 result.frequent[itemset] = support
                                 level.frequent += 1
                         record_level_stats(self.name, level)
+                    done_levels.add(k)
+                    if ckpt is not None:
+                        ckpt.save_level(
+                            k,
+                            {
+                                "candidates": sorted(candidates),
+                                "frequent": dict(result.frequent),
+                                "levels": MiningCheckpointer.pack_levels(
+                                    result
+                                ),
+                                "done": sorted(done_levels),
+                            },
+                        )
 
         closer = getattr(counter, "close", None)
         if closer is not None:

@@ -34,7 +34,7 @@ from .ossm import (
     parallel_upper_bounds,
 )
 from .plan import ShardPlan, ShardPlanner, resolve_workers
-from .pool import WorkerPool
+from .pool import SupervisedPool, WorkerPool
 
 
 def _counter_factory(
@@ -48,12 +48,14 @@ def _counter_factory(
     )
 
 
-def _pool_factory(workers: int | None, n_tasks: int) -> WorkerPool | None:
+def _pool_factory(
+    workers: int | None, n_tasks: int
+) -> SupervisedPool | None:
     """:func:`repro.mining.counting.make_pool` backend."""
     resolved = resolve_workers(workers)
     if resolved <= 1 or n_tasks <= 1:
         return None
-    return WorkerPool(resolved)
+    return SupervisedPool(resolved, name="parallel.chunks")
 
 
 # Counter selection lives in repro.mining.counting; this package plugs
@@ -68,5 +70,6 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "resolve_workers",
+    "SupervisedPool",
     "WorkerPool",
 ]

@@ -29,13 +29,15 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..data.transactions import TransactionDatabase
-from ..mining.counting import SupportCounter
+from ..mining.counting import SupportCounter, make_counter, parallel_breaker
+from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import trace
+from ..resilience import PoolFailure
 from .plan import ShardPlan, ShardPlanner, resolve_workers
 from .pool import (
     ENGINES,
-    WorkerPool,
+    SupervisedPool,
     count_shard,
     init_shards,
     publish_int64,
@@ -45,6 +47,8 @@ from .pool import (
 __all__ = ["ParallelCounter"]
 
 Itemset = tuple[int, ...]
+
+logger = get_logger(__name__)
 
 
 class ParallelCounter(SupportCounter):
@@ -94,9 +98,10 @@ class ParallelCounter(SupportCounter):
             if segment_sizes is not None
             else None
         )
-        self._pool: WorkerPool | None = None
+        self._pool: SupervisedPool | None = None
         self._plan: ShardPlan | None = None
         self._database: TransactionDatabase | None = None
+        self._serial: SupportCounter | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -119,17 +124,19 @@ class ParallelCounter(SupportCounter):
         self.close()
 
     def __del__(self) -> None:
-        # Never propagate from a finalizer.
+        # Never propagate from a finalizer — even a pool whose workers
+        # were SIGKILLed mid-close, collected during interpreter
+        # shutdown, can surface BaseExceptions here.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     # -- binding ---------------------------------------------------------
 
     def _bind(
         self, database: TransactionDatabase
-    ) -> tuple[ShardPlan, WorkerPool]:
+    ) -> tuple[ShardPlan, SupervisedPool]:
         """Shard *database* and (re)create the pool if it changed.
 
         Holding a strong reference to the bound database is deliberate:
@@ -148,13 +155,27 @@ class ParallelCounter(SupportCounter):
             return self._plan, self._pool
         self.close()
         shards = tuple(database[lo:hi] for lo, hi in plan.ranges())
-        pool = WorkerPool(
-            min(self.workers, plan.n_shards), init_shards, shards
+        pool = SupervisedPool(
+            min(self.workers, plan.n_shards),
+            init_shards,
+            shards,
+            name="parallel.count",
         )
         self._pool = pool
         self._plan = plan
         self._database = database
         return plan, pool
+
+    def _serial_engine(self) -> SupportCounter:
+        """The serial engine used when parallel execution is degraded.
+
+        ``self.engine`` names a serial per-shard engine, so the fallback
+        runs the *same* counting algorithm over the whole database —
+        identical counts, just no fan-out.
+        """
+        if self._serial is None:
+            self._serial = make_counter(self.engine)
+        return self._serial
 
     # -- counting --------------------------------------------------------
 
@@ -189,6 +210,14 @@ class ParallelCounter(SupportCounter):
             for candidate in counts:
                 counts[candidate] = n_transactions
             return counts
+        breaker = parallel_breaker()
+        if not breaker.allow():
+            # Breaker open: don't touch (or rebuild) the broken pool at
+            # all — count serially, which is always exact.
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("resilience.engine.degraded")
+            return self._serial_engine().count(database, candidates)
         plan, pool = self._bind(database)
         ordered = list(counts)
         table = np.asarray(ordered, dtype=np.int64)
@@ -207,9 +236,21 @@ class ParallelCounter(SupportCounter):
                 k=k,
             ):
                 results = pool.run(count_shard, payloads)
+        except PoolFailure as exc:
+            breaker.record_failure()
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("resilience.engine.fallbacks")
+            logger.warning(
+                "parallel counting degraded to serial %s: %s",
+                self.engine, exc,
+            )
+            self.close()
+            return self._serial_engine().count(database, candidates)
         finally:
             segment.close()
             segment.unlink()
+        breaker.record_success()
         wall = time.perf_counter() - start
         total = np.zeros(len(ordered), dtype=np.int64)
         sizes = plan.sizes

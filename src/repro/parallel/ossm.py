@@ -234,10 +234,10 @@ class ParallelOSSMPruner(OSSMPruner):
         self.close()
 
     def __del__(self) -> None:
-        # Never propagate from a finalizer.
+        # Never propagate from a finalizer (see WorkerPool.__del__).
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     def _bounds(self, candidates: Sequence[Itemset]) -> np.ndarray:

@@ -1,0 +1,74 @@
+"""Resilience subsystem: fault injection, circuit breaking, checkpoints.
+
+The package is a *leaf*: it imports only :mod:`repro.obs`, the standard
+library, and numpy, so every other layer (parallel, mining, serve,
+core, data) can depend on it without cycles. It provides:
+
+* deterministic seeded fault injection (:mod:`repro.resilience.faults`)
+  behind ``injector.enabled`` guards — byte-identical production paths
+  when off;
+* :class:`Backoff` and :class:`CircuitBreaker`
+  (:mod:`repro.resilience.breaker`) for pool rebuilds and the
+  parallel→serial degradation ladder;
+* atomic, checksummed artifact persistence
+  (:mod:`repro.resilience.integrity`);
+* per-level mining checkpoints (:mod:`repro.resilience.checkpoint`)
+  with bit-identical resume.
+
+See DESIGN.md §11 for the failure model these pieces implement.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, Backoff, CircuitBreaker
+from .checkpoint import CheckpointStore, mining_fingerprint
+from .errors import (
+    CheckpointMismatch,
+    CorruptArtifact,
+    InjectedFault,
+    IntegrityError,
+    PoolFailure,
+    ResilienceError,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    get_injector,
+    set_injector,
+    use_faults,
+)
+from .integrity import (
+    ARTIFACT_VERSION,
+    atomic_path,
+    atomic_savez,
+    atomic_write_bytes,
+    payload_checksum,
+    verified_load_npz,
+)
+
+__all__ = [
+    "ResilienceError",
+    "IntegrityError",
+    "CorruptArtifact",
+    "CheckpointMismatch",
+    "InjectedFault",
+    "PoolFailure",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "get_injector",
+    "set_injector",
+    "use_faults",
+    "Backoff",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ARTIFACT_VERSION",
+    "atomic_path",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "payload_checksum",
+    "verified_load_npz",
+    "CheckpointStore",
+    "mining_fingerprint",
+]

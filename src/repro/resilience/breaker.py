@@ -1,0 +1,215 @@
+"""Circuit breaker and bounded exponential backoff.
+
+Two small, deterministic-by-construction primitives the recovery paths
+share:
+
+* :class:`Backoff` — bounded exponential delays with seeded jitter for
+  pool rebuilds. The jitter is drawn from a ``random.Random`` owned by
+  the instance, so a seeded run retries on an identical schedule.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine. While *closed*, calls flow and consecutive failures
+  are counted; at ``failure_threshold`` the breaker *opens* and
+  :meth:`allow` answers False (callers take their degraded path — the
+  serial counting engine, the serial Equation (1) evaluation) without
+  touching the broken dependency. After ``recovery_time`` seconds one
+  probe is let through (*half-open*): success closes the breaker,
+  failure re-opens it for another full ``recovery_time``.
+
+State transitions emit ``resilience.breaker.*`` counters through the
+active metrics registry; the breaker itself never sleeps and never
+raises — it only answers :meth:`allow`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+
+__all__ = ["Backoff", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+logger = get_logger(__name__)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class Backoff:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``delay(n) = min(base * factor**n, max_delay) * (1 + U[0, jitter])``
+    for the *n*-th consecutive failure (0-based). Call :meth:`reset`
+    after a success so the next incident starts from ``base`` again.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or max_delay < base:
+            raise ValueError("need base > 0, factor >= 1, max_delay >= base")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._failures = 0
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def reset(self) -> None:
+        self._failures = 0
+
+    def next_delay(self) -> float:
+        """The delay for the current failure; advances the schedule."""
+        raw = min(self.base * self.factor**self._failures, self.max_delay)
+        self._failures += 1
+        return raw * (1.0 + self._rng.uniform(0.0, self.jitter))
+
+    def sleep(self) -> float:
+        """Sleep :meth:`next_delay`; returns the seconds slept."""
+        delay = self.next_delay()
+        time.sleep(delay)
+        return delay
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker guarding a flaky dependency.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls (while closed) that
+        trip the breaker open.
+    recovery_time:
+        Seconds the breaker stays open before letting one probe
+        through.
+    name:
+        Label used in metrics and log lines.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    Thread-safe; every method takes the instance lock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        name: str = "breaker",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open on schedule."""
+        with self._lock:
+            return self._advance()
+
+    @property
+    def is_open(self) -> bool:
+        """True while calls should be short-circuited."""
+        return self.state == OPEN
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    # -- state machine ---------------------------------------------------
+
+    def _advance(self) -> str:
+        """Open → half-open once the recovery window has elapsed.
+        Caller holds the lock."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = HALF_OPEN
+            self._emit("half_open")
+            logger.debug("%s: half-open, probing", self.name)
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the caller may touch the protected dependency.
+
+        In half-open state only the first caller gets True (the probe);
+        concurrent callers are held off until the probe resolves.
+        """
+        with self._lock:
+            state = self._advance()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                # Admit exactly one probe: re-open until it reports.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._emit("probes")
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The protected call succeeded; close and reset."""
+        with self._lock:
+            if self._state != CLOSED:
+                self._emit("closed")
+                logger.debug("%s: closed after success", self.name)
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """The protected call failed; trip at the threshold."""
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state != OPEN
+                and self._failures >= self.failure_threshold
+            )
+            probe_failed = self._state == OPEN and self._failures > 0
+            if tripped or probe_failed:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                if tripped:
+                    self._emit("opened")
+                    logger.warning(
+                        "%s: open after %d consecutive failures",
+                        self.name, self._failures,
+                    )
+
+    def reset(self) -> None:
+        """Force-close (administrative; used on epoch swaps and tests)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def _emit(self, event: str) -> None:
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc(f"resilience.breaker.{event}")

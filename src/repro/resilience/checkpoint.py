@@ -1,0 +1,168 @@
+"""Per-level checkpoint/resume state for the level-wise miners.
+
+A multi-hour Apriori/DHP/Partition run that dies at level 7 should
+restart at level 7, not level 1 (the operational premise of the
+out-of-core miners — Grahne & Zhu's secondary-memory work). The store
+here holds one snapshot per completed unit of work:
+
+* snapshots are **atomic** (temp + fsync + rename via
+  :mod:`repro.resilience.integrity`) and **checksummed** — a torn or
+  bit-flipped snapshot is detected and *skipped*, falling back to the
+  previous valid one, because a stale-but-valid resume point beats a
+  corrupt one;
+* every snapshot embeds the run **fingerprint** — a CRC over the
+  database bytes plus the algorithm name and threshold — and resuming
+  under a different fingerprint raises
+  :class:`~repro.resilience.errors.CheckpointMismatch` rather than
+  silently splicing incompatible state;
+* the snapshot payload is the miner's exact loop state (python ints
+  and tuples, numpy arrays round-tripped losslessly through pickle),
+  which is what makes a resumed run **bit-identical** to an
+  uninterrupted one: the levels after the resume point see exactly the
+  objects they would have seen (DESIGN.md §11).
+
+File format: ``RPCK`` magic, one version byte, big-endian CRC32 and
+payload length, then the pickled record. Files are named
+``level_NNNN.ckpt`` so lexicographic order is resume order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from .errors import CheckpointMismatch, CorruptArtifact
+from .integrity import atomic_write_bytes
+
+__all__ = ["CheckpointStore", "mining_fingerprint"]
+
+logger = get_logger(__name__)
+
+_MAGIC = b"RPCK"
+_VERSION = 1
+_HEADER = struct.Struct(">IQ")  # crc32, payload length
+
+
+def mining_fingerprint(
+    algorithm: str, threshold: int, database: Any, **extra: Any
+) -> str:
+    """Fingerprint binding a checkpoint to one (db, algorithm, config).
+
+    The database contributes its exact transaction bytes, so resuming
+    against a grown, shuffled, or re-generated collection is detected.
+    """
+    crc = zlib.crc32(
+        f"{algorithm}:{threshold}:{len(database)}:{database.n_items}".encode()
+    )
+    for txn in database:
+        crc = zlib.crc32(b"|", crc)
+        for item in txn:
+            crc = zlib.crc32(item.to_bytes(8, "big"), crc)
+    for key in sorted(extra):
+        crc = zlib.crc32(f"{key}={extra[key]!r}".encode(), crc)
+    return f"{crc:08x}"
+
+
+class CheckpointStore:
+    """Directory of per-level mining snapshots for one fingerprint."""
+
+    def __init__(
+        self, directory: str | os.PathLike, fingerprint: str
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def path_for(self, level: int) -> Path:
+        # joinpath, not the `/` operator: this module sits in the
+        # bound-soundness lint tier, where `/` reads as true division.
+        return self.directory.joinpath(f"level_{level:04d}.ckpt")
+
+    # -- writing ---------------------------------------------------------
+
+    def save(self, level: int, state: dict[str, Any]) -> Path:
+        """Atomically snapshot *state* as the level-*level* checkpoint."""
+        record = {
+            "fingerprint": self.fingerprint,
+            "level": int(level),
+            "state": state,
+        }
+        payload = pickle.dumps(record, protocol=4)
+        blob = (
+            _MAGIC
+            + bytes([_VERSION])
+            + _HEADER.pack(zlib.crc32(payload), len(payload))
+            + payload
+        )
+        path = self.path_for(level)
+        atomic_write_bytes(path, blob, fault_base="io.checkpoint")
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("resilience.checkpoint.saved")
+        logger.debug("checkpointed level %d to %s", level, path)
+        return path
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self, path: str | os.PathLike) -> tuple[int, dict[str, Any]]:
+        """Verify and unpickle one snapshot; ``(level, state)``.
+
+        Raises :class:`CorruptArtifact` on any structural damage and
+        :class:`CheckpointMismatch` when the snapshot belongs to a
+        different run.
+        """
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        prefix = len(_MAGIC) + 1 + _HEADER.size
+        if len(blob) < prefix or blob[: len(_MAGIC)] != _MAGIC:
+            raise CorruptArtifact(path, "not a checkpoint file")
+        version = blob[len(_MAGIC)]
+        if version > _VERSION:
+            raise CorruptArtifact(
+                path, f"checkpoint version {version} is newer than {_VERSION}"
+            )
+        crc, length = _HEADER.unpack_from(blob, len(_MAGIC) + 1)
+        payload = blob[prefix:]
+        if len(payload) != length:
+            raise CorruptArtifact(
+                path, f"payload truncated ({len(payload)}/{length} bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CorruptArtifact(path, "checksum mismatch")
+        try:
+            record = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptArtifact(path, f"unpicklable payload ({exc})") from exc
+        found = record.get("fingerprint", "")
+        if found != self.fingerprint:
+            raise CheckpointMismatch(path, self.fingerprint, found)
+        return int(record["level"]), record["state"]
+
+    def latest(self) -> tuple[int, dict[str, Any]] | None:
+        """The newest *valid* snapshot, or None.
+
+        Corrupt snapshots are skipped (with a warning and a
+        ``resilience.checkpoint.corrupt`` count) in favour of the next
+        older valid one; a fingerprint mismatch is a caller error and
+        propagates.
+        """
+        metrics = get_registry()
+        for path in sorted(self.directory.glob("level_*.ckpt"), reverse=True):
+            try:
+                return self.load(path)
+            except CorruptArtifact as exc:
+                if metrics.enabled:
+                    metrics.inc("resilience.checkpoint.corrupt")
+                logger.warning("skipping corrupt checkpoint: %s", exc)
+        return None
+
+    def clear(self) -> None:
+        """Remove every snapshot (finished runs clean up after themselves)."""
+        for path in self.directory.glob("level_*.ckpt"):
+            path.unlink(missing_ok=True)

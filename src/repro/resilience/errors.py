@@ -1,0 +1,85 @@
+"""Typed errors of the resilience subsystem.
+
+Every failure the recovery machinery can *diagnose* gets its own type,
+so callers (and the CLI) can turn operational faults into one-line
+messages instead of leaking a numpy/zipfile/pickle traceback:
+
+* :class:`ResilienceError` — family root;
+* :class:`IntegrityError` — an artifact failed verification (wrong
+  kind, future format version, …);
+* :class:`CorruptArtifact` — the bytes on disk are damaged: truncated
+  archive, failed checksum, unparseable payload;
+* :class:`CheckpointMismatch` — a checkpoint was written by a
+  different run configuration than the one trying to resume from it;
+* :class:`InjectedFault` — raised by the fault injector at an enabled
+  injection point (test/chaos runs only; never with injection off);
+* :class:`PoolFailure` — a supervised worker pool exhausted its
+  rebuild budget without completing the batch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "IntegrityError",
+    "CorruptArtifact",
+    "CheckpointMismatch",
+    "InjectedFault",
+    "PoolFailure",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class of every resilience-subsystem failure."""
+
+
+class IntegrityError(ResilienceError):
+    """An artifact failed verification (kind/version/structure)."""
+
+
+class CorruptArtifact(IntegrityError):
+    """The artifact's bytes are damaged: truncation, bit-flips, or an
+    unparseable payload. The message names the offending path."""
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"corrupt artifact {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class CheckpointMismatch(ResilienceError):
+    """A checkpoint's fingerprint does not match the resuming run.
+
+    Resuming from state produced under a different database, algorithm,
+    or threshold would silently corrupt the result; refusing is the
+    only sound reaction.
+    """
+
+    def __init__(self, path: object, expected: str, found: str) -> None:
+        super().__init__(
+            f"checkpoint {path} belongs to a different run: "
+            f"fingerprint {found}, expected {expected}"
+        )
+        self.path = str(path)
+        self.expected = expected
+        self.found = found
+
+
+class InjectedFault(ResilienceError):
+    """Deterministic failure raised by an enabled fault-injection rule."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+class PoolFailure(ResilienceError):
+    """A supervised pool could not complete a batch within its rebuild
+    budget; callers degrade to the serial path (which is always exact)."""
+
+    def __init__(self, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"worker pool failed {attempts} consecutive attempts ({cause})"
+        )
+        self.attempts = attempts
+        self.cause = cause

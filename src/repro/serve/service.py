@@ -14,10 +14,15 @@ with:
 * per-request timeouts (:class:`~repro.serve.errors.QueryTimeout`) that
   abandon the *wait*, never the shared evaluation;
 * batch evaluation through
-  :func:`~repro.parallel.ossm.parallel_upper_bounds` while the worker
-  pool is healthy, with retry-once on worker failure and graceful
-  fallback to the serial Equation (1) — the answers are byte-identical
-  either way, only the venue changes.
+  :func:`~repro.parallel.ossm.parallel_upper_bounds` guarded by a
+  :class:`~repro.resilience.CircuitBreaker`: one worker failure funds a
+  fresh-pool retry, a second opens the circuit and every batch takes
+  the serial Equation (1) until a timed recovery probe succeeds — the
+  answers are byte-identical either way, only the venue changes. While
+  the breaker is open the service keeps shedding excess load through
+  the ordinary ``max_pending``/:class:`Overloaded` back-pressure (the
+  serial path is slower, so the bounded pending set is what protects
+  latency).
 
 Evaluation runs in a thread (``asyncio.to_thread``) so the event loop
 stays responsive while numpy and the worker pool do the arithmetic.
@@ -39,6 +44,7 @@ from ..obs.trace import trace
 from ..parallel.ossm import parallel_upper_bounds
 from ..parallel.plan import resolve_workers
 from ..parallel.pool import WorkerPool, init_bound_map
+from ..resilience import CircuitBreaker, get_injector
 from .cache import EpochLRUCache
 from .errors import Overloaded, QueryTimeout, ServiceClosed
 
@@ -115,7 +121,13 @@ class BoundQueryService:
         self.timeout = timeout
         self.parallel_threshold = int(parallel_threshold)
         self._workers = resolve_workers(workers) if workers is not None else 1
-        self._parallel_ok = self._workers > 1
+        # Two strikes per batch (first try + fresh-pool retry) open the
+        # breaker: parallel evaluation is then skipped entirely until
+        # the recovery window admits a probe. Replaces the old sticky
+        # _parallel_ok flag, which never re-probed.
+        self._breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=30.0, name="serve.parallel"
+        )
         self._pool: WorkerPool | None = None
         self._pool_map: OSSM | None = None
         self._pool_lock = threading.Lock()
@@ -148,8 +160,9 @@ class BoundQueryService:
 
     @property
     def parallel_healthy(self) -> bool:
-        """False once the worker pool has failed twice on one batch."""
-        return self._parallel_ok
+        """False while the pool breaker is open (failed twice on one
+        batch); flips back once a recovery probe succeeds."""
+        return self._workers > 1 and not self._breaker.is_open
 
     def stats(self) -> dict[str, Any]:
         """JSON-friendly snapshot of the service's counters."""
@@ -158,7 +171,8 @@ class BoundQueryService:
             "pending": self._pending,
             "cache": self._cache.stats.as_dict(),
             "cache_entries": len(self._cache),
-            "parallel_healthy": self._parallel_ok,
+            "parallel_healthy": self.parallel_healthy,
+            "breaker": self._breaker.state,
             "workers": self._workers,
         }
 
@@ -194,7 +208,8 @@ class BoundQueryService:
                 self._retired.append(self._pool)
             self._pool = None
             self._pool_map = None
-        self._parallel_ok = self._workers > 1
+        # A fresh map means a fresh pool; give parallelism a clean slate.
+        self._breaker.reset()
         metrics = get_registry()
         if metrics.enabled:
             metrics.inc("serve.updates")
@@ -314,7 +329,23 @@ class BoundQueryService:
             with trace(
                 "serve.batch", size=len(keys), epoch=ossm.epoch
             ), metrics.time("serve.batch_seconds"):
-                bounds = await asyncio.to_thread(self._evaluate, ossm, keys)
+                try:
+                    bounds = await asyncio.to_thread(
+                        self._evaluate, ossm, keys
+                    )
+                except Exception as exc:
+                    # One retry absorbs transient evaluation failures
+                    # (an injected serve.eval_error, a pool racing an
+                    # epoch swap) without failing every coalesced
+                    # waiter; a second failure is delivered below.
+                    if metrics.enabled:
+                        metrics.inc("resilience.serve.eval_retries")
+                    logger.warning(
+                        "batch evaluation failed, retrying once: %r", exc
+                    )
+                    bounds = await asyncio.to_thread(
+                        self._evaluate, ossm, keys
+                    )
         except BaseException as exc:
             # Deliver the failure through the futures; re-raising here
             # would only produce an unretrieved-task warning since no
@@ -340,6 +371,10 @@ class BoundQueryService:
 
     def _evaluate(self, ossm: OSSM, keys: list[Itemset]) -> list[int]:
         """Bounds for *keys* (mixed cardinality), grouped per level."""
+        injector = get_injector()
+        if injector.enabled:
+            injector.maybe_raise("serve.eval_error")
+            injector.maybe_sleep("serve.latency")
         self._drain_retired()
         out = [0] * len(keys)
         by_size: dict[int, list[int]] = {}
@@ -361,18 +396,19 @@ class BoundQueryService:
     def _group_bounds(
         self, ossm: OSSM, group: list[Itemset]
     ) -> np.ndarray:
-        """One same-cardinality group: pool when healthy, else serial."""
+        """One same-cardinality group: pool while the breaker allows it,
+        serial otherwise — the answers are identical either way."""
         if (
-            self._parallel_ok
-            and self._workers > 1
+            self._workers > 1
             and len(group) >= self.parallel_threshold
+            and self._breaker.allow()
         ):
             try:
                 return self._parallel_bounds(ossm, group)
             except Exception:
-                # Two strikes (first try + fresh-pool retry): degrade
-                # to the serial path, which is always exact.
-                self._parallel_ok = False
+                # Two strikes (first try + fresh-pool retry): the
+                # breaker is now open and every group degrades to the
+                # serial path — always exact — until a recovery probe.
                 metrics = get_registry()
                 if metrics.enabled:
                     metrics.inc("serve.fallbacks")
@@ -385,12 +421,17 @@ class BoundQueryService:
     def _parallel_bounds(
         self, ossm: OSSM, group: list[Itemset]
     ) -> np.ndarray:
-        """Pool evaluation with one retry on a fresh pool."""
+        """Pool evaluation with one retry on a fresh pool.
+
+        Each pool failure lands on the breaker: the first strike funds
+        the in-place retry, the second opens the circuit.
+        """
         with self._pool_lock:
             pool = self._ensure_pool(ossm)
         try:
-            return parallel_upper_bounds(ossm, group, pool=pool)
+            bounds = parallel_upper_bounds(ossm, group, pool=pool)
         except Exception:
+            self._breaker.record_failure()
             # A worker died (or the pool was retired under us); retry
             # once on a rebuilt pool before giving up on parallelism.
             with self._pool_lock:
@@ -402,7 +443,15 @@ class BoundQueryService:
             metrics = get_registry()
             if metrics.enabled:
                 metrics.inc("serve.retries")
-            return parallel_upper_bounds(ossm, group, pool=fresh_pool)
+            try:
+                bounds = parallel_upper_bounds(
+                    ossm, group, pool=fresh_pool
+                )
+            except Exception:
+                self._breaker.record_failure()
+                raise
+        self._breaker.record_success()
+        return bounds
 
     def _ensure_pool(self, ossm: OSSM) -> WorkerPool:
         """The pool bound to *ossm*'s matrix; caller holds the lock."""

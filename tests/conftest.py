@@ -2,12 +2,31 @@
 
 from __future__ import annotations
 
+import os
 from itertools import combinations
 
 import numpy as np
 import pytest
+from hypothesis import Verbosity, settings
 
 from repro.data import PagedDatabase, TransactionDatabase, generate_quest
+
+# Explicit hypothesis profiles so CI behavior is pinned, not inherited
+# from whatever the runner's defaults happen to be. ``deadline=None``
+# everywhere: the suite spawns worker pools and injects latency faults,
+# so per-example wall-clock is noise, not signal. ``print_blob`` makes
+# a CI failure reproducible locally via ``@reproduce_failure``.
+settings.register_profile(
+    "default", deadline=None, print_blob=True
+)
+settings.register_profile(
+    "ci", deadline=None, print_blob=True, derandomize=True
+)
+settings.register_profile(
+    "debug", deadline=None, print_blob=True, verbosity=Verbosity.verbose,
+    max_examples=10,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def brute_force_frequent(

@@ -1,0 +1,133 @@
+"""CLI failure modes: every operational error is one typed line + exit 2.
+
+The contract under test (DESIGN.md §11): a missing input, a damaged
+artifact, an unusable checkpoint directory, or a mis-specified resume
+never escapes as a traceback — ``repro.cli.main`` prints
+``error: <ExceptionType>: <message>`` to stderr and returns 2, so
+scripts and CI can branch on the exit code and humans can read the
+one-liner.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import FaultPlan, use_faults
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.dat"
+    assert main(
+        [
+            "generate", "--kind", "quest", "--out", str(path),
+            "--transactions", "150", "--items", "40",
+            "--patterns", "60", "--seed", "5",
+        ]
+    ) == 0
+    return path
+
+
+def _error_line(capsys):
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line]
+    assert len(lines) == 1, captured.err
+    return lines[0]
+
+
+class TestCliErrors:
+    def test_missing_input_is_one_line(self, capsys):
+        code = main(["mine", "--data", "no/such/file.dat"])
+        assert code == 2
+        line = _error_line(capsys)
+        assert line.startswith("error: FileNotFoundError:")
+
+    def test_corrupt_binary_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"PK\x03\x04 this is not an archive")
+        code = main(["mine", "--data", str(bad)])
+        assert code == 2
+        assert _error_line(capsys).startswith("error: CorruptArtifact:")
+
+    def test_corrupt_fimi_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dat"
+        bad.write_text("1 2 3\n4 oops 6\n")
+        code = main(["mine", "--data", str(bad)])
+        assert code == 2
+        line = _error_line(capsys)
+        assert line.startswith("error: CorruptArtifact:")
+        assert "line 2" in line
+
+    def test_checkpoint_dir_blocked_by_file(self, data_file, tmp_path,
+                                            capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        code = main(
+            [
+                "mine", "--data", str(data_file),
+                "--checkpoint-dir", str(blocker),
+            ]
+        )
+        assert code == 2
+        assert "error: FileExistsError:" in _error_line(capsys)
+
+    def test_resume_without_checkpoint_dir(self, data_file, capsys):
+        code = main(["mine", "--data", str(data_file), "--resume"])
+        assert code == 2
+        assert _error_line(capsys) == (
+            "error: ValueError: --resume requires --checkpoint-dir"
+        )
+
+    def test_injected_level_crash_then_resume(self, data_file, tmp_path,
+                                              capsys):
+        ckdir = tmp_path / "ck"
+        plan = FaultPlan.from_spec("mining.level_crash:after=2", seed=9)
+        with use_faults(plan):
+            code = main(
+                [
+                    "mine", "--data", str(data_file), "--minsup", "0.02",
+                    "--checkpoint-dir", str(ckdir),
+                ]
+            )
+        assert code == 2
+        assert _error_line(capsys).startswith("error: InjectedFault:")
+        assert sorted(p.name for p in ckdir.glob("*.ckpt")) == [
+            "level_0001.ckpt", "level_0002.ckpt",
+        ]
+        code = main(
+            [
+                "mine", "--data", str(data_file), "--minsup", "0.02",
+                "--checkpoint-dir", str(ckdir), "--resume", "--top", "1",
+            ]
+        )
+        assert code == 0
+
+    def test_resume_fingerprint_mismatch(self, data_file, tmp_path,
+                                         capsys):
+        ckdir = tmp_path / "ck"
+        assert main(
+            [
+                "mine", "--data", str(data_file), "--minsup", "0.05",
+                "--checkpoint-dir", str(ckdir), "--top", "0",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "mine", "--data", str(data_file), "--minsup", "0.1",
+                "--checkpoint-dir", str(ckdir), "--resume",
+            ]
+        )
+        assert code == 2
+        assert _error_line(capsys).startswith("error: CheckpointMismatch:")
+
+    def test_serve_missing_ossm(self, capsys):
+        code = main(["serve", "--ossm", "no/such/map.npz", "--queries", "-"])
+        assert code == 2
+        assert _error_line(capsys).startswith("error: FileNotFoundError:")
+
+    def test_success_paths_unaffected(self, data_file, capsys):
+        assert main(
+            ["mine", "--data", str(data_file), "--minsup", "0.05",
+             "--top", "1"]
+        ) == 0
+        assert capsys.readouterr().err == ""

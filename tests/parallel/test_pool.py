@@ -1,5 +1,11 @@
 """Worker-pool plumbing: shared memory, ordering, and fan-out telemetry."""
 
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
 import numpy as np
 import pytest
 
@@ -87,6 +93,34 @@ class TestDefensiveTeardown:
             assert counter.count(db, [(1,)]) == first == {(1,): 2}
         finally:
             counter.close()
+
+    def test_sigkilled_pool_survives_interpreter_shutdown(self, tmp_path):
+        # A counter whose workers were SIGKILLed and that is never
+        # closed must not raise from __del__ during interpreter
+        # shutdown: that surfaces as "Exception ignored in:" noise on
+        # stderr and a broken exit under `python -W error`.
+        script = textwrap.dedent("""
+            import os, signal
+            from repro.data import TransactionDatabase
+            from repro.parallel import ParallelCounter
+
+            db = TransactionDatabase([{0, 1}, {1, 2}], n_items=3)
+            counter = ParallelCounter(workers=2)
+            assert counter.count(db, [(1,)]) == {(1,): 2}
+            for proc in counter._pool._pool._executor._processes.values():
+                os.kill(proc.pid, signal.SIGKILL)
+            # No close(): the dangling counter is finalized at exit.
+            print("OK")
+        """)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=pathlib.Path(__file__).resolve().parents[2],
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "Exception ignored" not in result.stderr, result.stderr
 
 
 class TestFanoutTelemetry:

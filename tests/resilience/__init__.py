@@ -1,0 +1,1 @@
+"""Tests for the resilience subsystem (DESIGN.md §11)."""

@@ -1,0 +1,139 @@
+"""Backoff schedule and circuit-breaker state machine."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    Backoff,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBackoff:
+    def test_exponential_and_capped(self):
+        backoff = Backoff(base=0.1, factor=2.0, max_delay=0.4, jitter=0.0)
+        assert [round(backoff.next_delay(), 3) for _ in range(5)] == [
+            0.1, 0.2, 0.4, 0.4, 0.4,
+        ]
+        assert backoff.failures == 5
+        backoff.reset()
+        assert backoff.next_delay() == pytest.approx(0.1)
+
+    def test_seeded_jitter_is_reproducible(self):
+        a = Backoff(jitter=0.25, seed=9)
+        b = Backoff(jitter=0.25, seed=9)
+        assert [a.next_delay() for _ in range(4)] == [
+            b.next_delay() for _ in range(4)
+        ]
+
+    def test_jitter_never_lowers_delay(self):
+        backoff = Backoff(base=0.5, factor=1.0, max_delay=0.5, jitter=0.5)
+        for _ in range(20):
+            delay = backoff.next_delay()
+            assert 0.5 <= delay <= 0.75
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Backoff(base=0.0)
+        with pytest.raises(ValueError):
+            Backoff(jitter=2.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_time=10.0, name="test",
+            clock=clock, **kwargs,
+        )
+        return breaker, clock
+
+    def test_closed_until_threshold(self):
+        breaker, _clock = self._breaker()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow()
+        assert breaker.consecutive_failures == 2
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker, _clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()          # the probe
+        assert not breaker.allow()      # held off until the probe reports
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_full_window(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_reset_force_closes(self):
+        breaker, _clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_transitions_emit_metrics(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            breaker, clock = self._breaker()
+            for _ in range(3):
+                breaker.record_failure()
+            clock.advance(10.0)
+            assert breaker.allow()
+            breaker.record_success()
+        counters = {
+            event: registry.counter(f"resilience.breaker.{event}").snapshot()
+            for event in ("opened", "half_open", "probes", "closed")
+        }
+        assert counters == {
+            "opened": 1, "half_open": 1, "probes": 1, "closed": 1,
+        }
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=0.0)

@@ -1,0 +1,132 @@
+"""Deterministic fault injection: spec parsing, hit windows, seeding."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    get_injector,
+    use_faults,
+)
+
+
+class TestFaultRule:
+    def test_fires_in_window_only(self):
+        rule = FaultRule("p", times=2, after=3)
+        assert [rule.fires_on(h) for h in range(7)] == [
+            False, False, False, True, True, False, False,
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point": ""},
+            {"point": "p", "times": 0},
+            {"point": "p", "after": -1},
+            {"point": "p", "delay": -0.1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(**kwargs)
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.from_spec(
+            "pool.worker_crash:times=2,after=1;"
+            "serve.latency:delay=0.5", seed=42,
+        )
+        crash = plan.rule_for("pool.worker_crash")
+        assert (crash.times, crash.after) == (2, 1)
+        assert plan.rule_for("serve.latency").delay == 0.5
+        assert plan.rule_for("unknown") is None
+        assert plan.seed == 42
+
+    def test_spec_rejects_unknown_option(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            FaultPlan.from_spec("p:volume=11")
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([FaultRule("p"), FaultRule("p", times=2)])
+
+    def test_from_env(self):
+        plan = FaultPlan.from_env(
+            {"REPRO_FAULTS": "mining.level_crash:after=1",
+             "REPRO_FAULTS_SEED": "7"}
+        )
+        assert plan.rule_for("mining.level_crash").after == 1
+        assert plan.seed == 7
+        assert not FaultPlan.from_env({})
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan([FaultRule("p")])
+
+
+class TestFaultInjector:
+    def test_disabled_without_plan(self):
+        injector = FaultInjector()
+        assert not injector.enabled
+        injector.maybe_raise("anything")  # no-op
+        assert injector.maybe_sleep("anything") == 0.0
+
+    def test_maybe_raise_fires_on_selected_hit(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", times=1, after=2)])
+        )
+        injector.maybe_raise("p")
+        injector.maybe_raise("p")
+        with pytest.raises(InjectedFault, match="'p'"):
+            injector.maybe_raise("p")
+        injector.maybe_raise("p")  # window passed; clean again
+        assert injector.hits("p") == 4
+
+    def test_fire_counts_metric(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector(FaultPlan([FaultRule("p")]))
+        with use_registry(registry):
+            injector.fire("p")
+        assert registry.counter("resilience.faults.injected").snapshot() == 1
+
+    def test_corrupt_file_is_deterministic(self, tmp_path):
+        payload = bytes(range(256)) * 8
+
+        def damage(seed):
+            path = tmp_path / f"f{seed}.bin"
+            path.write_bytes(payload)
+            injector = FaultInjector(
+                FaultPlan([FaultRule("io.x.bitflip")], seed=seed)
+            )
+            assert injector.corrupt_file("io.x", path)
+            return path.read_bytes()
+
+        first, again = damage(3), damage(3)
+        assert first == again, "same seed must flip the same bit"
+        assert first != payload
+        assert damage(4) != first, "different seed, different damage"
+
+    def test_truncate_keeps_a_prefix(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"x" * 1000)
+        injector = FaultInjector(
+            FaultPlan([FaultRule("io.x.truncate")], seed=0)
+        )
+        assert injector.corrupt_file("io.x", path)
+        damaged = path.read_bytes()
+        assert len(damaged) < 500
+        assert damaged == b"x" * len(damaged)
+
+
+class TestProcessWideInjector:
+    def test_use_faults_restores_previous(self):
+        before = get_injector()
+        plan = FaultPlan([FaultRule("p")])
+        with use_faults(plan) as injector:
+            assert get_injector() is injector
+            assert injector.enabled
+        assert get_injector() is before

@@ -1,0 +1,87 @@
+"""Injected serve-layer faults: evaluation retry and latency."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core import GreedySegmenter
+from repro.data import PagedDatabase, generate_quest
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.resilience import FaultPlan, InjectedFault, use_faults
+from repro.serve import BoundQueryService, QueryTimeout, canonical_itemset
+
+
+@pytest.fixture(scope="module")
+def ossm():
+    db = generate_quest(
+        n_transactions=400, n_items=40,
+        avg_transaction_len=8.0, n_patterns=50, seed=13,
+    )
+    paged = PagedDatabase(db, page_size=50)
+    return GreedySegmenter().segment(paged, n_segments=4).ossm
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _expected(ossm, itemsets):
+    return [ossm.upper_bound(canonical_itemset(s)) for s in itemsets]
+
+
+class TestServeFaults:
+    def test_eval_error_is_retried_once(self, ossm):
+        itemsets = [(i, i + 1) for i in range(8)]
+        plan = FaultPlan.from_spec("serve.eval_error:times=1", seed=0)
+        registry = MetricsRegistry()
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                return await service.query_batch(itemsets)
+
+        with use_faults(plan), use_registry(registry):
+            bounds = run(main())
+        assert bounds == _expected(ossm, itemsets)
+        assert (
+            registry.counter("resilience.serve.eval_retries").snapshot() == 1
+        )
+
+    def test_persistent_eval_error_surfaces(self, ossm):
+        # Both the first try and the single retry fail: the error must
+        # reach the caller rather than be swallowed into a wrong bound.
+        plan = FaultPlan.from_spec("serve.eval_error:times=2", seed=0)
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                return await service.query((0, 1))
+
+        with use_faults(plan):
+            with pytest.raises(InjectedFault):
+                run(main())
+
+    def test_injected_latency_still_exact(self, ossm):
+        itemsets = [(i, i + 2) for i in range(6)]
+        plan = FaultPlan.from_spec("serve.latency:times=1,delay=0.2", seed=0)
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                return await service.query_batch(itemsets)
+
+        with use_faults(plan):
+            start = time.perf_counter()
+            bounds = run(main())
+            elapsed = time.perf_counter() - start
+        assert bounds == _expected(ossm, itemsets)
+        assert elapsed >= 0.2
+
+    def test_latency_slower_than_timeout_raises(self, ossm):
+        plan = FaultPlan.from_spec("serve.latency:times=1,delay=5", seed=0)
+
+        async def main():
+            async with BoundQueryService(ossm, timeout=0.2) as service:
+                return await service.query((2, 3))
+
+        with use_faults(plan):
+            with pytest.raises(QueryTimeout):
+                run(main())

@@ -1,0 +1,141 @@
+"""Pool supervision: crash rebuilds, hang detection, circuit breaking."""
+
+import pytest
+
+from repro.data import generate_quest
+from repro.mining.counting import make_counter, parallel_breaker
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import ParallelCounter
+from repro.parallel.pool import SupervisedPool
+from repro.resilience import Backoff, FaultPlan, PoolFailure, use_faults
+
+WORKERS = 2
+
+
+def _double(x):
+    return x * 2
+
+
+def _fast_backoff():
+    return Backoff(base=0.01, factor=1.0, max_delay=0.01, jitter=0.0)
+
+
+@pytest.fixture
+def db():
+    return generate_quest(
+        n_transactions=400, n_items=40, avg_transaction_len=8,
+        n_patterns=30, seed=11,
+    )
+
+
+class TestSupervisedPool:
+    def test_plain_run_preserves_payload_order(self):
+        with SupervisedPool(WORKERS) as pool:
+            assert pool.run(_double, list(range(8))) == [
+                0, 2, 4, 6, 8, 10, 12, 14,
+            ]
+
+    def test_worker_crash_rebuilds_and_completes(self):
+        plan = FaultPlan.from_spec("pool.worker_crash:times=1", seed=0)
+        registry = MetricsRegistry()
+        with use_faults(plan), use_registry(registry):
+            with SupervisedPool(WORKERS, backoff=_fast_backoff()) as pool:
+                assert pool.run(_double, [1, 2, 3]) == [2, 4, 6]
+        assert registry.counter("resilience.pool.crashes").snapshot() == 1
+        assert registry.counter("resilience.pool.rebuilds").snapshot() == 1
+
+    def test_worker_hang_detected_and_rebuilt(self):
+        # The injected hang sleeps 30s; the supervisor's 0.5s deadline
+        # must declare the batch hung and rebuild long before that.
+        plan = FaultPlan.from_spec(
+            "pool.worker_hang:times=1,delay=30", seed=0
+        )
+        registry = MetricsRegistry()
+        with use_faults(plan), use_registry(registry):
+            with SupervisedPool(
+                WORKERS, deadline=0.5, backoff=_fast_backoff()
+            ) as pool:
+                assert pool.run(_double, [5, 6]) == [10, 12]
+        assert registry.counter("resilience.pool.hangs").snapshot() == 1
+        assert registry.counter("resilience.pool.rebuilds").snapshot() == 1
+
+    def test_exhausted_rebuild_budget_raises_pool_failure(self):
+        plan = FaultPlan.from_spec("pool.worker_crash:times=99", seed=0)
+        with use_faults(plan):
+            with SupervisedPool(
+                WORKERS, max_rebuilds=1, backoff=_fast_backoff()
+            ) as pool:
+                with pytest.raises(PoolFailure, match="2 consecutive attempts"):
+                    pool.run(_double, [1, 2])
+
+    def test_slow_start_delays_but_succeeds(self):
+        plan = FaultPlan.from_spec(
+            "pool.slow_start:times=1,delay=0.2", seed=0
+        )
+        with use_faults(plan):
+            with SupervisedPool(WORKERS) as pool:
+                assert pool.run(_double, [4]) == [8]
+
+    def test_run_after_close_raises(self):
+        pool = SupervisedPool(WORKERS)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(_double, [1])
+
+
+class TestParallelCounterDegradation:
+    def test_pool_failure_falls_back_to_exact_serial(self, db):
+        candidates = [(i,) for i in range(db.n_items)]
+        serial = make_counter("tidset").count(db, candidates)
+        plan = FaultPlan.from_spec("pool.worker_crash:times=999", seed=0)
+        registry = MetricsRegistry()
+        breaker = parallel_breaker()
+        breaker.reset()
+        try:
+            with use_faults(plan), use_registry(registry):
+                with ParallelCounter(workers=WORKERS) as counter:
+                    counts = counter.count(db, candidates)
+            assert counts == serial
+            assert (
+                registry.counter("resilience.engine.fallbacks").snapshot()
+                == 1
+            )
+            assert breaker.consecutive_failures == 1
+        finally:
+            breaker.reset()
+
+    def test_open_breaker_degrades_counter_selection(self, db):
+        candidates = [(i,) for i in range(db.n_items)]
+        serial = make_counter("tidset").count(db, candidates)
+        registry = MetricsRegistry()
+        breaker = parallel_breaker()
+        try:
+            while not breaker.is_open:
+                breaker.record_failure()
+            with use_registry(registry):
+                counter = make_counter("parallel", workers=WORKERS)
+                assert not isinstance(counter, ParallelCounter)
+                assert counter.count(db, candidates) == serial
+            assert (
+                registry.counter("resilience.engine.degraded").snapshot() == 1
+            )
+        finally:
+            breaker.reset()
+
+    def test_counter_skips_pool_while_breaker_open(self, db):
+        # An already-constructed ParallelCounter also honours the open
+        # breaker: counts stay exact without touching worker processes.
+        candidates = [(i,) for i in range(db.n_items)]
+        serial = make_counter("tidset").count(db, candidates)
+        breaker = parallel_breaker()
+        try:
+            counter = ParallelCounter(workers=WORKERS)
+            while not breaker.is_open:
+                breaker.record_failure()
+            assert counter.count(db, candidates) == serial
+            assert counter._pool is None, (
+                "no pool should be built while the breaker is open"
+            )
+            counter.close()
+        finally:
+            breaker.reset()
