@@ -10,7 +10,7 @@ singletons.
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import MINSUP, format_table, paged, regular_synthetic
 from repro.core import GeneralizedOSSM, RandomSegmenter
 from repro.mining import (
@@ -66,6 +66,14 @@ def test_generalized_table(benchmark, experiment):
             ["structure", "C2_counted", "C3_counted", "nominal_MB"], rows
         ),
     )
+    for label, result in experiment["results"].items():
+        emit_bench({
+            "bench": "ablation_generalized",
+            "variant": label,
+            "c2_candidates": result.level(2).candidates_counted,
+            "c3_candidates": result.candidates_counted(3),
+            "nominal_mb": round(experiment["sizes"][label] / 1e6, 4),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import format_table, paged, regular_synthetic
 from repro.core import merge_loss, merge_loss_naive
 
@@ -69,6 +69,14 @@ def test_loss_evaluator_speed(benchmark, experiment):
         f"({N_PAIRS} page-row pairs, m={experiment['n_items']})",
         format_table(["evaluator", "total_s", "per_pair_us"], rows),
     )
+    emit_bench({
+        "bench": "ablation_loss",
+        "fast_seconds": round(experiment["fast_seconds"], 6),
+        "naive_seconds": round(experiment["naive_seconds"], 6),
+        "speedup": round(
+            experiment["naive_seconds"] / experiment["fast_seconds"], 3
+        ),
+    })
     pages = paged(regular_synthetic())
     matrix = pages.page_supports()
     benchmark.pedantic(

@@ -11,7 +11,7 @@ candidate pair is pruned) and the bursty alarm stream.
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     MINSUP,
     alarm_stream,
@@ -73,6 +73,14 @@ def test_skew_table(benchmark, experiment):
         f"Ablation A2 — skew vs OSSM effectiveness (Random, n={N_USER})",
         format_table(["workload", "C2_ratio", "speedup"], rows),
     )
+    for name, cell in experiment:
+        emit_bench({
+            "bench": "ablation_skew",
+            "variant": name,
+            "n_user": N_USER,
+            "c2_ratio": round(cell.c2_ratio, 5),
+            "speedup": round(cell.speedup, 4),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -15,7 +15,7 @@ has accumulated.
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     MINSUP,
     baseline,
@@ -75,6 +75,15 @@ def test_streaming_table(benchmark, experiment):
             ["strategy", "loss_evals", "C2_ratio", "speedup"], rows
         ),
     )
+    for name, (cell, evals) in experiment.items():
+        emit_bench({
+            "bench": "ablation_streaming",
+            "variant": name,
+            "n_user": N_USER,
+            "loss_evaluations": evals,
+            "c2_ratio": round(cell.c2_ratio, 5),
+            "speedup": round(cell.speedup, 4),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -10,7 +10,7 @@ how the pruning power varies with the threshold.
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     baseline,
     drifting_synthetic_pages,
@@ -58,6 +58,15 @@ def test_threshold_sweep_table(benchmark, experiment):
             ["minsup", "frequent", "C2_ratio", "speedup"], rows
         ),
     )
+    for minsup, cell, frequent in experiment:
+        emit_bench({
+            "bench": "ablation_thresholds",
+            "case": f"minsup={minsup}",
+            "n_user": N_USER,
+            "n_frequent": frequent,
+            "c2_ratio": round(cell.c2_ratio, 5),
+            "speedup": round(cell.speedup, 4),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

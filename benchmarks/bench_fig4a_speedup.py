@@ -13,7 +13,7 @@ machine-independent candidate counts).
 
 import pytest
 
-from _shared import FIG4_N_USERS, fig4_sweep, report
+from _shared import FIG4_N_USERS, emit_bench, fig4_sweep, report
 from repro.bench import MINSUP, format_table, regular_synthetic
 from repro.mining import Apriori, OSSMPruner
 from repro.mining.counting import TidsetCounter
@@ -43,6 +43,16 @@ def test_fig4a_speedup_series(benchmark, sweep):
             ["n_user", "greedy", "rc", "random", "ossm_MB(greedy)"], rows
         ),
     )
+    for algorithm in ("greedy", "rc", "random"):
+        for n_user in FIG4_N_USERS:
+            cell = cells[algorithm][n_user]
+            emit_bench({
+                "bench": "fig4a",
+                "algorithm": algorithm,
+                "n_user": n_user,
+                "speedup": round(cell.speedup, 4),
+                "ossm_mb": round(cell.ossm_mb, 4),
+            })
 
     db = regular_synthetic()
     miner = Apriori(

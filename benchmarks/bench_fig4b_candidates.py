@@ -12,7 +12,7 @@ machine-independent view of the same cells as Figure 4(a).
 
 import pytest
 
-from _shared import FIG4_N_USERS, fig4_sweep, report
+from _shared import FIG4_N_USERS, emit_bench, fig4_sweep, report
 from repro.bench import MINSUP, format_table
 
 
@@ -36,6 +36,14 @@ def test_fig4b_candidate_ratio_series(benchmark, sweep):
         f"(regular-synthetic, minsup {MINSUP:.0%}; 1.0 = plain Apriori)",
         format_table(["n_user", "random", "rc", "greedy"], rows),
     )
+    for algorithm in ("random", "rc", "greedy"):
+        for n_user in FIG4_N_USERS:
+            emit_bench({
+                "bench": "fig4b",
+                "algorithm": algorithm,
+                "n_user": n_user,
+                "c2_ratio": round(cells[algorithm][n_user].c2_ratio, 5),
+            })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     for algorithm in ("random", "rc", "greedy"):
         assert cells[algorithm][160].c2_ratio < 1.0

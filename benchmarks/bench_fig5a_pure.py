@@ -23,7 +23,7 @@ paper's introduction).
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     MINSUP,
     baseline,
@@ -83,6 +83,17 @@ def test_fig5a_table(benchmark, experiment):
             rows,
         ),
     )
+    for name, _ in STRATEGIES:
+        segmentation, cell = experiment["cells"][name]
+        emit_bench({
+            "bench": "fig5a",
+            "algorithm": name,
+            "n_user": N_USER,
+            "seg_seconds": round(segmentation.elapsed_seconds, 4),
+            "loss_evaluations": segmentation.loss_evaluations,
+            "speedup": round(cell.speedup, 4),
+            "c2_ratio": round(cell.c2_ratio, 5),
+        })
     pages = drifting_synthetic_pages(P)
     benchmark.pedantic(
         lambda: RandomSegmenter(seed=0).segment(pages, N_USER),

@@ -16,7 +16,7 @@ RC/Greedy on the 4×-smaller collection, and their OSSMs still prune.
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     MINSUP,
     baseline,
@@ -76,6 +76,17 @@ def test_fig5b_table(benchmark, experiment):
             rows,
         ),
     )
+    for name, _ in STRATEGIES:
+        segmentation, cell = experiment["cells"][name]
+        emit_bench({
+            "bench": "fig5b",
+            "algorithm": name,
+            "n_user": N_USER,
+            "seg_seconds": round(segmentation.elapsed_seconds, 4),
+            "loss_evaluations": segmentation.loss_evaluations,
+            "speedup": round(cell.speedup, 4),
+            "c2_ratio": round(cell.c2_ratio, 5),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -22,7 +22,7 @@ Reproduced shape, at P = 500 on the drifting workload:
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import (
     BUBBLE_MINSUP,
     MINSUP,
@@ -99,6 +99,20 @@ def test_fig6a_segmentation_cost(benchmark, experiment):
             rows,
         ),
     )
+    for name, _ in STRATEGIES:
+        for fraction in BUBBLE_FRACTIONS:
+            segmentation, cell, b = experiment["cells"][(name, fraction)]
+            emit_bench({
+                "bench": "fig6",
+                "algorithm": name,
+                "case": f"bubble={fraction:.2f}",
+                "seg_seconds": round(segmentation.elapsed_seconds, 4),
+                "pair_terms": pair_terms(
+                    segmentation.loss_evaluations, b
+                ),
+                "speedup": round(cell.speedup, 4),
+                "c2_ratio": round(cell.c2_ratio, 5),
+            })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     for name, _ in STRATEGIES:
         smallest = experiment["cells"][(name, BUBBLE_FRACTIONS[0])]

@@ -16,7 +16,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import format_table
 from repro.core import GreedySegmenter
 from repro.data import EventSequence, PagedDatabase
@@ -91,6 +91,14 @@ def test_episode_table(benchmark, experiment):
             ["miner", "runtime_s", "candidates_counted", "frequent"], rows
         ),
     )
+    for label, (result, elapsed) in experiment.items():
+        emit_bench({
+            "bench": "generality_episodes",
+            "variant": label,
+            "runtime_seconds": round(elapsed, 4),
+            "candidates_counted": result.candidates_counted(),
+            "n_frequent": result.n_frequent,
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -17,7 +17,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import format_table
 from repro.core import GreedySegmenter
 from repro.data import PagedDatabase, QuestConfig, QuestGenerator
@@ -102,6 +102,14 @@ def test_sequence_table(benchmark, experiment):
             ["miner", "candidates_counted", "patterns", "runtime_s"], rows
         ),
     )
+    for label, (counted, found, elapsed) in experiment.items():
+        emit_bench({
+            "bench": "generality_sequences",
+            "variant": label,
+            "candidates_counted": counted,
+            "n_patterns": found,
+            "runtime_seconds": round(elapsed, 4),
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -9,6 +9,11 @@ call — and asserts the ratio stays close to 1. The paper-facing
 speedup figures depend on this: if disabled telemetry taxed the
 baseline, every reported ratio would be polluted.
 
+The export plane (PR 6) rides the same contract: with the default
+NULL registry, worker pools must not wrap tasks for delta shipping
+and the serve SLO instrumentation must reduce to one ``enabled``
+check. The second test here covers those paths.
+
 The assertion threshold here is looser than the 5% target because
 wall-clock noise on shared CI hardware easily exceeds the real cost;
 ``tests/obs/test_overhead.py`` runs the same comparison with an even
@@ -19,12 +24,14 @@ from __future__ import annotations
 
 import time
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import format_table
 from repro.data import generate_quest
 from repro.mining.apriori import Apriori
 from repro.mining.counting import SubsetCounter
 from repro.mining.itemsets import apriori_gen
+from repro.obs import MetricsRegistry, SlidingQuantile, use_registry
+from repro.parallel.pool import WorkerPool
 
 #: Generous CI bound; the typical observed ratio is within a few
 #: percent of 1.0 (the 5% engineering target).
@@ -108,7 +115,59 @@ def test_disabled_observability_overhead(benchmark):
             ],
         ),
     )
+    emit_bench({
+        "bench": "obs_overhead",
+        "plain_seconds": round(plain_seconds, 4),
+        "instrumented_seconds": round(instrumented_seconds, 4),
+        "overhead_ratio": round(ratio, 4),
+    })
     assert ratio <= MAX_OVERHEAD_RATIO, (
         f"disabled instrumentation cost {ratio:.2f}x "
         f"(target ~1.05x, ceiling {MAX_OVERHEAD_RATIO}x)"
     )
+
+
+def test_export_plane_disabled_costs_nothing(benchmark):
+    """The PR 6 export plane stays behind the no-op default.
+
+    Structural, not wall-clock: with the NULL registry active a
+    WorkerPool must not wrap its tasks in the delta-shipping shim at
+    all (``forwards_metrics`` is False — workers return raw results),
+    and it must start doing so the moment a real registry is active.
+    The quantile estimator is also micro-timed: it lives on the serve
+    request path, so one observation must stay sub-microsecond-ish
+    (generous CI bound below).
+    """
+    with WorkerPool(2) as pool:
+        assert pool.forwards_metrics is False
+    with use_registry(MetricsRegistry()):
+        with WorkerPool(2) as pool:
+            assert pool.forwards_metrics is True
+
+    estimator = SlidingQuantile()
+    n = 20_000
+    start = time.perf_counter()
+    for i in range(n):
+        estimator.observe(i * 1e-6)
+    per_observe = (time.perf_counter() - start) / n
+    benchmark.pedantic(
+        lambda: estimator.observe(1e-3), rounds=1, iterations=1
+    )
+    report(
+        "Observability overhead — export plane",
+        format_table(
+            ["check", "value"],
+            [
+                ["pool wraps tasks when obs disabled", "no"],
+                ["pool wraps tasks when obs enabled", "yes"],
+                ["SlidingQuantile.observe µs", round(per_observe * 1e6, 3)],
+            ],
+        ),
+    )
+    emit_bench({
+        "bench": "obs_overhead",
+        "case": "export_plane",
+        "observe_us": round(per_observe * 1e6, 4),
+    })
+    # 50 µs is ~100x the typical cost — pure regression tripwire.
+    assert per_observe < 50e-6

@@ -15,7 +15,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import MINSUP, drifting_synthetic_pages, format_table
 from repro.core import RandomGreedySegmenter
 from repro.mining import DepthProject, OSSMPruner
@@ -68,6 +68,14 @@ def test_depthproject_table(benchmark, experiment):
             rows,
         ),
     )
+    for label, (result, elapsed) in experiment.items():
+        emit_bench({
+            "bench": "sec7_depthproject",
+            "variant": label,
+            "runtime_seconds": round(elapsed, 4),
+            "candidates_counted": result.candidates_counted(),
+            "n_frequent": result.n_frequent,
+        })
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

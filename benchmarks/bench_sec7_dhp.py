@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import MINSUP, drifting_synthetic_pages, format_table
 from repro.core import RandomRCSegmenter
 from repro.mining import DHP, OSSMPruner
@@ -69,6 +69,14 @@ def test_sec7_table(benchmark, experiment):
         f"(Random-RC, n={N_USER}, {N_BUCKETS} buckets)",
         format_table(["algorithm", "runtime_s", "C2", "frequent"], rows),
     )
+    for label, (result, elapsed) in experiment["rows"].items():
+        emit_bench({
+            "bench": "sec7_dhp",
+            "variant": label,
+            "runtime_seconds": round(elapsed, 4),
+            "c2_candidates": result.level(2).candidates_counted,
+            "n_frequent": result.n_frequent,
+        })
     pages = drifting_synthetic_pages(P)
     miner = DHP(n_buckets=N_BUCKETS, max_level=3)
     benchmark.pedantic(

@@ -15,7 +15,7 @@ import time
 
 import pytest
 
-from _shared import report
+from _shared import emit_bench, report
 from repro.bench import MINSUP, drifting_synthetic_pages, format_table
 from repro.mining import Partition
 
@@ -69,6 +69,15 @@ def test_partition_table(benchmark, experiment):
             rows,
         ),
     )
+    for label, (result, elapsed) in experiment.items():
+        emit_bench({
+            "bench": "sec7_partition",
+            "variant": label,
+            "runtime_seconds": round(elapsed, 4),
+            "c2_candidates": result.candidates_counted(2),
+            "candidates_counted": result.candidates_counted(),
+            "n_frequent": result.n_frequent,
+        })
     db = drifting_synthetic_pages(P).database
     miner = Partition(n_partitions=N_PARTITIONS, max_level=2)
     benchmark.pedantic(

@@ -100,7 +100,7 @@ def test_serve_closed_loop_load():
         for client in range(N_CLIENTS)
     ]
 
-    service = BoundQueryService(ossm, cache_size=2048)
+    service = BoundQueryService(ossm, cache_size=2048, slo_target=0.25)
 
     async def run():
         async with service:
@@ -123,6 +123,8 @@ def test_serve_closed_loop_load():
 
     n_queries = len(latencies)
     latencies.sort()
+    rolling = stats["latency"]
+    slo = stats["slo"]
     record = {
         "bench": "serve_closed_loop",
         "clients": N_CLIENTS,
@@ -131,6 +133,11 @@ def test_serve_closed_loop_load():
         "throughput_qps": round(n_queries / wall, 1),
         "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
         "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "service_p50_ms": rolling["p50_ms"],
+        "service_p95_ms": rolling["p95_ms"],
+        "service_p99_ms": rolling["p99_ms"],
+        "slo_violations": slo["violations"],
+        "slo_budget_remaining": round(slo["budget_remaining"], 4),
         "cache_hit_rate": round(hit_rate, 4),
         "cache_evictions": stats["cache"]["evictions"],
         "epoch": stats["epoch"],
@@ -144,13 +151,18 @@ def test_serve_closed_loop_load():
             f"{record['throughput_qps']:.0f}",
             f"{record['p50_ms']:.2f}",
             f"{record['p99_ms']:.2f}",
+            f"{record['service_p95_ms']:.2f}",
             f"{hit_rate:.0%}",
+            f"{slo['budget_remaining']:.0%}",
         ]
     ]
     report(
         "Online bound service — closed-loop load",
         format_table(
-            ["clients", "queries", "qps", "p50 ms", "p99 ms", "hit rate"],
+            ["clients", "queries", "qps", "p50 ms", "p99 ms",
+             "svc p95 ms", "hit rate", "SLO budget"],
             rows,
         ),
     )
+    # The service-side rolling estimator saw every batch.
+    assert rolling["window_count"] > 0

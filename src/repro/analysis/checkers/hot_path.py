@@ -42,6 +42,10 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "parallel/pool.py",
     "serve/cache.py",
     "serve/service.py",
+    # The export plane: quantile observation rides every serve request
+    # and the exposition/ops handlers live beside the service loop.
+    "obs/quantiles.py",
+    "obs/export.py",
     # Injection points sit inside the level loop and the task-wrap
     # path, so their telemetry must be guarded like any other hot code.
     "resilience/faults.py",

@@ -6,6 +6,14 @@ experiment index.
 """
 
 from .harness import Baseline, Cell, baseline, evaluate, segment
+from .history import (
+    CONFIG_KEYS,
+    Trajectory,
+    load_bench_records,
+    metric_direction,
+    render_history,
+    trajectories,
+)
 from .metrics import candidate_ratio, ossm_megabytes, pruned_fraction, speedup
 from .reporting import banner, format_cell_metrics, format_cells, format_table
 from .workloads import (
@@ -27,6 +35,12 @@ __all__ = [
     "baseline",
     "evaluate",
     "segment",
+    "CONFIG_KEYS",
+    "Trajectory",
+    "load_bench_records",
+    "metric_direction",
+    "render_history",
+    "trajectories",
     "candidate_ratio",
     "ossm_megabytes",
     "pruned_fraction",

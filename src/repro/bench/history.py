@@ -1,0 +1,240 @@
+"""BENCH history: per-metric trajectories and regression flagging.
+
+Every benchmark run appends its record to ``BENCH_<name>.json`` (see
+``benchmarks/_shared.emit_bench``), so the repo root accumulates the
+perf trajectory of the project — the raw material for the ROADMAP's
+self-tuning planner and for catching regressions before they ship.
+This module reads those files back and answers two questions:
+
+* **what moved** — for every ``(bench, config, metric)`` series, the
+  latest value against the median of the preceding window;
+* **what regressed** — series whose latest value worsened beyond a
+  noise band, in the metric's *known* direction. Direction is
+  inferred from the metric name (``*_seconds`` down, ``*_qps`` up, …);
+  metrics with no known direction are reported but never flagged,
+  because guessing "which way is better" produces false alarms.
+
+Records of one bench may cover several configurations (workers=2 vs 4,
+different client counts); series are grouped by the record's
+identifying fields so apples compare with apples. The CLI surface is
+``repro-ossm bench-history [--check]`` — warn-only in CI until the
+trajectory is deep enough to make the gate blocking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+__all__ = [
+    "Trajectory",
+    "load_bench_records",
+    "metric_direction",
+    "trajectories",
+    "render_history",
+    "CONFIG_KEYS",
+]
+
+#: Record fields that identify a configuration rather than measure it.
+#: They partition a bench's records into comparable series and are
+#: excluded from the metric set.
+CONFIG_KEYS: frozenset[str] = frozenset(
+    {
+        "bench", "variant", "case", "kind", "mode", "algorithm",
+        "engine", "workers", "clients", "n_segments", "n_user",
+        "scale", "seed", "epoch", "level",
+    }
+)
+
+#: Name fragments implying "lower is better" / "higher is better".
+#: Matched as substrings of the metric name; first table wins.
+_LOWER_IS_BETTER: tuple[str, ...] = (
+    "seconds", "_ms", "latency", "overhead", "candidates",
+    "loss", "violations", "c2_ratio", "bytes", "_mb",
+)
+_HIGHER_IS_BETTER: tuple[str, ...] = (
+    "qps", "throughput", "speedup", "hit_rate", "recovered",
+    "pruned_fraction", "budget_remaining",
+)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"down"`` / ``"up"`` for the improving direction, else None."""
+    lowered = name.lower()
+    for fragment in _LOWER_IS_BETTER:
+        if fragment in lowered:
+            return "down"
+    for fragment in _HIGHER_IS_BETTER:
+        if fragment in lowered:
+            return "up"
+    return None
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One ``(bench, config, metric)`` series and its verdict."""
+
+    bench: str
+    config: str
+    metric: str
+    values: tuple[float, ...]
+    baseline: float | None  # median of the window before the latest
+    latest: float
+    delta: float | None  # relative change vs baseline, signed
+    direction: str | None  # "down" | "up" | None (unknown)
+    status: str  # "ok" | "regression" | "improved" | "info" | "new"
+
+    def describe(self) -> str:
+        """One human line, e.g. for the regression summary."""
+        delta = (
+            f"{self.delta:+.1%}" if self.delta is not None else "n/a"
+        )
+        return (
+            f"{self.bench}[{self.config}] {self.metric}: "
+            f"{self.latest:g} vs baseline "
+            f"{self.baseline if self.baseline is not None else 'n/a'} "
+            f"({delta}, n={len(self.values)})"
+        )
+
+
+def load_bench_records(root: str | Path) -> dict[str, list[dict]]:
+    """All ``BENCH_<name>.json`` files under *root*, by bench name.
+
+    Files that fail to parse are skipped with a marker entry rather
+    than aborting the sweep — a truncated artifact from a crashed run
+    must not hide every other trajectory.
+    """
+    records: dict[str, list[dict]] = {}
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            records[name] = []
+            continue
+        if isinstance(loaded, list):
+            records[name] = [
+                entry for entry in loaded if isinstance(entry, dict)
+            ]
+        elif isinstance(loaded, dict):
+            records[name] = [loaded]
+        else:
+            records[name] = []
+    return records
+
+
+def _config_key(record: dict) -> str:
+    parts = [
+        f"{key}={record[key]}"
+        for key in sorted(CONFIG_KEYS & record.keys())
+        if key != "bench"
+    ]
+    return ",".join(parts) if parts else "default"
+
+
+def _metric_items(record: dict) -> list[tuple[str, float]]:
+    items = []
+    for key, value in record.items():
+        if key in CONFIG_KEYS:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        items.append((key, float(value)))
+    return items
+
+
+def trajectories(
+    records_by_bench: dict[str, list[dict]],
+    *,
+    window: int = 5,
+    min_records: int = 3,
+    tolerance: float = 0.25,
+) -> list[Trajectory]:
+    """Per-series verdicts over *records_by_bench* (file order = time).
+
+    A series shorter than *min_records* is ``"new"`` — not enough
+    history to define a noise band. Otherwise the latest value is
+    compared against the median of up to *window* preceding values;
+    a relative move beyond *tolerance* in the metric's worsening
+    direction is a ``"regression"``, beyond it in the improving
+    direction ``"improved"``, and within the band ``"ok"``. Metrics
+    with unknown direction are ``"info"``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    out: list[Trajectory] = []
+    for bench in sorted(records_by_bench):
+        series: dict[tuple[str, str], list[float]] = {}
+        for record in records_by_bench[bench]:
+            config = _config_key(record)
+            for metric, value in _metric_items(record):
+                series.setdefault((config, metric), []).append(value)
+        for (config, metric), values in sorted(series.items()):
+            direction = metric_direction(metric)
+            latest = values[-1]
+            if len(values) < min_records:
+                out.append(Trajectory(
+                    bench, config, metric, tuple(values),
+                    None, latest, None, direction, "new",
+                ))
+                continue
+            history = values[:-1][-window:]
+            baseline = median(history)
+            if baseline == 0:
+                delta = None
+                status = "info"
+            else:
+                delta = (latest - baseline) / abs(baseline)
+                if direction is None:
+                    status = "info"
+                elif direction == "down":
+                    status = (
+                        "regression" if delta > tolerance
+                        else "improved" if delta < -tolerance
+                        else "ok"
+                    )
+                else:
+                    status = (
+                        "regression" if delta < -tolerance
+                        else "improved" if delta > tolerance
+                        else "ok"
+                    )
+            out.append(Trajectory(
+                bench, config, metric, tuple(values),
+                baseline, latest, delta, direction, status,
+            ))
+    return out
+
+
+def render_history(trajs: list[Trajectory]) -> str:
+    """The trajectory table plus a regression summary block."""
+    from .reporting import format_table
+
+    rows = []
+    for traj in trajs:
+        rows.append([
+            traj.bench,
+            traj.config,
+            traj.metric,
+            len(traj.values),
+            "-" if traj.baseline is None else f"{traj.baseline:g}",
+            f"{traj.latest:g}",
+            "-" if traj.delta is None else f"{traj.delta:+.1%}",
+            {"down": "↓", "up": "↑", None: "?"}[traj.direction],
+            traj.status,
+        ])
+    table = format_table(
+        ["bench", "config", "metric", "n", "baseline", "latest",
+         "delta", "dir", "status"],
+        rows,
+    )
+    regressions = [t for t in trajs if t.status == "regression"]
+    if not regressions:
+        return table + "\nno regressions flagged\n"
+    lines = [table, f"\n{len(regressions)} regression(s) flagged:"]
+    lines.extend(f"  REGRESSION {t.describe()}" for t in regressions)
+    return "\n".join(lines) + "\n"

@@ -9,7 +9,9 @@ Subcommands cover the full pipeline:
 * ``serve`` — answer Equation (1) bound queries from a saved OSSM
   through the online :class:`~repro.serve.service.BoundQueryService`
   (epoch-tagged cache, coalescing, back-pressure);
-* ``recipe`` — print the Figure 7 strategy recommendation.
+* ``recipe`` — print the Figure 7 strategy recommendation;
+* ``bench-history`` — read the accumulated ``BENCH_*.json`` records
+  and flag per-metric regressions beyond a noise band.
 
 Every subcommand accepts the observability flags ``--log-level``,
 ``--log-json``, ``--trace-out PATH``, and ``--metrics-out PATH``:
@@ -28,6 +30,7 @@ import sys
 from collections.abc import Sequence
 
 from .analysis.cli import add_lint_arguments, run_lint
+from .bench.history import load_bench_records, render_history, trajectories
 from .core.bubble import bubble_list_for
 from .core.greedy import GreedySegmenter
 from .core.hybrid import RandomGreedySegmenter, RandomRCSegmenter
@@ -48,6 +51,7 @@ from .mining.fpgrowth import FPGrowth
 from .mining.partition import Partition
 from .mining.pruning import NullPruner, OSSMPruner
 from .obs.instrument import record_ossm_build
+from .obs.export import OpsServer
 from .obs.log import configure_logging, get_logger
 from .obs.metrics import MetricsRegistry, use_registry
 from .obs.trace import TraceRecorder, use_recorder
@@ -176,6 +180,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = serial)")
     serve.add_argument("--quiet", action="store_true",
                        help="print only the summary line")
+    serve.add_argument("--slo-target", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-batch latency SLO target; batches over "
+                            "it count against the error budget")
+    serve.add_argument("--ops-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose /metrics, /health, /stats on "
+                            "127.0.0.1:PORT while serving (0 = any "
+                            "free port)")
 
     recipe = sub.add_parser(
         "recipe", help="Figure 7 recommendation", parents=[obs]
@@ -191,6 +204,26 @@ def _build_parser() -> argparse.ArgumentParser:
         parents=[obs],
     )
     add_lint_arguments(lint)
+
+    history = sub.add_parser(
+        "bench-history",
+        help="trajectories and regression flags from BENCH_*.json",
+        parents=[obs],
+    )
+    history.add_argument("--dir", default=".", metavar="DIR",
+                         help="directory holding BENCH_*.json files")
+    history.add_argument("--window", type=int, default=5,
+                         help="baseline window: median of this many "
+                              "preceding records")
+    history.add_argument("--min-records", type=int, default=3,
+                         help="series shorter than this are reported "
+                              "as 'new', never flagged")
+    history.add_argument("--tolerance", type=float, default=0.25,
+                         help="relative noise band; moves beyond it "
+                              "in the worsening direction are flagged")
+    history.add_argument("--check", action="store_true",
+                         help="exit 1 when any regression is flagged "
+                              "(default: report only)")
 
     return parser
 
@@ -359,10 +392,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         timeout=args.timeout,
         workers=args.workers or None,
+        slo_target=args.slo_target,
     )
 
     async def run() -> None:
-        async with service:
+        async with contextlib.AsyncExitStack() as scopes:
+            await scopes.enter_async_context(service)
+            if args.ops_port is not None:
+                ops = await scopes.enter_async_context(
+                    OpsServer(service=service, port=args.ops_port)
+                )
+                print(f"ops endpoint on http://{ops.host}:{ops.port}/")
             batch = max(1, args.batch)
             for start in range(0, len(queries), batch):
                 chunk = queries[start:start + batch]
@@ -373,6 +413,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(run())
     stats = service.stats()
+    if not args.quiet:
+        latency = stats["latency"]
+        slo = stats["slo"]
+        line = (
+            f"latency p50 {latency['p50_ms']:.2f}ms / "
+            f"p95 {latency['p95_ms']:.2f}ms / p99 {latency['p99_ms']:.2f}ms "
+            f"over {latency['window_count']} batches"
+        )
+        if slo["target_seconds"] is not None:
+            line += (
+                f"; SLO {slo['violations']}/{slo['requests']} violations, "
+                f"error budget {slo['budget_remaining']:.1%} remaining"
+            )
+        print(line)
     cache = stats["cache"]
     print(
         f"served {len(queries)} queries at epoch {stats['epoch']}: "
@@ -381,6 +435,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{cache['evictions']} evictions"
     )
     return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    records = load_bench_records(args.dir)
+    if not records:
+        print(f"no BENCH_*.json files under {args.dir}")
+        return 0
+    trajs = trajectories(
+        records,
+        window=args.window,
+        min_records=args.min_records,
+        tolerance=args.tolerance,
+    )
+    print(render_history(trajs), end="")
+    regressed = any(traj.status == "regression" for traj in trajs)
+    return 1 if args.check and regressed else 0
 
 
 def _cmd_recipe(args: argparse.Namespace) -> int:
@@ -406,6 +476,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "recipe": _cmd_recipe,
         "lint": run_lint,
+        "bench-history": _cmd_bench_history,
     }
     if args.log_level:
         configure_logging(args.log_level, json=args.log_json)

@@ -13,13 +13,19 @@ Four cooperating layers, all stdlib-only and silent/no-op by default:
   text tree;
 * :mod:`repro.obs.report` — renders snapshots and traces as the
   human-readable run report (including pruning effectiveness and the
-  Equation (1) bound-tightness distribution).
+  Equation (1) bound-tightness distribution);
+* :mod:`repro.obs.export` — the telemetry export plane: Prometheus
+  text exposition of any snapshot plus the asyncio ops endpoint
+  (``/metrics``, ``/health``, ``/stats``);
+* :mod:`repro.obs.quantiles` — a fixed-bucket sliding-window quantile
+  estimator for rolling latency SLOs.
 
 The overhead contract: with nothing configured, instrumented code pays
 one no-op method call per event — see DESIGN.md §6 and
 ``benchmarks/bench_obs_overhead.py``, which enforces it.
 """
 
+from .export import OpsServer, prometheus_name, render_prometheus
 from .log import configure_logging, get_logger, reset_logging
 from .metrics import (
     Counter,
@@ -32,6 +38,7 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .quantiles import LATENCY_BUCKETS, SlidingQuantile
 from .report import format_snapshot, pruning_effectiveness, render_report
 from .trace import (
     NullTraceRecorder,
@@ -44,6 +51,11 @@ from .trace import (
 )
 
 __all__ = [
+    "OpsServer",
+    "prometheus_name",
+    "render_prometheus",
+    "LATENCY_BUCKETS",
+    "SlidingQuantile",
     "configure_logging",
     "get_logger",
     "reset_logging",

@@ -20,7 +20,12 @@ Enable collection for a block of work with::
 Snapshots are plain nested dicts of JSON-serializable scalars, so they
 attach cleanly to benchmark results and round-trip through
 ``json.dumps``. Everything here is stdlib-only and single-process by
-design; aggregation across processes is the caller's concern.
+design; cross-process aggregation happens by shipping snapshots back
+to the parent and folding them in with :meth:`MetricsRegistry.merge`
+(counters sum, gauges last-write-wins, timers and histograms merge
+component-wise), which is how the worker pools in
+:mod:`repro.parallel.pool` make fan-out telemetry survive the process
+boundary.
 """
 
 from __future__ import annotations
@@ -282,6 +287,64 @@ class MetricsRegistry:
         """The snapshot as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent)
 
+    # -- cross-process aggregation ----------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge semantics per instrument kind (DESIGN.md §12):
+
+        * **counters** sum — event counts are additive over any
+          partition of the work, and stay exact Python ints (no float
+          ever touches them);
+        * **gauges** are last-write-wins — the incoming snapshot's
+          value replaces the local one, matching :meth:`Gauge.set`;
+        * **timers** merge component-wise: counts and totals sum,
+          min/max combine (an empty incoming timer contributes
+          nothing, so its sentinel ``0.0`` min never pollutes ours);
+        * **histograms** merge bucket-wise. The bucket edges must be
+          identical — merging distributions over different bucket
+          layouts has no sound interpretation, so a mismatch raises
+          :class:`ValueError` rather than silently mixing bins.
+
+        Missing top-level sections are treated as empty, so partial
+        snapshots (e.g. a hand-built ``{"counters": {...}}``) merge
+        cleanly. Merging is associative and commutative up to gauge
+        ordering — shard snapshots may be folded in any interleaving
+        and the additive sections agree (``tests/obs`` holds the
+        hypothesis property).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, incoming in snapshot.get("timers", {}).items():
+            count = int(incoming["count"])
+            if count == 0:
+                continue
+            timer = self.timer(name)
+            timer.count += count
+            timer.total += incoming["total_seconds"]
+            timer.min = min(timer.min, incoming["min_seconds"])
+            timer.max = max(timer.max, incoming["max_seconds"])
+        for name, incoming in snapshot.get("histograms", {}).items():
+            edges = tuple(float(edge) for edge in incoming["buckets"])
+            histogram = self.histogram(name, edges)
+            if histogram.buckets != edges:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge bucket edges "
+                    f"{list(edges)} into {list(histogram.buckets)}"
+                )
+            count = int(incoming["count"])
+            if count == 0:
+                continue
+            for index, bucket_count in enumerate(incoming["counts"]):
+                histogram.counts[index] += int(bucket_count)
+            histogram.count += count
+            histogram.total += incoming["total"]
+            histogram.min = min(histogram.min, incoming["min"])
+            histogram.max = max(histogram.max, incoming["max"])
+
     def reset(self) -> None:
         """Drop every instrument and its accumulated state."""
         self._counters.clear()
@@ -331,6 +394,12 @@ class NullRegistry(MetricsRegistry):
 
     def time(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
+
+    def merge(self, snapshot: dict) -> None:
+        # The null registry is a shared singleton; folding real data
+        # into it would both leak state across users and silently
+        # swallow the merge. Dropping the snapshot is the no-op.
+        pass
 
 
 #: The process-wide disabled registry.

@@ -102,6 +102,11 @@ class ParallelCounter(SupportCounter):
         self._plan: ShardPlan | None = None
         self._database: TransactionDatabase | None = None
         self._serial: SupportCounter | None = None
+        # Engine-selection telemetry is per *transition*, not per call:
+        # an open breaker degrades every level of a mining run, and
+        # counting one decision once keeps `resilience.engine.degraded`
+        # comparable with make_counter's once-per-construction record.
+        self._was_degraded = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -214,10 +219,13 @@ class ParallelCounter(SupportCounter):
         if not breaker.allow():
             # Breaker open: don't touch (or rebuild) the broken pool at
             # all — count serially, which is always exact.
-            registry = get_registry()
-            if registry.enabled:
-                registry.inc("resilience.engine.degraded")
+            if not self._was_degraded:
+                self._was_degraded = True
+                registry = get_registry()
+                if registry.enabled:
+                    registry.inc("resilience.engine.degraded")
             return self._serial_engine().count(database, candidates)
+        self._was_degraded = False
         plan, pool = self._bind(database)
         ordered = list(counts)
         table = np.asarray(ordered, dtype=np.int64)

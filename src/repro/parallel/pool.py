@@ -51,7 +51,7 @@ from ..data.transactions import TransactionDatabase
 from ..mining.counting import SubsetCounter, SupportCounter, TidsetCounter
 from ..mining.hash_tree import HashTreeCounter
 from ..obs.log import get_logger
-from ..obs.metrics import get_registry
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 from ..obs.trace import trace
 from ..resilience import Backoff, PoolFailure, get_injector
 
@@ -126,6 +126,69 @@ def _shard_engine(shard_index: int, engine: str) -> SupportCounter:
         counter = _ENGINE_FACTORIES[engine]()
         _ENGINE_CACHE[key] = counter
     return counter
+
+
+# -- worker-side telemetry ----------------------------------------------------
+
+#: Counter prefixes that only the parent process may report. Engine
+#: selection (breaker-degraded fallbacks) is decided once per run; a
+#: forked worker inherits the parent's breaker state and would re-
+#: report the *same* decision, so its copies are dropped at harvest.
+PARENT_ONLY_COUNTER_PREFIXES: tuple[str, ...] = ("resilience.engine.",)
+
+
+def _obs_init(bundle: tuple[Any, ...]) -> None:
+    """Initializer wrapper installing this worker's metrics registry.
+
+    *bundle* is ``(forward, initializer, payload)``. When the parent
+    had an enabled registry at pool construction, each worker records
+    into its own fresh :class:`MetricsRegistry` — NOT the (possibly
+    fork-inherited) parent registry, whose accumulated values must not
+    be double-counted — and :func:`_obs_task` ships per-task deltas
+    back. With observability off this wrapper is never installed.
+    """
+    forward, initializer, payload = bundle
+    if forward:
+        set_registry(MetricsRegistry())
+    if initializer is not None:
+        initializer(payload)
+
+
+def _obs_task(bundle: tuple[Any, ...]) -> tuple[Any, dict | None]:
+    """Task wrapper returning ``(result, metrics_delta)``.
+
+    The delta is this worker's registry snapshot since the previous
+    task, captured with snapshot-and-reset so every event is shipped
+    exactly once. Tasks of a batch that fails (worker crash, hang)
+    are re-run on a rebuilt pool and only the successful attempt is
+    harvested, so retries never double-count either.
+    """
+    task, payload = bundle
+    result = task(payload)
+    registry = get_registry()
+    if registry.enabled:
+        delta = registry.snapshot()
+        registry.reset()
+        return result, delta
+    return result, None
+
+
+def _harvest(wrapped: list[Any]) -> list[Any]:
+    """Merge worker metric deltas into the active registry; unwrap."""
+    registry = get_registry()
+    results = []
+    for result, delta in wrapped:
+        if delta is not None and registry.enabled:
+            counters = delta.get("counters")
+            if counters:
+                delta["counters"] = {
+                    name: value
+                    for name, value in counters.items()
+                    if not name.startswith(PARENT_ONLY_COUNTER_PREFIXES)
+                }
+            registry.merge(delta)
+        results.append(result)
+    return results
 
 
 # -- supervision: worker-side -------------------------------------------------
@@ -324,31 +387,57 @@ class WorkerPool:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        # Captured once at construction: whether the parent wants
+        # worker telemetry shipped back. Workers are created now, so
+        # a registry enabled *later* cannot reach them anyway.
+        self._forward_metrics = get_registry().enabled
         kwargs: dict[str, Any] = {}
-        if initializer is not None:
-            kwargs["initializer"] = initializer
-            kwargs["initargs"] = (payload,)
+        if self._forward_metrics or initializer is not None:
+            kwargs["initializer"] = _obs_init
+            kwargs["initargs"] = (
+                (self._forward_metrics, initializer, payload),
+            )
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_preferred_context(),
             **kwargs,
         )
 
+    @property
+    def forwards_metrics(self) -> bool:
+        """Whether worker metric deltas ride back with each result."""
+        return self._forward_metrics
+
     def run(
         self,
         task: Callable[[Any], Any],
         payloads: Sequence[Any],
     ) -> list[Any]:
-        """Run *task* over *payloads*; results in payload order."""
+        """Run *task* over *payloads*; results in payload order.
+
+        With metrics forwarding on, each worker's per-task registry
+        delta is merged into the parent's active registry here, after
+        the whole batch succeeded.
+        """
         futures = [self.submit(task, payload) for payload in payloads]
-        return [future.result() for future in futures]
+        results = [future.result() for future in futures]
+        if self._forward_metrics:
+            return _harvest(results)
+        return results
 
     def submit(
         self, task: Callable[[Any], Any], payload: Any
     ) -> Future[Any]:
-        """Submit one task; the supervisor's entry point."""
+        """Submit one task; the supervisor's entry point.
+
+        With metrics forwarding on the future resolves to the
+        ``(result, delta)`` pair of :func:`_obs_task`; :meth:`run` and
+        the supervisor unwrap via :func:`_harvest`.
+        """
         if self._executor is None:
             raise RuntimeError("pool is closed")
+        if self._forward_metrics:
+            return self._executor.submit(_obs_task, (task, payload))
         return self._executor.submit(task, payload)
 
     def close(self) -> None:
@@ -635,7 +724,13 @@ class SupervisedPool:
                     f"({len(pending)} tasks outstanding)"
                 )
         self._backoff.reset()
-        return [future.result() for future in futures]
+        results = [future.result() for future in futures]
+        if pool.forwards_metrics:
+            # Harvest only here, on the attempt that completed: a
+            # failed batch is re-run whole, and merging its partial
+            # worker deltas would double-count the re-executed tasks.
+            return _harvest(results)
+        return results
 
 
 # -- telemetry ---------------------------------------------------------------

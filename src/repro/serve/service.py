@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -40,6 +41,7 @@ import numpy as np
 from ..core.ossm import OSSM
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
+from ..obs.quantiles import LATENCY_BUCKETS, SlidingQuantile
 from ..obs.trace import trace
 from ..parallel.ossm import parallel_upper_bounds
 from ..parallel.plan import resolve_workers
@@ -97,6 +99,14 @@ class BoundQueryService:
         changes.
     parallel_threshold:
         Minimum same-cardinality group size sent to the pool.
+    slo_target:
+        Per-request latency objective in seconds; a request slower
+        than this (or shed / timed out) consumes error budget. ``None``
+        tracks latency quantiles but treats only sheds and timeouts
+        as violations.
+    slo_objective:
+        Fraction of requests that must meet the target (the error
+        budget is the remaining fraction); default 99%.
     """
 
     def __init__(
@@ -108,6 +118,8 @@ class BoundQueryService:
         timeout: float | None = None,
         workers: int | None = None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        slo_target: float | None = None,
+        slo_objective: float = 0.99,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -115,6 +127,10 @@ class BoundQueryService:
             raise ValueError("timeout must be positive or None")
         if parallel_threshold < 2:
             raise ValueError("parallel_threshold must be >= 2")
+        if slo_target is not None and slo_target <= 0:
+            raise ValueError("slo_target must be positive or None")
+        if not 0.0 < slo_objective <= 1.0:
+            raise ValueError("slo_objective must be in (0, 1]")
         self._ossm = ossm
         self._cache = EpochLRUCache(cache_size, epoch=ossm.epoch)
         self.max_pending = int(max_pending)
@@ -140,6 +156,11 @@ class BoundQueryService:
             "hits": 0, "misses": 0, "evictions": 0,
             "invalidations": 0, "stale_drops": 0,
         }
+        self.slo_target = slo_target
+        self.slo_objective = float(slo_objective)
+        self._latency = SlidingQuantile()
+        self._slo_requests = 0
+        self._slo_violations = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -166,6 +187,15 @@ class BoundQueryService:
 
     def stats(self) -> dict[str, Any]:
         """JSON-friendly snapshot of the service's counters."""
+        latency = self._latency.snapshot()
+        allowed = self._slo_requests * (1.0 - self.slo_objective)
+        if allowed > 0:
+            # Clamped at zero: a budget more than spent is just spent.
+            budget_remaining = max(
+                0.0, 1.0 - self._slo_violations / allowed
+            )
+        else:
+            budget_remaining = 1.0 if self._slo_violations == 0 else 0.0
         return {
             "epoch": self._ossm.epoch,
             "pending": self._pending,
@@ -174,6 +204,20 @@ class BoundQueryService:
             "parallel_healthy": self.parallel_healthy,
             "breaker": self._breaker.state,
             "workers": self._workers,
+            "latency": {
+                "window_count": latency["count"],
+                "window_seconds": latency["window_seconds"],
+                "p50_ms": latency["p50"] * 1e3,
+                "p95_ms": latency["p95"] * 1e3,
+                "p99_ms": latency["p99"] * 1e3,
+            },
+            "slo": {
+                "target_seconds": self.slo_target,
+                "objective": self.slo_objective,
+                "requests": self._slo_requests,
+                "violations": self._slo_violations,
+                "budget_remaining": budget_remaining,
+            },
         }
 
     # -- epoch / map management ------------------------------------------
@@ -239,9 +283,44 @@ class BoundQueryService:
         batch. Raises :class:`Overloaded` when the miss set would
         exceed ``max_pending`` and :class:`QueryTimeout` when the
         per-request deadline passes first.
+
+        Every request lands in the rolling latency window behind
+        ``stats()``; sheds, timeouts, and (when ``slo_target`` is set)
+        requests over the target consume error budget.
         """
         if self._closed:
             raise ServiceClosed()
+        start = time.perf_counter()
+        shed_or_timed_out = False
+        try:
+            return await self._query_batch(itemsets, timeout=timeout)
+        except (Overloaded, QueryTimeout):
+            shed_or_timed_out = True
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            self._latency.observe(elapsed)
+            self._slo_requests += 1
+            violated = shed_or_timed_out or (
+                self.slo_target is not None and elapsed > self.slo_target
+            )
+            if violated:
+                self._slo_violations += 1
+            metrics = get_registry()
+            if metrics.enabled:
+                metrics.observe(
+                    "serve.latency_seconds", elapsed,
+                    buckets=LATENCY_BUCKETS,
+                )
+                if violated:
+                    metrics.inc("serve.slo.violations")
+
+    async def _query_batch(
+        self,
+        itemsets: Sequence[Iterable[int]],
+        *,
+        timeout: Any = _UNSET,
+    ) -> list[int]:
         wait_for = self.timeout if timeout is _UNSET else timeout
         ossm = self._ossm
         inflight = self._inflight

@@ -241,6 +241,8 @@ class Session:
         max_pending: int = 1024,
         timeout: float | None = None,
         workers: int | None = None,
+        slo_target: float | None = None,
+        slo_objective: float = 0.99,
     ) -> BoundQueryService:
         """A :class:`BoundQueryService` over the session's map.
 
@@ -253,6 +255,8 @@ class Session:
             max_pending=max_pending,
             timeout=timeout,
             workers=self.workers if workers is None else workers,
+            slo_target=slo_target,
+            slo_objective=slo_objective,
         )
         self._services.append(service)
         return service

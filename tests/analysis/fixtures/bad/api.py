@@ -16,5 +16,9 @@ def mutable_default(values=[]):
     return values
 
 
+async def async_mutable_default(*, cache={}):
+    return cache
+
+
 def annotated(count: int) -> int:
     return count

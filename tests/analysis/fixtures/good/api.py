@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
-__all__ = ["exists", "fresh_list", "annotated"]
+__all__ = ["Endpoint", "exists", "fresh_list", "annotated", "scrape"]
+
+
+class Endpoint:
+    async def handle(self, path: str) -> str:
+        return path
+
+
+async def scrape(path: str = "/metrics") -> str:
+    return path
 
 
 def exists():

@@ -62,6 +62,25 @@ class TestAllDrift:
         assert not lint_source(source, checkers=CHECKERS).failed
 
 
+class TestAsyncSurface:
+    """The export plane made coroutines public API; the checker must
+    treat ``async def`` exactly like ``def``."""
+
+    def test_async_def_missing_from_all(self):
+        source = "__all__ = []\n\nasync def scrape():\n    return 1\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-all-missing"}
+
+    def test_async_def_counts_as_bound(self):
+        source = "__all__ = ['scrape']\n\nasync def scrape():\n    return 1\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_async_mutable_default_is_flagged(self):
+        source = "async def f(cache={}):\n    return cache\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-mutable-default"}
+
+
 class TestMutableDefaults:
     def test_kwonly_default_is_checked(self):
         source = "def f(*, cache={}):\n    return cache\n"

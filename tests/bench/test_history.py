@@ -1,0 +1,175 @@
+"""BENCH history loading, trajectory math, and the CLI gate."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    load_bench_records,
+    metric_direction,
+    render_history,
+    trajectories,
+)
+from repro.cli import main
+
+
+def write_bench(tmp_path, name, records):
+    path = tmp_path / f"BENCH_{name}.json"
+    path.write_text(json.dumps(records), encoding="utf-8")
+    return path
+
+
+def series(bench, metric, values, **config):
+    return {bench: [{"bench": bench, metric: v, **config} for v in values]}
+
+
+class TestMetricDirection:
+    def test_lower_is_better(self):
+        for name in ("wall_seconds", "p99_ms", "overhead_ratio",
+                     "candidates_counted", "c2_ratio"):
+            assert metric_direction(name) == "down", name
+
+    def test_higher_is_better(self):
+        for name in ("throughput_qps", "speedup", "cache_hit_rate"):
+            assert metric_direction(name) == "up", name
+
+    def test_unknown_is_none(self):
+        assert metric_direction("n_frequent") is None
+
+
+class TestLoadRecords:
+    def test_reads_lists_and_single_objects(self, tmp_path):
+        write_bench(tmp_path, "a", [{"bench": "a", "x": 1}])
+        write_bench(tmp_path, "b", {"bench": "b", "x": 2})
+        records = load_bench_records(tmp_path)
+        assert len(records["a"]) == 1
+        assert len(records["b"]) == 1
+
+    def test_corrupt_file_does_not_abort_the_sweep(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json", "utf-8")
+        write_bench(tmp_path, "good", [{"bench": "good", "x": 1}])
+        records = load_bench_records(tmp_path)
+        assert records["bad"] == []
+        assert len(records["good"]) == 1
+
+    def test_empty_directory(self, tmp_path):
+        assert load_bench_records(tmp_path) == {}
+
+
+class TestTrajectories:
+    def test_short_series_is_new_never_flagged(self):
+        trajs = trajectories(series("b", "wall_seconds", [1.0, 100.0]))
+        assert [t.status for t in trajs] == ["new"]
+
+    def test_stable_series_is_ok(self):
+        trajs = trajectories(
+            series("b", "wall_seconds", [1.0, 1.05, 0.95, 1.02])
+        )
+        assert [t.status for t in trajs] == ["ok"]
+
+    def test_regression_beyond_tolerance_in_worsening_direction(self):
+        trajs = trajectories(
+            series("b", "wall_seconds", [1.0, 1.0, 1.0, 2.0])
+        )
+        (traj,) = trajs
+        assert traj.status == "regression"
+        assert traj.baseline == 1.0
+        assert traj.delta == pytest.approx(1.0)
+
+    def test_improvement_flagged_as_improved(self):
+        trajs = trajectories(series("b", "speedup", [2.0, 2.0, 2.0, 4.0]))
+        assert [t.status for t in trajs] == ["improved"]
+
+    def test_higher_better_drop_is_a_regression(self):
+        trajs = trajectories(series("b", "speedup", [4.0, 4.0, 4.0, 1.0]))
+        assert [t.status for t in trajs] == ["regression"]
+
+    def test_unknown_direction_is_informational(self):
+        trajs = trajectories(
+            series("b", "n_frequent", [10, 10, 10, 10_000])
+        )
+        assert [t.status for t in trajs] == ["info"]
+
+    def test_configs_partition_series(self):
+        records = {
+            "b": [
+                {"bench": "b", "workers": 1, "wall_seconds": 1.0},
+                {"bench": "b", "workers": 4, "wall_seconds": 0.3},
+                {"bench": "b", "workers": 1, "wall_seconds": 1.0},
+                {"bench": "b", "workers": 4, "wall_seconds": 0.3},
+                {"bench": "b", "workers": 1, "wall_seconds": 1.0},
+                {"bench": "b", "workers": 4, "wall_seconds": 0.3},
+            ]
+        }
+        trajs = trajectories(records)
+        assert len(trajs) == 2
+        assert all(t.status == "ok" for t in trajs)
+        assert {t.config for t in trajs} == {"workers=1", "workers=4"}
+
+    def test_window_bounds_the_baseline(self):
+        # Ancient bad values outside the window must not mask a
+        # regression against the recent normal.
+        values = [9.0] * 10 + [1.0] * 5 + [2.0]
+        trajs = trajectories(
+            series("b", "wall_seconds", values), window=5
+        )
+        assert [t.status for t in trajs] == ["regression"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trajectories({}, window=0)
+        with pytest.raises(ValueError):
+            trajectories({}, tolerance=0.0)
+
+    def test_render_mentions_regressions(self):
+        text = render_history(
+            trajectories(series("b", "wall_seconds", [1.0, 1.0, 1.0, 9.0]))
+        )
+        assert "REGRESSION" in text
+        text_ok = render_history(
+            trajectories(series("b", "wall_seconds", [1.0, 1.0, 1.0]))
+        )
+        assert "no regressions flagged" in text_ok
+
+
+class TestCli:
+    def test_report_mode_always_exits_zero(self, tmp_path, capsys):
+        write_bench(
+            tmp_path, "b",
+            [{"bench": "b", "wall_seconds": v} for v in (1.0, 1.0, 1.0, 9.0)],
+        )
+        code = main(["bench-history", "--dir", str(tmp_path)])
+        assert code == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_check_mode_exits_one_on_regression(self, tmp_path, capsys):
+        write_bench(
+            tmp_path, "b",
+            [{"bench": "b", "wall_seconds": v} for v in (1.0, 1.0, 1.0, 9.0)],
+        )
+        assert main(["bench-history", "--dir", str(tmp_path), "--check"]) == 1
+
+    def test_check_mode_exits_zero_when_clean(self, tmp_path, capsys):
+        write_bench(
+            tmp_path, "b",
+            [{"bench": "b", "wall_seconds": 1.0}] * 4,
+        )
+        assert main(["bench-history", "--dir", str(tmp_path), "--check"]) == 0
+
+    def test_empty_directory_reports_and_exits_zero(self, tmp_path, capsys):
+        assert main(["bench-history", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_*.json" in capsys.readouterr().out
+
+    def test_tolerance_flag_widens_the_band(self, tmp_path):
+        write_bench(
+            tmp_path, "b",
+            [{"bench": "b", "wall_seconds": v} for v in (1.0, 1.0, 1.0, 1.5)],
+        )
+        assert main(
+            ["bench-history", "--dir", str(tmp_path), "--check",
+             "--tolerance", "0.6"]
+        ) == 0
+        assert main(
+            ["bench-history", "--dir", str(tmp_path), "--check",
+             "--tolerance", "0.2"]
+        ) == 1

@@ -1,0 +1,222 @@
+"""Merge semantics of :meth:`MetricsRegistry.merge` (DESIGN.md §12).
+
+The merge is the foundation of cross-process aggregation: worker
+registries snapshot-and-reset per task and the parent folds the deltas
+in. These tests pin the per-kind contract (counters sum, gauges
+last-write, timers/histograms element-wise) plus the algebraic
+properties the differential harness relies on — associativity and
+commutativity over the instrument kinds that are order-free.
+
+Hypothesis values are drawn from multiples of 0.5 so float sums are
+exact regardless of addition order; gauges are excluded from the
+commutativity property because last-write-wins is order-dependent by
+design.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+
+EDGES = (0.001, 0.01, 0.1, 1.0)
+
+
+def _registry_from(spec: dict) -> MetricsRegistry:
+    """Build a registry from {counters: {...}, observations: {...}}."""
+    registry = MetricsRegistry()
+    for name, amount in spec.get("counters", {}).items():
+        registry.inc(name, amount)
+    for name, value in spec.get("gauges", {}).items():
+        registry.set_gauge(name, value)
+    for name, values in spec.get("timers", {}).items():
+        for value in values:
+            registry.timer(name).observe(value)
+    for name, values in spec.get("histograms", {}).items():
+        for value in values:
+            registry.observe(name, value, buckets=EDGES)
+    return registry
+
+
+class TestMergeBasics:
+    def test_counters_sum(self):
+        target = _registry_from({"counters": {"a": 2}})
+        target.merge(_registry_from({"counters": {"a": 3, "b": 1}}).snapshot())
+        assert target.counter("a").value == 5
+        assert target.counter("b").value == 1
+
+    def test_gauges_last_write_wins(self):
+        target = _registry_from({"gauges": {"g": 1.0}})
+        target.merge(_registry_from({"gauges": {"g": 7.5}}).snapshot())
+        assert target.gauge("g").value == 7.5
+
+    def test_timers_merge_elementwise(self):
+        target = _registry_from({"timers": {"t": [0.5, 1.5]}})
+        target.merge(_registry_from({"timers": {"t": [0.25]}}).snapshot())
+        snap = target.timer("t").snapshot()
+        assert snap["count"] == 3
+        assert snap["total_seconds"] == 2.25
+        assert snap["min_seconds"] == 0.25
+        assert snap["max_seconds"] == 1.5
+
+    def test_histograms_merge_bucketwise(self):
+        target = _registry_from({"histograms": {"h": [0.005, 0.5]}})
+        target.merge(
+            _registry_from({"histograms": {"h": [0.005, 5.0]}}).snapshot()
+        )
+        hist = target.histogram("h", EDGES)
+        assert hist.count == 4
+        assert hist.counts == [0, 2, 0, 1, 1]
+        assert hist.total == 0.005 + 0.5 + 0.005 + 5.0
+        assert hist.min == 0.005 and hist.max == 5.0
+
+
+class TestMergeEdgeCases:
+    def test_empty_into_populated_changes_nothing(self):
+        target = _registry_from({
+            "counters": {"a": 2},
+            "timers": {"t": [1.0]},
+            "histograms": {"h": [0.05]},
+        })
+        before = target.snapshot()
+        target.merge(MetricsRegistry().snapshot())
+        assert target.snapshot() == before
+
+    def test_populated_into_empty_equals_source(self):
+        source = _registry_from({
+            "counters": {"a": 2},
+            "gauges": {"g": 3.0},
+            "timers": {"t": [1.0, 0.5]},
+            "histograms": {"h": [0.05, 2.0]},
+        })
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_empty_timer_entry_does_not_poison_min(self):
+        # A worker that created a timer but never observed ships
+        # count=0 with the inf/zero sentinels; merging it must not
+        # disturb the target's extrema.
+        target = _registry_from({"timers": {"t": [1.0]}})
+        source = MetricsRegistry()
+        source.timer("t")  # created, never observed
+        target.merge(source.snapshot())
+        snap = target.timer("t").snapshot()
+        assert snap["count"] == 1
+        assert snap["min_seconds"] == 1.0
+
+    def test_mismatched_bucket_edges_raise(self):
+        target = _registry_from({"histograms": {"h": [0.05]}})
+        source = MetricsRegistry()
+        source.observe("h", 0.05, buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket edges"):
+            target.merge(source.snapshot())
+
+    def test_mismatched_edges_raise_even_for_empty_histogram(self):
+        # The shape check must not hide behind the empty-skip: a
+        # mis-bucketed worker is a bug even on a quiet run.
+        target = _registry_from({"histograms": {"h": [0.05]}})
+        source = MetricsRegistry()
+        source.histogram("h", (1.0, 2.0))  # created, never observed
+        with pytest.raises(ValueError, match="bucket edges"):
+            target.merge(source.snapshot())
+
+    def test_counter_overflow_stays_int(self):
+        # Beyond 2**53 floats drop increments; the merge must not
+        # round-trip counters through float.
+        big = 2**60
+        target = _registry_from({"counters": {"a": big}})
+        target.merge(_registry_from({"counters": {"a": 1}}).snapshot())
+        value = target.counter("a").value
+        assert value == big + 1
+        assert isinstance(value, int)
+
+    def test_null_registry_merge_is_a_noop(self):
+        NULL_REGISTRY.merge(
+            _registry_from({"counters": {"a": 5}}).snapshot()
+        )
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
+
+
+# -- algebraic properties -------------------------------------------------
+
+#: Exact-in-float values: multiples of 0.5 sum order-independently.
+_halves = st.integers(min_value=0, max_value=40).map(lambda n: n * 0.5)
+
+_spec = st.fixed_dictionaries({
+    "counters": st.dictionaries(
+        st.sampled_from(("a", "b", "c")),
+        st.integers(min_value=0, max_value=1000),
+        max_size=3,
+    ),
+    "timers": st.dictionaries(
+        st.sampled_from(("t1", "t2")),
+        st.lists(_halves, max_size=4),
+        max_size=2,
+    ),
+    "histograms": st.dictionaries(
+        st.sampled_from(("h1", "h2")),
+        st.lists(_halves, max_size=4),
+        max_size=2,
+    ),
+})
+
+
+def _merge_all(specs) -> dict:
+    target = MetricsRegistry()
+    for spec in specs:
+        target.merge(_registry_from(spec).snapshot())
+    return target.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_spec, _spec, _spec)
+def test_merge_is_associative(x, y, z):
+    """merge(merge(x, y), z) == merge(x, merge(y, z))."""
+    left_first = MetricsRegistry()
+    left_first.merge(_registry_from(x).snapshot())
+    left_first.merge(_registry_from(y).snapshot())
+    left_first.merge(_registry_from(z).snapshot())
+
+    right_inner = MetricsRegistry()
+    right_inner.merge(_registry_from(y).snapshot())
+    right_inner.merge(_registry_from(z).snapshot())
+    right_first = MetricsRegistry()
+    right_first.merge(_registry_from(x).snapshot())
+    right_first.merge(right_inner.snapshot())
+
+    assert left_first.snapshot() == right_first.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_spec, _spec)
+def test_merge_is_commutative_without_gauges(x, y):
+    """Order-free for counters/timers/histograms (gauges are
+    last-write-wins by design, hence excluded)."""
+    assert _merge_all([x, y]) == _merge_all([y, x])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_spec, min_size=1, max_size=4))
+def test_sharded_merge_equals_single_registry(specs):
+    """Folding N shard snapshots == recording everything in one
+    registry — the exactness claim the parallel harness rests on."""
+    merged = _merge_all(specs)
+
+    combined: dict = {"counters": {}, "timers": {}, "histograms": {}}
+    for spec in specs:
+        for name, amount in spec["counters"].items():
+            combined["counters"][name] = (
+                combined["counters"].get(name, 0) + amount
+            )
+        for kind in ("timers", "histograms"):
+            for name, values in spec[kind].items():
+                combined[kind].setdefault(name, []).extend(values)
+    single = _registry_from(combined).snapshot()
+
+    assert merged == single

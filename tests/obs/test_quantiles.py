@@ -1,0 +1,104 @@
+"""Sliding-window quantile estimator: buckets, rotation, expiry."""
+
+import pytest
+
+from repro.obs.quantiles import LATENCY_BUCKETS, SlidingQuantile
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(window: float = 60.0, slices: int = 12, **kwargs):
+    clock = FakeClock()
+    estimator = SlidingQuantile(
+        window_seconds=window, slices=slices, clock=clock, **kwargs
+    )
+    return estimator, clock
+
+
+class TestValidation:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            SlidingQuantile(buckets=())
+        with pytest.raises(ValueError):
+            SlidingQuantile(buckets=(1.0, 0.5))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingQuantile(window_seconds=0)
+        with pytest.raises(ValueError):
+            SlidingQuantile(slices=0)
+
+    def test_rejects_bad_q(self):
+        estimator, _ = make()
+        for q in (-0.1, 0.0, 1.1):
+            with pytest.raises(ValueError):
+                estimator.quantile(q)
+
+
+class TestQuantiles:
+    def test_empty_is_zero(self):
+        estimator, _ = make()
+        assert estimator.count == 0
+        assert estimator.quantile(0.5) == 0.0
+
+    def test_reports_bucket_upper_edge(self):
+        estimator, _ = make()
+        for _ in range(99):
+            estimator.observe(0.0004)  # -> le=0.0005 at default buckets
+        estimator.observe(0.09)        # -> le=0.1
+        assert estimator.quantile(0.50) == 0.0005
+        assert estimator.quantile(0.99) == 0.0005
+        assert estimator.quantile(1.0) == 0.1
+
+    def test_overflow_clamps_to_top_edge(self):
+        estimator, _ = make()
+        estimator.observe(10 * LATENCY_BUCKETS[-1])
+        assert estimator.quantile(0.5) == LATENCY_BUCKETS[-1]
+
+    def test_snapshot_keys(self):
+        estimator, _ = make()
+        estimator.observe(0.002)
+        snap = estimator.snapshot()
+        assert snap["count"] == 1
+        assert snap["window_seconds"] == 60.0
+        assert set(snap) == {"count", "window_seconds", "p50", "p95", "p99"}
+
+
+class TestWindowing:
+    def test_old_slices_expire(self):
+        estimator, clock = make(window=60.0, slices=12)
+        estimator.observe(1.0)
+        assert estimator.count == 1
+        clock.now += 61.0  # a full window later
+        assert estimator.count == 0
+        assert estimator.quantile(0.5) == 0.0
+
+    def test_recent_slices_survive(self):
+        estimator, clock = make(window=60.0, slices=12)
+        estimator.observe(1.0)
+        clock.now += 30.0  # half a window: still live
+        estimator.observe(0.001)
+        assert estimator.count == 2
+
+    def test_recycled_slot_is_zeroed(self):
+        # Advancing exactly `slices` slice-widths lands observations in
+        # the same ring slot; the old counts must be gone, not added to.
+        estimator, clock = make(window=60.0, slices=12)
+        for _ in range(5):
+            estimator.observe(1.0)
+        clock.now += 60.0
+        estimator.observe(0.001)
+        assert estimator.count == 1
+
+    def test_reset_clears_everything(self):
+        estimator, _ = make()
+        estimator.observe(1.0)
+        estimator.reset()
+        assert estimator.count == 0
+        assert estimator.quantile(0.99) == 0.0

@@ -1,0 +1,156 @@
+"""Cross-process telemetry: worker deltas survive the fan-out.
+
+The export plane's exactness claim: mining with ``workers=N`` and an
+active registry yields the same merged counters and histogram totals
+as ``workers=1`` — worker-side instrument updates ride back with each
+shard result and fold into the parent registry, exactly once, with
+engine-*selection* decisions (``resilience.engine.*``) reported only
+by the process that made them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import TransactionDatabase, generate_quest
+from repro.mining.apriori import Apriori
+from repro.mining.counting import parallel_breaker
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.parallel.counter import ParallelCounter
+from repro.parallel.pool import WorkerPool
+
+#: Counters legitimately dependent on the fan-out width.
+FANOUT_DEPENDENT = {"parallel.count.shards"}
+
+
+@pytest.fixture()
+def db():
+    return generate_quest(
+        n_transactions=300, n_items=40, n_patterns=60, seed=7
+    )
+
+
+def _mine_with_workers(db, workers: int) -> dict:
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = Apriori(workers=workers, max_level=3).mine(db, 0.02)
+    return {"result": result, "snapshot": registry.snapshot()}
+
+
+def test_differential_telemetry_across_worker_counts(db):
+    """workers=4 and workers=1 agree on every width-independent metric."""
+    wide = _mine_with_workers(db, workers=4)
+    narrow = _mine_with_workers(db, workers=1)
+    assert wide["result"].frequent == narrow["result"].frequent
+
+    wide_counters = {
+        name: value
+        for name, value in wide["snapshot"]["counters"].items()
+        if name not in FANOUT_DEPENDENT
+    }
+    narrow_counters = {
+        name: value
+        for name, value in narrow["snapshot"]["counters"].items()
+        if name not in FANOUT_DEPENDENT
+    }
+    assert wide_counters == narrow_counters
+
+    # Histogram totals (counts, sums) are width-independent too.
+    wide_hists = {
+        name: {k: v for k, v in hist.items() if k != "min" and k != "max"}
+        for name, hist in wide["snapshot"]["histograms"].items()
+    }
+    narrow_hists = {
+        name: {k: v for k, v in hist.items() if k != "min" and k != "max"}
+        for name, hist in narrow["snapshot"]["histograms"].items()
+    }
+    assert wide_hists == narrow_hists
+
+    # And the worker-side proof: the per-shard counting timer only
+    # exists in the parent snapshot because deltas crossed processes.
+    timer = wide["snapshot"]["timers"].get("counting.tidset_seconds")
+    assert timer is not None and timer["count"] > 0
+
+
+def _inc_worker_counters(tag: str) -> str:
+    registry = get_registry()
+    registry.inc("worker.tasks")
+    registry.inc("resilience.engine.degraded")  # parent-only: filtered
+    return tag
+
+
+def test_worker_deltas_merge_and_parent_only_counters_drop():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with WorkerPool(2) as pool:
+            results = pool.run(_inc_worker_counters, ["a", "b", "c"])
+    assert results == ["a", "b", "c"]
+    assert registry.counter("worker.tasks").value == 3
+    # An inherited open breaker in a forked worker would re-report the
+    # parent's engine decision; the harvest filter drops the prefix.
+    assert "resilience.engine.degraded" not in registry.snapshot()["counters"]
+
+
+def _idle(tag: str) -> str:
+    return tag
+
+
+def test_no_forwarding_without_active_registry():
+    assert not get_registry().enabled
+    with WorkerPool(2) as pool:
+        assert pool.forwards_metrics is False
+        assert pool.run(_idle, ["x"]) == ["x"]
+
+
+def test_snapshot_reset_prevents_double_counting():
+    """Two batches through the same pool: deltas are per-task, so the
+    second batch must not re-ship the first batch's counts."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with WorkerPool(1) as pool:
+            pool.run(_inc_worker_counters, ["a"])
+            pool.run(_inc_worker_counters, ["b"])
+    assert registry.counter("worker.tasks").value == 2
+
+
+def test_degraded_transition_counted_exactly_once(db):
+    """An open breaker degrades every count call of a mining run; the
+    engine-selection counter records the *transition*, not each call."""
+    candidates = [(i,) for i in range(db.n_items)]
+    registry = MetricsRegistry()
+    breaker = parallel_breaker()
+    breaker.reset()
+    try:
+        counter = ParallelCounter(workers=2)
+        while not breaker.is_open:
+            breaker.record_failure()
+        with use_registry(registry):
+            first = counter.count(db, candidates)
+            second = counter.count(db, candidates)
+        assert first == second
+        assert registry.counter("resilience.engine.degraded").value == 1
+    finally:
+        breaker.reset()
+
+
+def test_degraded_recount_after_recovery(db):
+    """Recovery closes the transition window: degrade, recover, degrade
+    again → two recorded decisions."""
+    candidates = [(i,) for i in range(db.n_items)]
+    registry = MetricsRegistry()
+    breaker = parallel_breaker()
+    breaker.reset()
+    try:
+        with use_registry(registry):
+            with ParallelCounter(workers=2) as counter:
+                while not breaker.is_open:
+                    breaker.record_failure()
+                counter.count(db, candidates)       # degraded: 1
+                breaker.reset()
+                counter.count(db, candidates)       # healthy again
+                while not breaker.is_open:
+                    breaker.record_failure()
+                counter.count(db, candidates)       # degraded: 2
+        assert registry.counter("resilience.engine.degraded").value == 2
+    finally:
+        breaker.reset()

@@ -1,0 +1,138 @@
+"""Serve SLOs: rolling latency quantiles and the error budget."""
+
+import asyncio
+
+import pytest
+
+from repro.core import GreedySegmenter
+from repro.data import PagedDatabase, generate_quest
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.serve import BoundQueryService, Overloaded
+
+N_ITEMS = 40
+
+
+@pytest.fixture(scope="module")
+def ossm():
+    db = generate_quest(
+        n_transactions=300, n_items=N_ITEMS,
+        avg_transaction_len=6.0, n_patterns=40, seed=9,
+    )
+    paged = PagedDatabase(db, page_size=30)
+    return GreedySegmenter().segment(paged, n_segments=5).ossm
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestConstruction:
+    def test_rejects_bad_slo_target(self, ossm):
+        with pytest.raises(ValueError):
+            BoundQueryService(ossm, slo_target=0.0)
+        with pytest.raises(ValueError):
+            BoundQueryService(ossm, slo_target=-1.0)
+
+    def test_rejects_bad_objective(self, ossm):
+        with pytest.raises(ValueError):
+            BoundQueryService(ossm, slo_objective=0.0)
+        with pytest.raises(ValueError):
+            BoundQueryService(ossm, slo_objective=1.5)
+
+
+class TestLatencyStats:
+    def test_every_batch_lands_in_the_window(self, ossm):
+        service = BoundQueryService(ossm)
+
+        async def main():
+            async with service:
+                for item in range(5):
+                    await service.query((item,))
+            return service.stats()
+
+        stats = run(main())
+        latency = stats["latency"]
+        assert latency["window_count"] == 5
+        assert latency["p50_ms"] >= 0.0
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+    def test_stats_without_traffic(self, ossm):
+        stats = BoundQueryService(ossm).stats()
+        assert stats["latency"]["window_count"] == 0
+        assert stats["slo"]["requests"] == 0
+        assert stats["slo"]["budget_remaining"] == 1.0
+
+
+class TestErrorBudget:
+    def test_no_target_means_no_latency_violations(self, ossm):
+        service = BoundQueryService(ossm)
+
+        async def main():
+            async with service:
+                await service.query((1,))
+            return service.stats()
+
+        slo = run(main())["slo"]
+        assert slo["target_seconds"] is None
+        assert slo["violations"] == 0
+        assert slo["budget_remaining"] == 1.0
+
+    def test_slow_requests_consume_budget(self, ossm):
+        # An impossible target: every request violates.
+        service = BoundQueryService(ossm, slo_target=1e-12)
+
+        async def main():
+            async with service:
+                for item in range(4):
+                    await service.query((item,))
+            return service.stats()
+
+        slo = run(main())["slo"]
+        assert slo["requests"] == 4
+        assert slo["violations"] == 4
+        assert slo["budget_remaining"] == 0.0
+
+    def test_shed_requests_consume_budget(self, ossm):
+        service = BoundQueryService(ossm, max_pending=1)
+
+        async def main():
+            async with service:
+                with pytest.raises(Overloaded):
+                    await service.query_batch(
+                        [(i,) for i in range(N_ITEMS)]
+                    )
+            return service.stats()
+
+        slo = run(main())["slo"]
+        assert slo["violations"] == 1
+
+    def test_budget_arithmetic(self, ossm):
+        # objective 0.5 over 4 requests allows 2 violations; 1 observed
+        # leaves half the budget.
+        service = BoundQueryService(
+            ossm, slo_target=1e-12, slo_objective=0.5
+        )
+
+        async def main():
+            async with service:
+                await service.query((0,))
+            service._slo_requests = 4
+            return service.stats()
+
+        slo = run(main())["slo"]
+        assert slo["violations"] == 1
+        assert slo["budget_remaining"] == pytest.approx(0.5)
+
+    def test_violations_reach_the_metrics_registry(self, ossm):
+        registry = MetricsRegistry()
+        service = BoundQueryService(ossm, slo_target=1e-12)
+
+        async def main():
+            async with service:
+                await service.query((1,))
+
+        with use_registry(registry):
+            run(main())
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.slo.violations"] == 1
+        assert snapshot["histograms"]["serve.latency_seconds"]["count"] == 1

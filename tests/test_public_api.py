@@ -61,5 +61,6 @@ def test_key_symbols_reachable_from_top_level():
         "ShardPlanner", "Session", "make_counter", "registered_engines",
         "BoundQueryService", "EpochLRUCache", "Overloaded",
         "QueryTimeout", "ServiceClosed",
+        "OpsServer", "SlidingQuantile", "render_prometheus",
     ):
         assert hasattr(repro, name), name
