@@ -1,25 +1,42 @@
 """repro.analysis — project-specific static analysis.
 
-A small AST-based linter (stdlib only) that machine-checks the
-contracts generic tools cannot know: the ``CandidatePruner`` protocol,
-the hot-path overhead contract from the observability subsystem, and
-the integer discipline behind Equation (1) soundness. Run it as
-``repro-ossm lint [paths…]`` or from Python::
+A two-pass, whole-program AST linter (stdlib only) that machine-checks
+the contracts generic tools cannot know. Pass 1 builds a project index
+(import graph, symbol table, coroutine classification, acquires-resource
+annotations); pass 2 runs per-file checkers (``CandidatePruner``
+protocol, hot-path overhead contract, Equation (1) integer discipline,
+API hygiene) and flow-aware project checkers (async hygiene, resource
+lifecycle via per-function CFGs, fork safety, exception safety). Run it
+as ``repro-ossm lint [paths…]`` or from Python::
 
     from repro.analysis import lint_paths
 
     result = lint_paths(["src"])
     assert not result.failed, result.findings
 
-See DESIGN.md §8 ("Enforced invariants") for what each rule protects.
+See DESIGN.md §8 ("Enforced invariants") and §13 ("Enforced concurrency
+& lifecycle invariants") for what each rule protects.
 """
 
-from .base import Checker, FileContext, Rule
+from .base import (
+    AcquireSite,
+    Checker,
+    FileContext,
+    ProjectContext,
+    ResourceSpec,
+    RESOURCE_SPECS,
+    Rule,
+)
+from .cfg import FunctionCFG, build_cfg
 from .checkers import (
     ApiHygieneChecker,
+    AsyncHygieneChecker,
     BoundSoundnessChecker,
+    ExceptionSafetyChecker,
+    ForkSafetyChecker,
     HotPathChecker,
     PrunerProtocolChecker,
+    ResourceLifecycleChecker,
     build_default_checkers,
 )
 from .engine import (
@@ -29,15 +46,22 @@ from .engine import (
     lint_paths,
     lint_source,
     load_baseline,
+    prune_baseline,
     select_checkers,
     write_baseline,
 )
 from .findings import Finding, sort_findings
 
 __all__ = [
+    "AcquireSite",
     "Checker",
     "FileContext",
+    "ProjectContext",
+    "ResourceSpec",
+    "RESOURCE_SPECS",
     "Rule",
+    "FunctionCFG",
+    "build_cfg",
     "Finding",
     "sort_findings",
     "LintResult",
@@ -48,9 +72,14 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "prune_baseline",
     "ApiHygieneChecker",
+    "AsyncHygieneChecker",
     "BoundSoundnessChecker",
+    "ExceptionSafetyChecker",
+    "ForkSafetyChecker",
     "HotPathChecker",
     "PrunerProtocolChecker",
+    "ResourceLifecycleChecker",
     "build_default_checkers",
 ]

@@ -1,0 +1,303 @@
+"""A small intra-function control-flow graph for lifecycle checking.
+
+The resource-lifecycle checker needs one question answered soundly:
+*from this acquisition, can control reach a function exit without
+passing a release — including along exception paths?* A full dataflow
+framework would be overkill; this module builds a statement-level CFG
+with explicit exception edges and answers reachability queries on it.
+
+Model
+-----
+* One node per simple statement and per compound-statement *header*
+  (the ``if``/``while`` test, the ``for`` iter, the ``with`` items).
+  Headers carry only their header expressions, so a release buried in
+  a branch does not silently bless the branch that skips it — except
+  through the explicit conditional-release rule below.
+* Every node has an implicit *exception edge* to the innermost
+  enclosing handler entry (the first except clause, or the ``finally``
+  body) and, with none enclosing, to :data:`EXIT`. This is what makes
+  "one statement between acquire and ``try``" a detectable leak: that
+  statement can raise, and nothing downstream releases.
+* ``return``/``raise`` edge to the innermost ``finally`` when one
+  encloses them, else to :data:`EXIT`; ``break``/``continue`` edge to
+  the loop exit/header.
+* Conditional-release rule: a header whose *subtree* contains a
+  release-shaped call for the tracked variable is treated as releasing
+  (``if owned: pool.close()`` patterns). This errs toward silence —
+  a lint must not cry wolf on guarded cleanup — while the exception
+  edges still catch cleanup that can be skipped entirely.
+
+Nested ``def``/``class``/``lambda`` bodies are opaque single nodes:
+their execution is deferred, so for lifecycle purposes only the names
+they capture matter (the checker treats closure capture as an escape).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["EXIT", "CFGNode", "FunctionCFG", "build_cfg"]
+
+#: The synthetic exit node id (normal return, fall-through, and
+#: unhandled exception all converge here).
+EXIT = -1
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement (or header) plus its out-edges."""
+
+    index: int
+    #: The statement this node belongs to.
+    stmt: ast.stmt
+    #: The AST fragments evaluated *at* this node (header expressions
+    #: for compound statements, the whole statement otherwise).
+    parts: tuple[ast.AST, ...]
+    #: Normal-flow successor ids (EXIT included).
+    succ: set[int] = field(default_factory=set)
+    #: Where an exception raised *at this node* transfers: the
+    #: innermost enclosing handler/finally entry, else EXIT. Kept apart
+    #: from :attr:`succ` so lifecycle queries can exempt the acquiring
+    #: statement's own raise path (nothing was acquired if the
+    #: acquiring call itself raised). ``None`` for nodes that evaluate
+    #: nothing (finally-entry placeholders, bare ``except:`` entries).
+    exc: int | None = None
+    #: True for compound-statement headers (conditional-release rule).
+    is_header: bool = False
+
+
+class FunctionCFG:
+    """The CFG of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, CFGNode] = {}
+
+    def node_of(self, stmt: ast.stmt) -> int | None:
+        """The node id owning *stmt*, if the statement got one."""
+        for node in self.nodes.values():
+            if node.stmt is stmt:
+                return node.index
+        return None
+
+    def reaches_exit(
+        self,
+        start: int,
+        stops: set[int],
+    ) -> bool:
+        """Can :data:`EXIT` be reached from *start* avoiding *stops*?
+
+        *stops* are node ids whose traversal terminates a path (the
+        release/escape nodes of the lifecycle checker). Exception edges
+        count for every node except *start* itself: a raise inside the
+        acquiring statement means the resource never existed, while a
+        raise anywhere downstream leaks it.
+        """
+        seen: set[int] = set()
+        stack = [start]
+        while stack:
+            index = stack.pop()
+            if index == EXIT:
+                return True
+            if index in seen or (index in stops and index != start):
+                continue
+            seen.add(index)
+            node = self.nodes.get(index)
+            if node is None:
+                continue
+            stack.extend(node.succ)
+            if index != start and node.exc is not None:
+                stack.append(node.exc)
+        return False
+
+
+class _Builder:
+    """Builds the graph; keeps handler/finally/loop context on stacks."""
+
+    def __init__(self) -> None:
+        self.cfg = FunctionCFG()
+        self._count = 0
+        #: Innermost-first exception targets (handler/finally entries).
+        self._exc: list[int] = []
+        #: Innermost-first ``finally`` entries (return/raise funnels).
+        self._finals: list[int] = []
+        #: Innermost-first (loop_header, loop_exit_placeholder) pairs.
+        self._loops: list[tuple[int, set[int]]] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def _new(
+        self, stmt: ast.stmt, parts: tuple[ast.AST, ...], header: bool
+    ) -> int:
+        index = self._count
+        self._count += 1
+        node = CFGNode(index=index, stmt=stmt, parts=parts, is_header=header)
+        if parts:
+            node.exc = self._exc[-1] if self._exc else EXIT
+        self.cfg.nodes[index] = node
+        return index
+
+    def _link(self, sources: set[int], target: int) -> None:
+        for source in sources:
+            if source != EXIT:
+                self.cfg.nodes[source].succ.add(target)
+
+    def _abrupt_target(self) -> int:
+        """Where ``return``/``raise`` transfer first."""
+        return self._finals[-1] if self._finals else EXIT
+
+    # -- statement dispatch ----------------------------------------------
+
+    def block(self, stmts: list[ast.stmt], entry: set[int]) -> set[int]:
+        """Wire *stmts* after *entry*; returns the block's exit frontier."""
+        frontier = entry
+        for stmt in stmts:
+            frontier = self.statement(stmt, frontier)
+            if not frontier:
+                break  # unreachable tail (after return/raise/…)
+        return frontier
+
+    def statement(self, stmt: ast.stmt, entry: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, entry)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, entry)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, entry)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, entry)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            parts: tuple[ast.AST, ...] = (stmt,)
+            index = self._new(stmt, parts, header=False)
+            self._link(entry, index)
+            self.cfg.nodes[index].succ.add(self._abrupt_target())
+            return set()
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            index = self._new(stmt, (stmt,), header=False)
+            self._link(entry, index)
+            if self._loops:
+                header, exits = self._loops[-1]
+                if isinstance(stmt, ast.Break):
+                    exits.add(index)
+                else:
+                    self.cfg.nodes[index].succ.add(header)
+            return set()
+        # Simple statements — and opaque nested defs/classes.
+        index = self._new(stmt, (stmt,), header=False)
+        self._link(entry, index)
+        return {index}
+
+    # -- compound statements ---------------------------------------------
+
+    def _if(self, stmt: ast.If, entry: set[int]) -> set[int]:
+        header = self._new(stmt, (stmt.test,), header=True)
+        self._link(entry, header)
+        then_exit = self.block(stmt.body, {header})
+        else_exit = self.block(stmt.orelse, {header}) if stmt.orelse else {header}
+        return then_exit | else_exit
+
+    def _loop(
+        self, stmt: ast.For | ast.AsyncFor | ast.While, entry: set[int]
+    ) -> set[int]:
+        if isinstance(stmt, ast.While):
+            parts: tuple[ast.AST, ...] = (stmt.test,)
+        else:
+            parts = (stmt.iter, stmt.target)
+        header = self._new(stmt, parts, header=True)
+        self._link(entry, header)
+        break_exits: set[int] = set()
+        self._loops.append((header, break_exits))
+        body_exit = self.block(stmt.body, {header})
+        self._loops.pop()
+        self._link(body_exit, header)
+        after: set[int] = {header} | break_exits
+        if stmt.orelse:
+            after = self.block(stmt.orelse, after)
+        return after
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, entry: set[int]) -> set[int]:
+        parts = tuple(item.context_expr for item in stmt.items) + tuple(
+            item.optional_vars
+            for item in stmt.items
+            if item.optional_vars is not None
+        )
+        header = self._new(stmt, parts, header=True)
+        self._link(entry, header)
+        return self.block(stmt.body, {header})
+
+    def _try(self, stmt: ast.Try, entry: set[int]) -> set[int]:
+        # Entries are created up front so body statements can point
+        # their exception edges at them; blocks are wired afterwards.
+        has_final = bool(stmt.finalbody)
+        final_entry: int | None = None
+        if has_final:
+            # Placeholder header representing "enter finally".
+            final_entry = self._new(stmt, (), header=True)
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            h_parts = (handler.type,) if handler.type else ()
+            entry_node = self._new(stmt, h_parts, header=True)
+            handler_entries.append(entry_node)
+
+        exc_target: int
+        if handler_entries:
+            exc_target = handler_entries[0]
+        elif final_entry is not None:
+            exc_target = final_entry
+        else:
+            exc_target = self._exc[-1] if self._exc else EXIT
+
+        self._exc.append(exc_target)
+        if final_entry is not None:
+            self._finals.append(final_entry)
+        body_exit = self.block(stmt.body, entry)
+        if stmt.orelse:
+            body_exit = self.block(stmt.orelse, body_exit)
+        self._exc.pop()
+
+        # An exception may match any handler (or none): chain entries.
+        for first, second in zip(handler_entries, handler_entries[1:]):
+            self.cfg.nodes[first].succ.add(second)
+        if handler_entries:
+            unmatched = (
+                final_entry
+                if final_entry is not None
+                else (self._exc[-1] if self._exc else EXIT)
+            )
+            self.cfg.nodes[handler_entries[-1]].succ.add(unmatched)
+
+        handler_exits: set[int] = set()
+        for handler, entry_node in zip(stmt.handlers, handler_entries):
+            # Handler bodies raise into the finally (or outward).
+            if final_entry is not None:
+                self._exc.append(final_entry)
+            handler_exits |= self.block(handler.body, {entry_node})
+            if final_entry is not None:
+                self._exc.pop()
+        if final_entry is not None:
+            self._finals.pop()
+
+        normal_exit = body_exit | handler_exits
+        if final_entry is None:
+            return normal_exit
+        self._link(normal_exit, final_entry)
+        final_exit = self.block(stmt.finalbody, {final_entry})
+        # The finally re-raises in-flight exceptions and propagates
+        # returns: its exit also reaches the enclosing target/EXIT.
+        for index in final_exit:
+            if index != EXIT:
+                self.cfg.nodes[index].succ.add(
+                    self._exc[-1] if self._exc else EXIT
+                )
+        return final_exit
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionCFG:
+    """The CFG of *func*'s body (nested defs stay opaque)."""
+    builder = _Builder()
+    frontier = builder.block(func.body, set())
+    # Fall-through exits the function.
+    for index in frontier:
+        if index != EXIT:
+            builder.cfg.nodes[index].succ.add(EXIT)
+    return builder.cfg

@@ -8,33 +8,65 @@ linter cannot know — see the individual modules for the rationale:
 * :mod:`.bound_soundness` — integer discipline in Equation (1)/(2)
   arithmetic;
 * :mod:`.api_hygiene` — ``__all__`` drift, mutable defaults, future
-  imports.
+  imports;
+* :mod:`.async_hygiene` — event-loop discipline in the serve plane;
+* :mod:`.resource_lifecycle` — acquires reach releases on all paths;
+* :mod:`.fork_safety` — worker processes vs. parent module state;
+* :mod:`.exception_safety` — the ResilienceError hierarchy is heard.
+
+The last four are *project-aware* (they override
+:meth:`~repro.analysis.base.Checker.check_project` and resolve names
+through the whole-program index); the first four are per-file.
 """
 
 from __future__ import annotations
 
 from ..base import Checker
 from .api_hygiene import ApiHygieneChecker
+from .async_hygiene import AsyncHygieneChecker
 from .bound_soundness import DEFAULT_BOUND_MODULES, BoundSoundnessChecker
+from .exception_safety import ExceptionSafetyChecker
+from .fork_safety import ForkSafetyChecker
 from .hot_path import DEFAULT_HOT_MODULES, HotPathChecker
 from .pruner_protocol import PrunerProtocolChecker
+from .resource_lifecycle import ResourceLifecycleChecker
 
 __all__ = [
     "ApiHygieneChecker",
+    "AsyncHygieneChecker",
     "BoundSoundnessChecker",
+    "ExceptionSafetyChecker",
+    "ForkSafetyChecker",
     "HotPathChecker",
     "PrunerProtocolChecker",
+    "ResourceLifecycleChecker",
     "DEFAULT_BOUND_MODULES",
     "DEFAULT_HOT_MODULES",
     "build_default_checkers",
 ]
 
 
-def build_default_checkers() -> list[Checker]:
-    """One fresh instance of every shipped checker, report order."""
+def build_default_checkers(
+    tiers: dict[str, tuple[str, ...]] | None = None,
+) -> list[Checker]:
+    """One fresh instance of every shipped checker, report order.
+
+    *tiers* overrides the path scope of individual checkers by name:
+    ``{"hot-path": ("core/ossm.py",)}`` narrows the hot-path tier to
+    one module; for the project-aware checkers (which default to the
+    whole tree) a tier narrows them to matching path suffixes. Checkers
+    absent from the mapping keep their defaults.
+    """
+    tiers = tiers or {}
     return [
         PrunerProtocolChecker(),
-        HotPathChecker(),
-        BoundSoundnessChecker(),
+        HotPathChecker(tiers.get("hot-path", DEFAULT_HOT_MODULES)),
+        BoundSoundnessChecker(
+            tiers.get("bound-soundness", DEFAULT_BOUND_MODULES)
+        ),
         ApiHygieneChecker(),
+        AsyncHygieneChecker(tiers.get("async-hygiene")),
+        ResourceLifecycleChecker(tiers.get("resource-lifecycle")),
+        ForkSafetyChecker(tiers.get("fork-safety")),
+        ExceptionSafetyChecker(tiers.get("exception-safety")),
     ]

@@ -1,0 +1,103 @@
+"""Exception-safety checker: the ResilienceError hierarchy must be heard.
+
+PR 5 introduced a typed failure vocabulary (:mod:`repro.resilience.errors`):
+``ResilienceError`` → ``IntegrityError`` → ``CorruptArtifact``,
+``CheckpointMismatch``, ``InjectedFault``, ``PoolFailure``. Every raise
+site in that hierarchy marks a condition the caller must *handle* —
+retry, fall back serially, surface to the operator — never ignore: a
+swallowed ``PoolFailure`` turns a dead pool into silently-wrong counts,
+and a swallowed ``CorruptArtifact`` promotes a bad checkpoint to truth.
+
+The rule flags ``except`` clauses that catch any class the project
+index places in the hierarchy (resolved through import aliases and
+closed over project-local subclassing) and whose body is *pure
+swallowing*: just ``pass``/``...``. Handlers that log, re-raise,
+fall back, or even set a flag all stay silent — the point is the
+do-nothing clause, which in this codebase is always a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker, FileContext, ProjectContext, Rule
+from ..findings import Finding
+
+__all__ = ["ExceptionSafetyChecker"]
+
+
+class ExceptionSafetyChecker(Checker):
+    """Flag except-and-pass over the typed resilience hierarchy."""
+
+    name = "exception-safety"
+    rules = (
+        Rule(
+            "except-swallow-resilience",
+            "ResilienceError subclass caught and silently dropped",
+        ),
+    )
+
+    def __init__(self, modules: tuple[str, ...] | None = None):
+        self.modules = modules
+
+    def applies_to(self, context: FileContext) -> bool:
+        return self.modules is None or context.matches_any(self.modules)
+
+    def check_project(
+        self, context: FileContext, project: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._caught_resilience(context, project, node)
+            if caught and _swallows(node.body):
+                findings.append(
+                    Finding(
+                        rule="except-swallow-resilience",
+                        path=context.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"'{caught}' is caught and silently dropped: "
+                            "the resilience hierarchy marks conditions "
+                            "that need handling (retry, serial fallback, "
+                            "surface) — act on it or let it propagate"
+                        ),
+                    )
+                )
+        return findings
+
+    def _caught_resilience(
+        self,
+        context: FileContext,
+        project: ProjectContext,
+        handler: ast.ExceptHandler,
+    ) -> str | None:
+        """The first hierarchy member this clause catches, if any."""
+        if handler.type is None:
+            return None
+        exprs = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for expr in exprs:
+            qualified = project.resolve_call(context.path, expr) or ""
+            name = qualified.rsplit(".", 1)[-1]
+            if name in project.resilience_errors:
+                return name
+        return None
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # `...` or a stray docstring — still nothing
+        return False
+    return True

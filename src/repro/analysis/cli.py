@@ -18,11 +18,14 @@ from .engine import (
     default_checkers,
     lint_paths,
     load_baseline,
+    prune_baseline,
+    save_fingerprints,
     select_checkers,
     write_baseline,
 )
+from .findings import Finding
 
-__all__ = ["add_lint_arguments", "run_lint"]
+__all__ = ["add_lint_arguments", "render_github", "run_lint"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -36,8 +39,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (default: text; 'github' emits workflow "
+        "commands that render as inline PR annotations)",
     )
     parser.add_argument(
         "--select", default=None, metavar="NAMES",
@@ -52,8 +56,32 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the current findings to --baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline fingerprints that no longer fire, rewrite "
+        "--baseline, and report the stale count",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print every rule id with its summary and exit",
+    )
+
+
+def render_github(finding: Finding) -> str:
+    """One GitHub Actions workflow command (`::error ...`) per finding.
+
+    Newlines in messages would terminate the command early; GitHub's
+    own escaping convention is %0A et al.
+    """
+    message = (
+        finding.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    level = "error" if finding.severity == "error" else "warning"
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"endLine={max(finding.line, finding.end_line)},"
+        f"col={finding.col + 1},title={finding.rule}::{message}"
     )
 
 
@@ -78,6 +106,9 @@ def run_lint(
     if args.write_baseline and not args.baseline:
         sink.write("error: --write-baseline requires --baseline PATH\n")
         return EXIT_USAGE
+    if getattr(args, "prune_baseline", False) and not args.baseline:
+        sink.write("error: --prune-baseline requires --baseline PATH\n")
+        return EXIT_USAGE
 
     result = lint_paths(list(args.paths), checkers=checkers)
 
@@ -86,6 +117,20 @@ def run_lint(
         sink.write(
             f"wrote baseline with {len(result.findings)} finding(s) "
             f"to {args.baseline}\n"
+        )
+        return EXIT_CLEAN
+
+    if getattr(args, "prune_baseline", False):
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            sink.write(f"error: {exc}\n")
+            return EXIT_USAGE
+        pruned, stale = prune_baseline(baseline, result.findings)
+        save_fingerprints(args.baseline, pruned)
+        sink.write(
+            f"pruned {stale} stale grandfathered finding(s); "
+            f"{sum(pruned.values())} remain in {args.baseline}\n"
         )
         return EXIT_CLEAN
 
@@ -101,6 +146,13 @@ def run_lint(
         import json
 
         sink.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    elif args.format == "github":
+        for finding in result.findings:
+            sink.write(render_github(finding) + "\n")
+        for error in result.errors:
+            sink.write(f"::error title=lint::{error}\n")
+        n = len(result.findings)
+        sink.write(f"{n} finding(s), {len(result.errors)} error(s)\n")
     else:
         for finding in result.findings:
             sink.write(finding.render() + "\n")

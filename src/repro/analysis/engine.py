@@ -1,18 +1,26 @@
-"""Lint engine: file collection, checker dispatch, pragmas, baselines.
+"""Lint engine: file collection, two-pass dispatch, pragmas, baselines.
 
-The engine is deliberately tiny: parse each ``.py`` file once, hand the
-tree to every applicable checker, then post-filter the findings through
-two escape hatches:
+The engine runs in two passes. Pass 1 parses every collected file and
+builds one :class:`~repro.analysis.base.ProjectContext` — the import
+graph, symbol table, coroutine classification, and acquires-resource
+annotations. Pass 2 hands each file plus that shared index to every
+applicable checker via :meth:`Checker.check_project`; per-file checkers
+never notice (their default ``check_project`` delegates to ``check``).
 
-* **pragmas** — a ``# lint: skip`` comment on the flagged line
-  suppresses every rule there; ``# lint: skip=rule-a,rule-b`` only the
-  named ones. Pragmas are for *justified* exceptions (the comment
-  should say why), not for making the gate pass.
+Findings then post-filter through two escape hatches:
+
+* **pragmas** — a ``# lint: skip`` comment anywhere on the flagged
+  statement's ``line..end_line`` range suppresses every rule there;
+  ``# lint: skip=rule-a,rule-b`` only the named ones. Pragmas are for
+  *justified* exceptions (the comment should say why), not for making
+  the gate pass.
 * **baseline** — a JSON file of finding fingerprints with counts
   (``repro lint --write-baseline``). Grandfathered findings are
   reported as suppressed, not failures, so the gate can be adopted on a
   tree with known debt and still reject *new* debt. Fingerprints ignore
   line numbers, so unrelated edits do not un-grandfather anything.
+  ``--prune-baseline`` re-lints and drops fingerprints that no longer
+  fire, so the grandfathered set shrinks monotonically.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .base import Checker, FileContext
+from .base import Checker, FileContext, ProjectContext
 from .findings import Finding, sort_findings
 
 __all__ = [
@@ -35,6 +43,8 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "prune_baseline",
+    "save_fingerprints",
     "select_checkers",
 ]
 
@@ -43,11 +53,17 @@ _PRAGMA = re.compile(r"#\s*lint:\s*skip(?:=(?P<rules>[\w\-,]+))?")
 BASELINE_VERSION = 1
 
 
-def default_checkers() -> list[Checker]:
-    """Fresh instances of every shipped checker."""
+def default_checkers(
+    tiers: dict[str, tuple[str, ...]] | None = None,
+) -> list[Checker]:
+    """Fresh instances of every shipped checker.
+
+    *tiers* optionally narrows path-scoped checkers: checker name →
+    module-suffix tuple (see ``build_default_checkers``).
+    """
     from .checkers import build_default_checkers
 
-    return build_default_checkers()
+    return build_default_checkers(tiers)
 
 
 def select_checkers(
@@ -104,15 +120,43 @@ class LintResult:
 
 
 def _pragma_suppressed(finding: Finding, lines: list[str]) -> bool:
-    if not 1 <= finding.line <= len(lines):
-        return False
-    match = _PRAGMA.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    rules = match.group("rules")
-    if rules is None:
-        return True
-    return finding.rule in {token.strip() for token in rules.split(",")}
+    """A pragma anywhere on the flagged statement's line range counts.
+
+    Multi-line calls and decorated defs span several physical lines;
+    checkers record the span as ``line..end_line`` so the pragma can sit
+    wherever reads best (typically the closing line).
+    """
+    last = max(finding.line, finding.end_line)
+    for lineno in range(finding.line, last + 1):
+        if not 1 <= lineno <= len(lines):
+            continue
+        match = _PRAGMA.search(lines[lineno - 1])
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            return True
+        if finding.rule in {token.strip() for token in rules.split(",")}:
+            return True
+    return False
+
+
+def _lint_context(
+    context: FileContext,
+    checkers: list[Checker],
+    project: ProjectContext,
+    result: LintResult,
+) -> None:
+    """Pass 2 for one file: dispatch checkers, apply pragmas."""
+    collected: list[Finding] = []
+    for checker in checkers:
+        if checker.applies_to(context):
+            collected.extend(checker.check_project(context, project))
+    for finding in sort_findings(collected):
+        if _pragma_suppressed(finding, context.lines):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
 
 
 def lint_source(
@@ -120,7 +164,12 @@ def lint_source(
     path: str = "<string>",
     checkers: list[Checker] | None = None,
 ) -> LintResult:
-    """Lint one module given as text (the unit-test entry point)."""
+    """Lint one module given as text (the unit-test entry point).
+
+    The project index is built from this one file, so cross-file
+    resolution degrades gracefully: locally-defined coroutines and
+    acquires still resolve, external names stay unresolved.
+    """
     result = LintResult()
     if checkers is None:
         checkers = default_checkers()
@@ -130,15 +179,7 @@ def lint_source(
         result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
         return result
     context = FileContext(path=path, source=source, tree=tree)
-    collected: list[Finding] = []
-    for checker in checkers:
-        if checker.applies_to(context):
-            collected.extend(checker.check(context))
-    for finding in sort_findings(collected):
-        if _pragma_suppressed(finding, context.lines):
-            result.suppressed.append(finding)
-        else:
-            result.findings.append(finding)
+    _lint_context(context, checkers, ProjectContext.single(context), result)
     return result
 
 
@@ -166,7 +207,12 @@ def lint_paths(
     paths: list[str | Path],
     checkers: list[Checker] | None = None,
 ) -> LintResult:
-    """Lint every ``.py`` file under *paths*; aggregate one result."""
+    """Lint every ``.py`` file under *paths*; aggregate one result.
+
+    Pass 1 parses everything and builds the shared project index; files
+    that fail to parse are reported as errors and excluded from the
+    index (their absence degrades resolution, never crashes it).
+    """
     if checkers is None:
         checkers = default_checkers()
     result = LintResult()
@@ -175,18 +221,27 @@ def lint_paths(
     except FileNotFoundError as exc:
         result.errors.append(str(exc))
         return result
+
+    contexts: dict[str, FileContext] = {}
     for file in files:
+        posix = file.as_posix()
         try:
             source = file.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             result.errors.append(f"{file}: unreadable: {exc}")
             continue
-        per_file = lint_source(
-            source, path=file.as_posix(), checkers=checkers
-        )
-        result.findings.extend(per_file.findings)
-        result.suppressed.extend(per_file.suppressed)
-        result.errors.extend(per_file.errors)
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            result.errors.append(
+                f"{posix}: syntax error: {exc.msg} (line {exc.lineno})"
+            )
+            continue
+        contexts[posix] = FileContext(path=posix, source=source, tree=tree)
+
+    project = ProjectContext(contexts)
+    for posix in sorted(contexts):
+        _lint_context(contexts[posix], checkers, project, result)
     result.findings = sort_findings(result.findings)
     result.suppressed = sort_findings(result.suppressed)
     return result
@@ -209,13 +264,10 @@ def load_baseline(path: str | Path) -> dict[str, int]:
     return {str(fp): int(count) for fp, count in fingerprints.items()}
 
 
-def write_baseline(path: str | Path, findings: list[Finding]) -> None:
-    """Persist *findings* as the grandfathered set."""
-    fingerprints: dict[str, int] = {}
-    for finding in findings:
-        fingerprints[finding.fingerprint] = (
-            fingerprints.get(finding.fingerprint, 0) + 1
-        )
+def save_fingerprints(
+    path: str | Path, fingerprints: dict[str, int]
+) -> None:
+    """Persist a fingerprint→count map in the baseline file format."""
     payload = {
         "version": BASELINE_VERSION,
         "fingerprints": dict(sorted(fingerprints.items())),
@@ -223,6 +275,16 @@ def write_baseline(path: str | Path, findings: list[Finding]) -> None:
     Path(path).write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Persist *findings* as the grandfathered set."""
+    fingerprints: dict[str, int] = {}
+    for finding in findings:
+        fingerprints[finding.fingerprint] = (
+            fingerprints.get(finding.fingerprint, 0) + 1
+        )
+    save_fingerprints(path, fingerprints)
 
 
 def apply_baseline(
@@ -241,3 +303,27 @@ def apply_baseline(
     result.findings = kept
     result.suppressed = sort_findings(result.suppressed)
     return result
+
+
+def prune_baseline(
+    baseline: dict[str, int], findings: list[Finding]
+) -> tuple[dict[str, int], int]:
+    """Drop grandfathered fingerprints that no longer fire.
+
+    *findings* must be the raw (pre-baseline) findings of a fresh run.
+    Each surviving fingerprint's allowance is capped at the number of
+    times it actually still fires, so partially-fixed debt shrinks too.
+    Returns ``(pruned_map, stale_count)`` where *stale_count* is how
+    many grandfathered occurrences were dropped.
+    """
+    live: dict[str, int] = {}
+    for finding in findings:
+        live[finding.fingerprint] = live.get(finding.fingerprint, 0) + 1
+    pruned: dict[str, int] = {}
+    stale = 0
+    for fingerprint, allowance in baseline.items():
+        kept = min(allowance, live.get(fingerprint, 0))
+        if kept:
+            pruned[fingerprint] = kept
+        stale += allowance - kept
+    return pruned, stale

@@ -30,10 +30,16 @@ class Finding:
     col: int
     message: str
     severity: Severity = field(default="error")
+    #: Last line of the flagged statement (pragma scanning covers the
+    #: whole ``line..end_line`` range, so a ``# lint: skip`` on the
+    #: closing paren of a multi-line call works). Defaults to ``line``.
+    end_line: int = field(default=0)
 
     def __post_init__(self) -> None:
         if self.severity not in _SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     @property
     def fingerprint(self) -> str:
@@ -53,6 +59,7 @@ class Finding:
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
+            "end_line": self.end_line,
             "col": self.col,
             "message": self.message,
             "severity": self.severity,

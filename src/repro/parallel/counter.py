@@ -229,13 +229,16 @@ class ParallelCounter(SupportCounter):
         plan, pool = self._bind(database)
         ordered = list(counts)
         table = np.asarray(ordered, dtype=np.int64)
-        segment = publish_int64(table)
-        payloads = [
-            (index, self.engine, segment.name, len(ordered), k)
-            for index in range(plan.n_shards)
-        ]
         start = time.perf_counter()
+        segment = publish_int64(table)
         try:
+            # Built inside the try: any failure after the segment
+            # exists — even in this comprehension — must reach the
+            # finally that unlinks it.
+            payloads = [
+                (index, self.engine, segment.name, len(ordered), k)
+                for index in range(plan.n_shards)
+            ]
             with trace(
                 "parallel.count",
                 shards=plan.n_shards,

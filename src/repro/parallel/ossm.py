@@ -158,15 +158,17 @@ def parallel_upper_bounds(
     chunk_cuts = [
         index * n_candidates // n_chunks for index in range(n_chunks + 1)
     ]
-    segment = publish_int64(candidates)
     k = int(candidates.shape[1])
-    payloads = [
-        (index, segment.name, n_candidates, k, lo, hi)
-        for index, (lo, hi) in enumerate(zip(chunk_cuts, chunk_cuts[1:]))
-    ]
     start = time.perf_counter()
     owned = pool is None
+    segment = publish_int64(candidates)
     try:
+        # Built inside the try: once the segment exists, every failure
+        # path must reach the finally that unlinks it.
+        payloads = [
+            (index, segment.name, n_candidates, k, lo, hi)
+            for index, (lo, hi) in enumerate(zip(chunk_cuts, chunk_cuts[1:]))
+        ]
         with trace(
             "parallel.bounds",
             chunks=n_chunks,

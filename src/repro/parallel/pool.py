@@ -257,8 +257,15 @@ def publish_int64(array: np.ndarray) -> shared_memory.SharedMemory:
     if array.size == 0:
         raise ValueError("refusing to share an empty array")
     segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
-    view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
-    view[:] = array
+    try:
+        view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+        view[:] = array
+    except BaseException:
+        # The segment exists in the OS namespace the moment it is
+        # created; a failed copy must not strand it there.
+        segment.close()
+        segment.unlink()
+        raise
     return segment
 
 
@@ -272,7 +279,13 @@ def attach_int64(
     copying what it needs out of the view.
     """
     segment = shared_memory.SharedMemory(name=name)
-    view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+    try:
+        view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+    except BaseException:
+        # close() only this worker's mapping — the parent owns the
+        # segment and will unlink it.
+        segment.close()
+        raise
     return view, segment
 
 

@@ -1,0 +1,36 @@
+"""Resource leaks the resource-lifecycle checker must catch."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool, plain_pool
+
+
+def publish(array):
+    """The copy into the fresh segment can raise — segment stranded."""
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+    view[:] = array
+    return segment
+
+
+def count_batch(work, payloads):
+    """Happy-path-only close: pool.run raising skips pool.close()."""
+    pool = WorkerPool(2)
+    results = pool.run(work, payloads)
+    pool.close()
+    return results
+
+
+def probe(array):
+    """Acquired and dropped on the floor: nothing can release it."""
+    shared_memory.SharedMemory(create=True, size=array.nbytes)
+    return array.nbytes
+
+
+def forgotten_pool(workers):
+    """Context-manager factory called but never entered."""
+    plain_pool(workers)

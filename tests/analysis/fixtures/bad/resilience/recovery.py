@@ -1,0 +1,25 @@
+"""Swallowed resilience errors the exception-safety checker must catch."""
+
+from __future__ import annotations
+
+from repro.resilience.errors import CorruptArtifact, PoolFailure
+
+
+def load_counts(path, reader):
+    """Integrity failure silently dropped: a bad artifact becomes None."""
+    try:
+        return reader(path)
+    except CorruptArtifact:
+        pass
+    return None
+
+
+def drain(pool, tasks):
+    """Tuple catch incl. PoolFailure, body is a bare ellipsis."""
+    results = []
+    for task in tasks:
+        try:
+            results.append(pool.run(task))
+        except (PoolFailure, OSError):
+            ...
+    return results

@@ -1,0 +1,37 @@
+"""Event-loop violations the async-hygiene checker must catch."""
+
+from __future__ import annotations
+
+import asyncio
+import subprocess
+import time
+
+
+async def refresh_epoch(service):
+    """Three blocking calls inside a coroutine."""
+    time.sleep(0.5)
+    with open("/tmp/epoch") as handle:
+        payload = handle.read()
+    subprocess.run(["sync"], check=False)
+    return payload
+
+
+async def harvest(future):
+    """Blocking Future.result() instead of awaiting."""
+    return future.result()
+
+
+async def query_once(service, item):
+    return await service.query(item)
+
+
+async def fan_out(service, items):
+    """Coroutine called but never awaited; task reference dropped."""
+    for item in items:
+        query_once(service, item)
+    asyncio.create_task(service.drain())
+
+
+async def bounded_wait(task):
+    """wait_for cancels the shared task on timeout — no shield."""
+    return await asyncio.wait_for(task, timeout=1.0)

@@ -1,0 +1,47 @@
+"""Known-good resource lifecycles: the compliant rewrites."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool, plain_pool
+
+
+def publish(array):
+    """Failure between acquire and return reaches a cleanup handler."""
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    try:
+        view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+        view[:] = array
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return segment
+
+
+def count_batch(work, payloads):
+    """try/finally covers every exit, exceptional ones included."""
+    pool = WorkerPool(2)
+    try:
+        return pool.run(work, payloads)
+    finally:
+        pool.close()
+
+
+def probe(array):
+    """Bound and released instead of dropped."""
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    try:
+        return segment.size
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def entered_pool(work, payloads, workers):
+    """Context-manager factory actually entered."""
+    with plain_pool(workers) as pool:
+        return pool.run(work, payloads)

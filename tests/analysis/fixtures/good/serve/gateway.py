@@ -1,0 +1,42 @@
+"""Known-good event-loop discipline: the compliant rewrites."""
+
+from __future__ import annotations
+
+import asyncio
+import subprocess
+
+
+def _read_epoch():
+    with open("/tmp/epoch") as handle:
+        return handle.read()
+
+
+async def refresh_epoch(service):
+    """Blocking work pushed off the loop."""
+    await asyncio.sleep(0.5)
+    payload = await asyncio.to_thread(_read_epoch)
+    await asyncio.to_thread(subprocess.run, ["sync"])
+    return payload
+
+
+async def harvest(future):
+    """Await the wrapped future instead of blocking on result()."""
+    return await asyncio.wrap_future(future)
+
+
+async def query_once(service, item):
+    return await service.query(item)
+
+
+async def fan_out(service, items, tasks):
+    """Coroutines awaited; background task reference retained."""
+    for item in items:
+        await query_once(service, item)
+    task = asyncio.create_task(service.drain())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+
+
+async def bounded_wait(task):
+    """shield() keeps a timeout from cancelling shared work."""
+    return await asyncio.wait_for(asyncio.shield(task), timeout=1.0)

@@ -1,0 +1,165 @@
+"""The async-hygiene checker: blocking calls, dropped coroutines/tasks."""
+
+from __future__ import annotations
+
+from repro.analysis import AsyncHygieneChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, rules_of
+
+CHECKERS = [AsyncHygieneChecker()]
+
+
+def lint(source: str, path: str = "repro/serve/gateway.py"):
+    return lint_source(source, path=path, checkers=CHECKERS)
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths(
+            [FIXTURES / "bad" / "serve" / "gateway.py"], CHECKERS
+        )
+        assert rules_of(result) == {
+            "async-blocking-call",
+            "async-unawaited-coroutine",
+            "async-dropped-task",
+            "async-unshielded-wait-for",
+        }
+        blocking = [
+            f for f in result.findings if f.rule == "async-blocking-call"
+        ]
+        # time.sleep, open, subprocess.run, future.result()
+        assert len(blocking) == 4
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths(
+            [FIXTURES / "good" / "serve" / "gateway.py"], CHECKERS
+        )
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_coroutine(self):
+        source = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)\n"
+        )
+        assert rules_of(lint(source)) == {"async-blocking-call"}
+
+    def test_renamed_import_still_resolves(self):
+        source = (
+            "from time import sleep as snooze\n"
+            "async def f():\n"
+            "    snooze(1)\n"
+        )
+        assert rules_of(lint(source)) == {"async-blocking-call"}
+
+    def test_sync_function_is_exempt(self):
+        source = "import time\ndef f():\n    time.sleep(1)\n"
+        assert not lint(source).failed
+
+    def test_asyncio_sleep_is_fine(self):
+        source = (
+            "import asyncio\n"
+            "async def f():\n"
+            "    await asyncio.sleep(1)\n"
+        )
+        assert not lint(source).failed
+
+    def test_zero_arg_result_is_blocking(self):
+        source = "async def f(future):\n    return future.result()\n"
+        assert rules_of(lint(source)) == {"async-blocking-call"}
+
+    def test_result_with_args_is_not_future_result(self):
+        # e.g. a regex Match-like .result(default) — not concurrent.futures
+        source = "async def f(match):\n    return match.result(1)\n"
+        assert not lint(source).failed
+
+
+class TestUnawaitedCoroutines:
+    def test_local_coroutine_called_as_statement(self):
+        source = (
+            "async def fetch():\n"
+            "    return 1\n"
+            "async def go():\n"
+            "    fetch()\n"
+        )
+        assert rules_of(lint(source)) == {"async-unawaited-coroutine"}
+
+    def test_awaited_call_is_fine(self):
+        source = (
+            "async def fetch():\n"
+            "    return 1\n"
+            "async def go():\n"
+            "    await fetch()\n"
+        )
+        assert not lint(source).failed
+
+    def test_self_method_resolves(self):
+        source = (
+            "class S:\n"
+            "    async def ping(self):\n"
+            "        return 1\n"
+            "    async def go(self):\n"
+            "        self.ping()\n"
+        )
+        assert rules_of(lint(source)) == {"async-unawaited-coroutine"}
+
+    def test_assigned_coroutine_is_not_flagged(self):
+        # Held for a later await/gather: not a statement-level drop.
+        source = (
+            "import asyncio\n"
+            "async def fetch():\n"
+            "    return 1\n"
+            "async def go():\n"
+            "    coros = [fetch() for _ in range(3)]\n"
+            "    return await asyncio.gather(*coros)\n"
+        )
+        assert not lint(source).failed
+
+
+class TestTasks:
+    def test_dropped_create_task(self):
+        source = (
+            "import asyncio\n"
+            "async def go(worker):\n"
+            "    asyncio.create_task(worker())\n"
+        )
+        assert rules_of(lint(source)) == {"async-dropped-task"}
+
+    def test_retained_task_is_fine(self):
+        source = (
+            "import asyncio\n"
+            "async def go(worker, tasks):\n"
+            "    task = asyncio.create_task(worker())\n"
+            "    tasks.add(task)\n"
+            "    task.add_done_callback(tasks.discard)\n"
+        )
+        assert not lint(source).failed
+
+    def test_unshielded_wait_for_on_shared_task(self):
+        source = (
+            "import asyncio\n"
+            "async def go(task):\n"
+            "    return await asyncio.wait_for(task, timeout=1.0)\n"
+        )
+        assert rules_of(lint(source)) == {"async-unshielded-wait-for"}
+
+    def test_shielded_wait_for_is_fine(self):
+        source = (
+            "import asyncio\n"
+            "async def go(task):\n"
+            "    return await asyncio.wait_for(\n"
+            "        asyncio.shield(task), timeout=1.0\n"
+            "    )\n"
+        )
+        assert not lint(source).failed
+
+    def test_wait_for_on_fresh_coroutine_is_fine(self):
+        # A fresh coroutine belongs to wait_for: cancellation is safe.
+        source = (
+            "import asyncio\n"
+            "async def go(service):\n"
+            "    return await asyncio.wait_for(service.query(), timeout=1.0)\n"
+        )
+        assert not lint(source).failed

@@ -1,0 +1,152 @@
+"""The lifecycle CFG: exception edges, finally funnels, reachability."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import EXIT, build_cfg
+
+
+def cfg_of(source: str):
+    """Build the CFG of the first function in *source*."""
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return func, build_cfg(func)
+
+
+def node_for(func, cfg, needle: str) -> int:
+    """The node id of the statement whose source contains *needle*."""
+    for node in cfg.nodes.values():
+        text = ast.unparse(node.stmt).splitlines()[0]
+        if needle in text and not node.is_header:
+            return node.index
+    raise AssertionError(f"no simple-statement node matching {needle!r}")
+
+
+class TestStraightLine:
+    def test_fallthrough_reaches_exit(self):
+        func, cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        start = node_for(func, cfg, "a = 1")
+        assert cfg.reaches_exit(start, stops=set())
+
+    def test_stop_on_the_only_path_blocks_exit(self):
+        func, cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        start = node_for(func, cfg, "a = 1")
+        stop = node_for(func, cfg, "b = 2")
+        # Normal flow is blocked, but b = 2 could itself raise… except
+        # reaches_exit exempts only the *start* node's exception edge,
+        # and the stop node is never traversed at all.
+        assert not cfg.reaches_exit(start, stops={stop})
+
+    def test_exception_edge_of_downstream_statement_escapes(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    gap = build()\n"
+            "    try:\n"
+            "        use(a)\n"
+            "    finally:\n"
+            "        a.close()\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        release = node_for(func, cfg, "a.close()")
+        # `gap = build()` can raise before the try is entered: EXIT is
+        # reachable without passing the release.
+        assert cfg.reaches_exit(start, stops={release})
+
+    def test_try_immediately_after_acquire_is_covered(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    try:\n"
+            "        gap = build()\n"
+            "        use(a)\n"
+            "    finally:\n"
+            "        a.close()\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        release = node_for(func, cfg, "a.close()")
+        assert not cfg.reaches_exit(start, stops={release})
+
+
+class TestTryShapes:
+    def test_return_inside_try_funnels_through_finally(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    try:\n"
+            "        return use(a)\n"
+            "    finally:\n"
+            "        a.close()\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        release = node_for(func, cfg, "a.close()")
+        assert not cfg.reaches_exit(start, stops={release})
+
+    def test_handler_swallow_then_fallthrough(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    try:\n"
+            "        use(a)\n"
+            "    except ValueError:\n"
+            "        log()\n"
+            "    done()\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        # Handler swallows and falls through: exit reachable, and no
+        # release anywhere to stop it.
+        assert cfg.reaches_exit(start, stops=set())
+
+    def test_release_only_in_handler_misses_normal_path(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    try:\n"
+            "        use(a)\n"
+            "    except ValueError:\n"
+            "        a.close()\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        release = node_for(func, cfg, "a.close()")
+        # The success path never runs the handler: EXIT still reachable.
+        assert cfg.reaches_exit(start, stops={release})
+
+
+class TestLoops:
+    def test_break_flows_to_after_the_loop(self):
+        source = (
+            "def f(items):\n"
+            "    found = None\n"
+            "    for item in items:\n"
+            "        if item:\n"
+            "            break\n"
+            "    return found\n"
+        )
+        func, cfg = cfg_of(source)
+        brk = node_for(func, cfg, "break")
+        ret = node_for(func, cfg, "return found")
+        assert ret in cfg.nodes[brk].succ
+        assert cfg.reaches_exit(node_for(func, cfg, "found = None"), set())
+
+    def test_while_true_with_return_only_exit(self):
+        source = (
+            "def f():\n"
+            "    a = acquire()\n"
+            "    while True:\n"
+            "        if done():\n"
+            "            a.close()\n"
+            "            return\n"
+        )
+        func, cfg = cfg_of(source)
+        start = node_for(func, cfg, "a = acquire()")
+        release = node_for(func, cfg, "a.close()")
+        # done() (evaluated at the if header) can raise → EXIT without
+        # the release.
+        assert cfg.reaches_exit(start, stops={release})

@@ -15,6 +15,10 @@ BAD_FIXTURES = [
     FIXTURES / "bad" / "mining" / "counting.py",
     FIXTURES / "bad" / "core" / "ossm.py",
     FIXTURES / "bad" / "api.py",
+    FIXTURES / "bad" / "serve" / "gateway.py",
+    FIXTURES / "bad" / "parallel" / "transport.py",
+    FIXTURES / "bad" / "parallel" / "workers.py",
+    FIXTURES / "bad" / "resilience" / "recovery.py",
 ]
 
 
@@ -54,6 +58,27 @@ class TestFormats:
         out = capsys.readouterr().out
         assert "[api-mutable-default]" in out
 
+    def test_github_output_emits_workflow_commands(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad" / "api.py"),
+                     "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("::")]
+        assert lines
+        first = lines[0]
+        assert first.startswith("::error file=")
+        assert ",line=" in first and ",endLine=" in first
+        assert any("title=api-mutable-default" in line for line in lines)
+
+    def test_github_output_escapes_newlines(self, capsys):
+        # No multi-line workflow commands: messages are %0A-escaped, so
+        # every finding stays on one ::error line.
+        main(["lint", str(FIXTURES / "bad"), "--format", "github"])
+        out = capsys.readouterr().out
+        body = [line for line in out.splitlines() if line.strip()]
+        annotations = [line for line in body if line.startswith("::")]
+        # Everything except the trailing summary line is an annotation.
+        assert len(annotations) >= len(body) - 1
+
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -87,3 +112,28 @@ class TestBaseline:
         baseline.write_text('{"version": 99}')
         code = main(["lint", str(SRC), "--baseline", str(baseline)])
         assert code == 2
+
+
+class TestPruneBaseline:
+    def test_prune_drops_stale_fingerprints(self, tmp_path, capsys):
+        # Grandfather two defects, fix one, prune: the stale entry goes.
+        target = tmp_path / "api.py"
+        target.write_text(
+            "def f(x=[]):\n    return x\n\ndef g(y={}):\n    return y\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        target.write_text("def f(x=[]):\n    return x\n")
+        capsys.readouterr()
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale" in out
+        assert "1 remain" in out
+        # The pruned baseline still grandfathers the surviving defect.
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+
+    def test_prune_requires_baseline_path(self, capsys):
+        assert main(["lint", str(SRC), "--prune-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().out

@@ -6,11 +6,13 @@ import pytest
 
 from repro.analysis import (
     ApiHygieneChecker,
+    AsyncHygieneChecker,
     apply_baseline,
     default_checkers,
     lint_paths,
     lint_source,
     load_baseline,
+    prune_baseline,
     select_checkers,
     write_baseline,
 )
@@ -40,6 +42,51 @@ class TestLintSource:
         result = lint_source("def broken(:\n")
         assert result.failed
         assert result.errors and "syntax error" in result.errors[0]
+
+
+class TestPragmaPlacement:
+    def test_pragma_on_decorated_def_line(self):
+        # The finding anchors at the `def`, not the decorator: the
+        # pragma must work where the finding points.
+        source = (
+            "@memoize\n"
+            "def f(x=[]):  # lint: skip=api-mutable-default\n"
+            "    return x\n"
+        )
+        result = lint_source(source, checkers=[ApiHygieneChecker()])
+        assert not result.failed
+        assert [f.rule for f in result.suppressed] == ["api-mutable-default"]
+
+    def test_pragma_on_multiline_statement_tail(self):
+        # The call spans four lines; the pragma sits on the closing
+        # paren, matched through the finding's end_line.
+        source = (
+            "async def fetch(a, b):\n"
+            "    return a + b\n"
+            "async def go():\n"
+            "    fetch(\n"
+            "        1,\n"
+            "        2,\n"
+            "    )  # lint: skip=async-unawaited-coroutine\n"
+        )
+        result = lint_source(source, checkers=[AsyncHygieneChecker()])
+        assert not result.failed
+        assert [f.rule for f in result.suppressed] == [
+            "async-unawaited-coroutine"
+        ]
+
+    def test_unrelated_trailing_comment_does_not_suppress(self):
+        source = (
+            "async def fetch(a, b):\n"
+            "    return a + b\n"
+            "async def go():\n"
+            "    fetch(\n"
+            "        1,\n"
+            "        2,\n"
+            "    )  # fire-and-forget\n"
+        )
+        result = lint_source(source, checkers=[AsyncHygieneChecker()])
+        assert result.failed
 
 
 class TestSelectCheckers:
@@ -121,3 +168,40 @@ class TestBaseline:
         bad.write_text('{"version": 99}')
         with pytest.raises(ValueError, match="unsupported version"):
             load_baseline(bad)
+
+
+class TestPruneBaseline:
+    def test_fixed_fingerprints_are_dropped(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(MUTABLE_DEFAULT + "\ndef g(y={}):\n    return y\n")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_file,
+            lint_paths([target], checkers=[ApiHygieneChecker()]).findings,
+        )
+        # One of the two grandfathered defects gets fixed.
+        target.write_text(MUTABLE_DEFAULT)
+        fresh = lint_paths([target], checkers=[ApiHygieneChecker()])
+        pruned, stale = prune_baseline(
+            load_baseline(baseline_file), fresh.findings
+        )
+        assert stale == 1
+        assert sum(pruned.values()) == 1
+
+    def test_partially_fixed_allowance_shrinks(self):
+        source = "def f(x=[]):\n    return x\n"
+        finding = lint_source(
+            source, path="m.py", checkers=[ApiHygieneChecker()]
+        ).findings[0]
+        # Two grandfathered occurrences, only one still fires.
+        pruned, stale = prune_baseline({finding.fingerprint: 2}, [finding])
+        assert pruned == {finding.fingerprint: 1}
+        assert stale == 1
+
+    def test_live_findings_keep_their_allowance(self):
+        finding = lint_source(
+            MUTABLE_DEFAULT, path="m.py", checkers=[ApiHygieneChecker()]
+        ).findings[0]
+        pruned, stale = prune_baseline({finding.fingerprint: 1}, [finding])
+        assert pruned == {finding.fingerprint: 1}
+        assert stale == 0

@@ -1,0 +1,103 @@
+"""The exception-safety checker: swallowed resilience errors."""
+
+from __future__ import annotations
+
+from repro.analysis import ExceptionSafetyChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, rules_of
+
+CHECKERS = [ExceptionSafetyChecker()]
+
+
+def lint(source: str, path: str = "repro/resilience/recovery.py"):
+    return lint_source(source, path=path, checkers=CHECKERS)
+
+
+class TestFixtures:
+    def test_bad_fixture_fires_per_swallow(self):
+        result = lint_paths(
+            [FIXTURES / "bad" / "resilience" / "recovery.py"], CHECKERS
+        )
+        assert rules_of(result) == {"except-swallow-resilience"}
+        assert len(result.findings) == 2
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths(
+            [FIXTURES / "good" / "resilience" / "recovery.py"], CHECKERS
+        )
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestSwallows:
+    def test_pass_body_swallows(self):
+        source = (
+            "def f(reader, path):\n"
+            "    try:\n"
+            "        return reader(path)\n"
+            "    except CorruptArtifact:\n"
+            "        pass\n"
+        )
+        assert rules_of(lint(source)) == {"except-swallow-resilience"}
+
+    def test_ellipsis_body_swallows(self):
+        source = (
+            "def f(pool, task):\n"
+            "    try:\n"
+            "        return pool.run(task)\n"
+            "    except PoolFailure:\n"
+            "        ...\n"
+        )
+        assert rules_of(lint(source)) == {"except-swallow-resilience"}
+
+    def test_tuple_catch_including_resilience_error(self):
+        source = (
+            "def f(pool, task):\n"
+            "    try:\n"
+            "        return pool.run(task)\n"
+            "    except (PoolFailure, OSError):\n"
+            "        pass\n"
+        )
+        assert rules_of(lint(source)) == {"except-swallow-resilience"}
+
+    def test_logging_handler_is_fine(self):
+        source = (
+            "def f(reader, path, logger):\n"
+            "    try:\n"
+            "        return reader(path)\n"
+            "    except CorruptArtifact as exc:\n"
+            "        logger.warning('rejected: %s', exc)\n"
+            "        return None\n"
+        )
+        assert not lint(source).failed
+
+    def test_fallback_handler_is_fine(self):
+        source = (
+            "def f(pool, task, fallback):\n"
+            "    try:\n"
+            "        return pool.run(task)\n"
+            "    except PoolFailure:\n"
+            "        return fallback(task)\n"
+        )
+        assert not lint(source).failed
+
+    def test_unrelated_exception_swallow_is_out_of_scope(self):
+        source = (
+            "def f(mapping, key):\n"
+            "    try:\n"
+            "        return mapping[key]\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+        assert not lint(source).failed
+
+    def test_local_subclass_is_covered(self):
+        source = (
+            "class ShardError(PoolFailure):\n"
+            "    pass\n"
+            "def f(pool, task):\n"
+            "    try:\n"
+            "        return pool.run(task)\n"
+            "    except ShardError:\n"
+            "        pass\n"
+        )
+        assert rules_of(lint(source)) == {"except-swallow-resilience"}

@@ -1,0 +1,177 @@
+"""The resource-lifecycle checker: CFG-backed leak detection."""
+
+from __future__ import annotations
+
+from repro.analysis import ResourceLifecycleChecker, lint_paths, lint_source
+
+from .conftest import FIXTURES, rules_of
+
+CHECKERS = [ResourceLifecycleChecker()]
+
+
+def lint(source: str, path: str = "repro/parallel/transport.py"):
+    return lint_source(source, path=path, checkers=CHECKERS)
+
+
+POOL_IMPORT = "from repro.parallel.pool import WorkerPool, plain_pool\n"
+SHM_IMPORT = "from multiprocessing import shared_memory\n"
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        result = lint_paths(
+            [FIXTURES / "bad" / "parallel" / "transport.py"], CHECKERS
+        )
+        assert rules_of(result) == {
+            "resource-leak",
+            "resource-dropped",
+            "resource-cm-only",
+        }
+        leaks = [f for f in result.findings if f.rule == "resource-leak"]
+        assert len(leaks) == 2  # publish() gap + count_batch happy path
+
+    def test_good_fixture_is_clean(self):
+        result = lint_paths(
+            [FIXTURES / "good" / "parallel" / "transport.py"], CHECKERS
+        )
+        assert not result.failed, [f.render() for f in result.findings]
+
+
+class TestLeakPaths:
+    def test_statement_between_acquire_and_try_leaks(self):
+        source = POOL_IMPORT + (
+            "def f(work, payloads):\n"
+            "    pool = WorkerPool(2)\n"
+            "    batches = list(payloads)\n"
+            "    try:\n"
+            "        return pool.run(work, batches)\n"
+            "    finally:\n"
+            "        pool.close()\n"
+        )
+        assert rules_of(lint(source)) == {"resource-leak"}
+
+    def test_immediate_try_finally_is_clean(self):
+        source = POOL_IMPORT + (
+            "def f(work, payloads):\n"
+            "    pool = WorkerPool(2)\n"
+            "    try:\n"
+            "        batches = list(payloads)\n"
+            "        return pool.run(work, batches)\n"
+            "    finally:\n"
+            "        pool.close()\n"
+        )
+        assert not lint(source).failed
+
+    def test_happy_path_only_close_leaks(self):
+        source = POOL_IMPORT + (
+            "def f(work, payloads):\n"
+            "    pool = WorkerPool(2)\n"
+            "    results = pool.run(work, payloads)\n"
+            "    pool.close()\n"
+            "    return results\n"
+        )
+        assert rules_of(lint(source)) == {"resource-leak"}
+
+    def test_conditional_release_header_is_trusted(self):
+        source = POOL_IMPORT + (
+            "def f(pool2, owned):\n"
+            "    pool = WorkerPool(2)\n"
+            "    try:\n"
+            "        return pool.run(len, [])\n"
+            "    finally:\n"
+            "        if owned:\n"
+            "            pool.close()\n"
+        )
+        assert not lint(source).failed
+
+    def test_either_release_method_settles(self):
+        # WorkerPool releases via close() OR kill().
+        source = POOL_IMPORT + (
+            "def f(work, payloads):\n"
+            "    pool = WorkerPool(2)\n"
+            "    try:\n"
+            "        return pool.run(work, payloads)\n"
+            "    finally:\n"
+            "        pool.kill()\n"
+        )
+        assert not lint(source).failed
+
+
+class TestExemptions:
+    def test_with_statement_is_exempt(self):
+        source = POOL_IMPORT + (
+            "def f(work, payloads):\n"
+            "    with WorkerPool(2) as pool:\n"
+            "        return pool.run(work, payloads)\n"
+        )
+        assert not lint(source).failed
+
+    def test_self_attribute_ownership_is_exempt(self):
+        source = POOL_IMPORT + (
+            "class Engine:\n"
+            "    def start(self):\n"
+            "        self._pool = WorkerPool(2)\n"
+        )
+        assert not lint(source).failed
+
+    def test_returned_resource_escapes(self):
+        source = SHM_IMPORT + (
+            "def f(n):\n"
+            "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    return seg\n"
+        )
+        assert not lint(source).failed
+
+    def test_non_tracked_call_is_ignored(self):
+        source = "def f(n):\n    buf = bytearray(n)\n    return len(buf)\n"
+        assert not lint(source).failed
+
+
+class TestDroppedAndCmOnly:
+    def test_dropped_acquisition(self):
+        source = SHM_IMPORT + (
+            "def f(n):\n"
+            "    shared_memory.SharedMemory(create=True, size=n)\n"
+        )
+        assert rules_of(lint(source)) == {"resource-dropped"}
+
+    def test_cm_factory_called_without_with(self):
+        source = POOL_IMPORT + (
+            "def f(n):\n"
+            "    plain_pool(n)\n"
+        )
+        assert rules_of(lint(source)) == {"resource-cm-only"}
+
+    def test_cm_factory_under_with_is_fine(self):
+        source = POOL_IMPORT + (
+            "def f(n, work, payloads):\n"
+            "    with plain_pool(n) as pool:\n"
+            "        return pool.map(work, payloads)\n"
+        )
+        assert not lint(source).failed
+
+
+class TestTupleUnpacking:
+    def test_attach_handle_must_be_closed(self):
+        source = (
+            "from repro.parallel.pool import attach_int64\n"
+            "def f(name, shape):\n"
+            "    view, handle = attach_int64(name, shape)\n"
+            "    total = int(view.sum())\n"
+            "    handle.close()\n"
+            "    return total\n"
+        )
+        # view.sum() can raise before handle.close(): a leak.
+        assert rules_of(lint(source)) == {"resource-leak"}
+
+    def test_attach_with_try_finally_is_clean(self):
+        source = (
+            "from repro.parallel.pool import attach_int64\n"
+            "def f(name, shape):\n"
+            "    view, handle = attach_int64(name, shape)\n"
+            "    try:\n"
+            "        return int(view.sum())\n"
+            "    finally:\n"
+            "        handle.close()\n"
+        )
+        assert not lint(source).failed
