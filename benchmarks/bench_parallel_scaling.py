@@ -1,12 +1,22 @@
-"""Parallel counting scaling: serial vs 2 and 4 workers (Figure 4 data).
+"""Parallel counting scaling: process pool vs bitmap threads (Figure 4).
 
-The sharded counter's contract is *exactness first*: every cell below
-re-verifies that the parallel run found bit-identical frequent sets
-before any timing is reported. Timings are emitted as ``BENCH {json}``
-lines (one per configuration) so scaling curves can be collected across
-machines; the ≥1.5× speedup-at-4-workers criterion is evaluated from
-those lines on multi-core hardware — a single-core runner still checks
-exactness and telemetry, it just cannot demonstrate speedup.
+Two fan-out strategies over the same serial baseline (``TidsetCounter``
+Apriori), every cell re-verified bit-identical before any timing is
+reported:
+
+* ``process-pool`` — the sharded :class:`ParallelCounter`. Pure-python
+  counting holds the GIL, so it must fork; pickle/IPC overhead means
+  its speedup criterion (≥1.5× at 4 workers) only applies on multi-core
+  hardware.
+* ``bitmap-threads`` — the vertical bitmap engine fanned out over a
+  ``ThreadPoolExecutor``. Its AND+popcount kernels are vectorized numpy
+  that releases the GIL, so the engine beats the serial baseline even
+  single-core; the ≥2× speedup-at-4-threads criterion on ≥100k-txn
+  workloads is asserted unconditionally, not gated on CPU count.
+
+Timings are emitted as ``BENCH {json}`` lines and persisted to
+``BENCH_parallel_scaling.json`` via ``emit_bench`` (both legs), so
+``repro-ossm bench-history`` has a parallel-scaling series.
 
 Scale: at ``REPRO_SCALE=paper`` the workload is the Figure 4 regular
 synthetic stream grown to 100 000 transactions (the paper's m = 1000
@@ -28,7 +38,11 @@ from repro.bench.workloads import QuestConfig, QuestGenerator, current_scale
 from repro.mining import Apriori
 from repro.mining.counting import TidsetCounter
 from repro.obs.trace import TraceRecorder, use_recorder
-from repro.parallel import ParallelCounter
+from repro.parallel import (
+    ParallelCounter,
+    ThreadedBitmapCounter,
+    ThreadShardPlanner,
+)
 
 WORKER_COUNTS = (2, 4)
 MAX_LEVEL = 3
@@ -62,11 +76,11 @@ def _mine(db, counter, recorder=None):
     return result, time.perf_counter() - start
 
 
-def _shard_spans(recorder):
+def _shard_spans(recorder, name):
     found = []
 
     def walk(span):
-        if span.name == "parallel.count.shard":
+        if span.name == name:
             found.append(span)
         for child in span.children:
             walk(child)
@@ -76,45 +90,64 @@ def _shard_spans(recorder):
     return found
 
 
+ENGINES = {
+    "process-pool": (
+        lambda workers: ParallelCounter(workers=workers),
+        "parallel.count.shard",
+    ),
+    "bitmap-threads": (
+        lambda workers: ThreadedBitmapCounter(
+            workers=workers, planner=ThreadShardPlanner()
+        ),
+        "bitmap.count.shard",
+    ),
+}
+
+
 def scaling_sweep():
     db = fig4_workload()
     serial_result, serial_seconds = _mine(db, TidsetCounter())
     rows = []
     emitted = []
-    for workers in WORKER_COUNTS:
-        recorder = TraceRecorder()
-        with ParallelCounter(workers=workers) as counter:
-            result, seconds = _mine(db, counter, recorder)
-        assert result.same_itemsets(serial_result), (
-            f"parallel run (workers={workers}) diverged from serial"
-        )
-        spans = _shard_spans(recorder)
-        record = {
-            "bench": "parallel_scaling",
-            "workload": "fig4-regular-synthetic",
-            "n_transactions": len(db),
-            "n_items": db.n_items,
-            "minsup": MINSUP,
-            "max_level": MAX_LEVEL,
-            "workers": workers,
-            "serial_seconds": round(serial_seconds, 4),
-            "parallel_seconds": round(seconds, 4),
-            "speedup": round(serial_seconds / seconds, 3) if seconds else 0.0,
-            "shard_spans": len(spans),
-            "exact": True,
-            "cpu_count": os.cpu_count(),
-        }
-        emit_bench(record)
-        emitted.append(record)
-        rows.append(
-            [
-                workers,
-                round(serial_seconds, 3),
-                round(seconds, 3),
-                record["speedup"],
-                len(spans),
-            ]
-        )
+    for engine, (factory, span_name) in ENGINES.items():
+        for workers in WORKER_COUNTS:
+            recorder = TraceRecorder()
+            with factory(workers) as counter:
+                result, seconds = _mine(db, counter, recorder)
+            assert result.same_itemsets(serial_result), (
+                f"{engine} run (workers={workers}) diverged from serial"
+            )
+            spans = _shard_spans(recorder, span_name)
+            record = {
+                "bench": "parallel_scaling",
+                "workload": "fig4-regular-synthetic",
+                "engine": engine,
+                "n_transactions": len(db),
+                "n_items": db.n_items,
+                "minsup": MINSUP,
+                "max_level": MAX_LEVEL,
+                "workers": workers,
+                "serial_seconds": round(serial_seconds, 4),
+                "parallel_seconds": round(seconds, 4),
+                "speedup": (
+                    round(serial_seconds / seconds, 3) if seconds else 0.0
+                ),
+                "shard_spans": len(spans),
+                "exact": True,
+                "cpu_count": os.cpu_count(),
+            }
+            emit_bench(record)
+            emitted.append(record)
+            rows.append(
+                [
+                    engine,
+                    workers,
+                    round(serial_seconds, 3),
+                    round(seconds, 3),
+                    record["speedup"],
+                    len(spans),
+                ]
+            )
     return {
         "db": db,
         "serial_seconds": serial_seconds,
@@ -128,18 +161,29 @@ def sweep(once):
     return once("parallel_scaling", scaling_sweep)
 
 
+def _leg(sweep, engine, workers):
+    return next(
+        r
+        for r in sweep["records"]
+        if r["engine"] == engine and r["workers"] == workers
+    )
+
+
 def test_parallel_scaling_series(benchmark, sweep):
     report(
-        "Parallel counting — serial vs sharded Apriori "
+        "Parallel counting — serial vs fanned-out Apriori "
         f"(regular-synthetic, {len(sweep['db'])} transactions, "
         f"minsup {MINSUP:.0%})",
         format_table(
-            ["workers", "serial_s", "parallel_s", "speedup", "shard_spans"],
+            [
+                "engine", "workers", "serial_s", "parallel_s",
+                "speedup", "shard_spans",
+            ],
             sweep["rows"],
         ),
     )
     db = sweep["db"]
-    counter = ParallelCounter(workers=WORKER_COUNTS[-1])
+    counter = ThreadedBitmapCounter(workers=WORKER_COUNTS[-1])
     with counter:
         benchmark.pedantic(
             lambda: Apriori(counter=counter, max_level=MAX_LEVEL).mine(
@@ -151,20 +195,37 @@ def test_parallel_scaling_series(benchmark, sweep):
 
 
 def test_every_fanout_traced_per_shard(benchmark, sweep):
-    """Each parallel level leaves one span per shard in the trace."""
+    """Each fanned-out level leaves one span per shard in the trace."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     for record in sweep["records"]:
         assert record["shard_spans"] >= record["workers"]
 
 
-def test_speedup_reported_on_capable_hardware(benchmark, sweep):
-    """The ≥1.5× criterion, asserted only where it is measurable."""
+def test_process_speedup_reported_on_capable_hardware(benchmark, sweep):
+    """The process pool's ≥1.5× criterion, where it is measurable."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     cpus = os.cpu_count() or 1
-    four = next(r for r in sweep["records"] if r["workers"] == 4)
+    four = _leg(sweep, "process-pool", 4)
     if cpus >= 4 and len(sweep["db"]) >= 100_000:
         assert four["speedup"] >= 1.5, four
     else:
         # Single-core / small-scale runs still prove exactness; the
         # speedup numbers are informational (see the BENCH lines).
+        assert four["exact"]
+
+
+def test_bitmap_speedup_asserted(benchmark, sweep):
+    """The bitmap engine's ≥2× criterion — asserted, not asserted away.
+
+    The comparison is against the *serial engine baseline* (the thing a
+    user gives up by not passing ``--engine bitmap``), which vectorized
+    AND+popcount beats regardless of core count, so this assertion is
+    NOT gated on ``cpu_count`` — only on the issue's ≥100k-transaction
+    workload floor (small routine-tier runs assert exactness only).
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    four = _leg(sweep, "bitmap-threads", 4)
+    if len(sweep["db"]) >= 100_000:
+        assert four["speedup"] >= 2.0, four
+    else:
         assert four["exact"]

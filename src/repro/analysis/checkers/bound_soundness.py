@@ -40,6 +40,9 @@ DEFAULT_BOUND_MODULES: tuple[str, ...] = (
     "core/generalized.py",
     "core/loss.py",
     "parallel/ossm.py",
+    # The bitmap engine's supports and segment matrix feed Equation (1)
+    # directly; any float creeping into its reduces would unsound them.
+    "mining/bitmap.py",
     # Checkpoints and artifacts carry exact counts; float arithmetic
     # sneaking into their (de)serialization would corrupt resumes.
     "resilience/checkpoint.py",

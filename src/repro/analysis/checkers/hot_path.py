@@ -36,6 +36,10 @@ __all__ = ["HotPathChecker", "DEFAULT_HOT_MODULES"]
 DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "mining/counting.py",
     "mining/hash_tree.py",
+    # The vertical bitmap engine: pack + AND/popcount kernels and the
+    # thread-sharded reduce are the innermost counting loops.
+    "mining/bitmap.py",
+    "parallel/threads.py",
     "core/greedy.py",
     "core/bubble.py",
     "parallel/counter.py",

@@ -143,10 +143,12 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-level", type=int, default=0,
                       help="cardinality cap (0 = unbounded)")
     mine.add_argument("--workers", type=int, default=0,
-                      help="worker processes for counting (0 = serial; "
+                      help="workers for counting (0 = serial; processes, "
+                           "or threads for --engine bitmap; "
                            "apriori/dhp/partition only)")
     mine.add_argument("--engine", default=None,
-                      choices=("subset", "tidset", "hashtree", "parallel"),
+                      choices=("subset", "tidset", "hashtree", "parallel",
+                               "bitmap"),
                       help="counting engine (registry name; "
                            "apriori/partition only)")
     mine.add_argument("--top", type=int, default=20,

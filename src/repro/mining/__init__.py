@@ -9,6 +9,7 @@ used as independent correctness oracles and performance references.
 
 from .apriori import Apriori, apriori
 from .base import LevelStats, MiningResult, resolve_min_count, resolve_min_support
+from .bitmap import BitmapCounter, PackedBitmap, pack_database
 from .closed import closed_itemsets, maximal_itemsets, mine_closed
 from .constraints import (
     ConstrainedApriori,
@@ -37,6 +38,7 @@ from .counting import (
     make_pool,
     register_engine,
     registered_engines,
+    resolve_engine,
 )
 from .depth_project import DepthProject, depth_project
 from .dhp import DHP, dhp
@@ -63,6 +65,9 @@ __all__ = [
     "MiningResult",
     "resolve_min_count",
     "resolve_min_support",
+    "BitmapCounter",
+    "PackedBitmap",
+    "pack_database",
     "closed_itemsets",
     "maximal_itemsets",
     "mine_closed",
@@ -88,6 +93,7 @@ __all__ = [
     "make_pool",
     "register_engine",
     "registered_engines",
+    "resolve_engine",
     "DepthProject",
     "depth_project",
     "DHP",

@@ -28,7 +28,7 @@ from ..obs.metrics import get_registry
 from ..obs.trace import trace
 from .base import MiningResult, resolve_min_support
 from .checkpointing import MiningCheckpointer, level_crash_point
-from .counting import SupportCounter, make_counter
+from .counting import SupportCounter, make_counter, resolve_engine
 from .itemsets import apriori_gen
 from .pruning import CandidatePruner, NullPruner
 
@@ -91,8 +91,7 @@ class Apriori:
                 "pass either counter= or engine=/workers=, not both"
             )
         if counter is None:
-            if engine is None:
-                engine = "parallel" if workers is not None else "subset"
+            engine = resolve_engine(engine, workers)
             ossm = getattr(self.pruner, "ossm", None)
             sizes = ossm.segment_sizes if ossm is not None else None
             counter = make_counter(

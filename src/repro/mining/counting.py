@@ -18,6 +18,7 @@ Both return exact counts and are interchangeable in every miner.
 from __future__ import annotations
 
 import abc
+import os
 from itertools import combinations
 from collections.abc import Iterable, Sequence
 from typing import Any, Callable, ContextManager
@@ -39,6 +40,7 @@ __all__ = [
     "register_engine",
     "register_parallel_backend",
     "registered_engines",
+    "resolve_engine",
 ]
 
 Itemset = tuple[int, ...]
@@ -218,8 +220,24 @@ _POOL_FACTORY: (
     Callable[[int | None, int], ContextManager[Any] | None] | None
 ) = None
 
+#: Per-engine parallel execution overrides: ``workers=`` combined with
+#: one of these engine names builds the engine's *own* fan-out (the
+#: bitmap engine's thread shards) instead of wrapping it in the
+#: process-pool :class:`~repro.parallel.counter.ParallelCounter`.
+#: Registered by :mod:`repro.parallel` via
+#: ``register_parallel_backend(factory, engine=name)``; each factory is
+#: ``(workers, segment_sizes) -> SupportCounter``.
+_ENGINE_BACKENDS: dict[
+    str, Callable[[int | None, Sequence[int] | None], SupportCounter]
+] = {}
+
 #: Name under which the parallel backend registers itself.
 PARALLEL_ENGINE = "parallel"
+
+#: Environment knob consulted by :func:`resolve_engine` when no engine
+#: is named explicitly — the CI bitmap leg pins ``REPRO_ENGINE=bitmap``
+#: so the whole suite mines on the vertical bit-matrix engine.
+ENGINE_ENV = "REPRO_ENGINE"
 
 #: Circuit breaker guarding the process-parallel execution backend.
 #: Every :class:`~repro.parallel.counter.ParallelCounter` consults it:
@@ -246,15 +264,46 @@ def register_engine(
 
 
 def register_parallel_backend(
-    counter_factory: Callable[
-        [int | None, str, Sequence[int] | None], SupportCounter
-    ],
-    pool_factory: Callable[[int | None, int], ContextManager[Any] | None],
+    counter_factory: Callable[..., SupportCounter],
+    pool_factory: (
+        Callable[[int | None, int], ContextManager[Any] | None] | None
+    ) = None,
+    *,
+    engine: str | None = None,
 ) -> None:
-    """Install the parallel execution backend (called by :mod:`repro.parallel`)."""
+    """Install a parallel execution backend (called by :mod:`repro.parallel`).
+
+    Without *engine* this installs the default process-pool backend:
+    *counter_factory* is ``(workers, shard_engine, segment_sizes)`` and
+    *pool_factory* is ``(workers, n_tasks)``. With ``engine=<name>`` it
+    registers a per-engine override instead — *counter_factory* is
+    ``(workers, segment_sizes)`` and builds that engine's own fan-out
+    (the bitmap engine's thread shards), bypassing the process pool and
+    its transport entirely.
+    """
+    if engine is not None:
+        _ENGINE_BACKENDS[engine] = counter_factory
+        return
     global _PARALLEL_FACTORY, _POOL_FACTORY
     _PARALLEL_FACTORY = counter_factory
     _POOL_FACTORY = pool_factory
+
+
+def resolve_engine(engine: str | None, workers: int | None = None) -> str:
+    """Default-engine resolution: the one place the default is decided.
+
+    An explicit *engine* name always wins; otherwise the
+    ``REPRO_ENGINE`` environment variable (how the CI bitmap leg runs
+    the whole suite on the vertical engine), and finally the historical
+    defaults — ``"parallel"`` when *workers* were requested, the subset
+    engine otherwise.
+    """
+    if engine is not None:
+        return engine
+    env = os.environ.get(ENGINE_ENV)
+    if env:
+        return env
+    return PARALLEL_ENGINE if workers is not None else "subset"
 
 
 def registered_engines() -> tuple[str, ...]:
@@ -298,6 +347,12 @@ def make_counter(
         )
     if workers is None:
         return factory()
+    override = _ENGINE_BACKENDS.get(engine)
+    if override is not None:
+        # Engines with their own fan-out (bitmap's thread shards) have
+        # no worker processes for the pool breaker to guard; a poisoned
+        # shard degrades to the engine's serial reduction internally.
+        return override(workers, segment_sizes)
     if _PARALLEL_FACTORY is None:
         raise RuntimeError(
             "workers= requested but repro.parallel is not imported; "

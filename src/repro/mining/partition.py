@@ -36,7 +36,7 @@ from ..obs.trace import trace
 from .apriori import Apriori
 from .base import MiningResult, resolve_min_support
 from .checkpointing import MiningCheckpointer, level_crash_point
-from .counting import SupportCounter, make_counter
+from .counting import SupportCounter, make_counter, resolve_engine
 from .pruning import CandidatePruner, NullPruner, OSSMPruner
 
 __all__ = ["Partition", "partition_mine"]
@@ -355,9 +355,9 @@ class Partition:
         both resolved through the engine registry."""
         ossm = getattr(global_pruner, "ossm", None)
         sizes = ossm.segment_sizes if ossm is not None else None
-        engine = self.engine
-        if engine is None:
-            engine = "parallel" if workers > 1 else "subset"
+        engine = resolve_engine(
+            self.engine, workers if workers > 1 else None
+        )
         return make_counter(
             engine,
             workers=workers if workers > 1 else None,

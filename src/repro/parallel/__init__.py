@@ -35,6 +35,7 @@ from .ossm import (
 )
 from .plan import ShardPlan, ShardPlanner, resolve_workers
 from .pool import SupervisedPool, WorkerPool
+from .threads import ThreadedBitmapCounter, ThreadShardPlanner
 
 
 def _counter_factory(
@@ -58,9 +59,19 @@ def _pool_factory(
     return SupervisedPool(resolved, name="parallel.chunks")
 
 
+def _bitmap_thread_factory(
+    workers: int | None, segment_sizes: Sequence[int] | None
+) -> SupportCounter:
+    """Per-engine ``make_counter`` override: bitmap + workers → threads."""
+    return ThreadedBitmapCounter(workers=workers, segment_sizes=segment_sizes)
+
+
 # Counter selection lives in repro.mining.counting; this package plugs
-# its process-parallel engines into that registry at import time.
+# its process-parallel engines into that registry at import time. The
+# bitmap engine fans out over threads instead (its numpy kernels
+# release the GIL), so it bypasses the process pool entirely.
 register_parallel_backend(_counter_factory, _pool_factory)
+register_parallel_backend(_bitmap_thread_factory, engine="bitmap")
 
 __all__ = [
     "ParallelCounter",
@@ -69,6 +80,8 @@ __all__ = [
     "parallel_upper_bounds",
     "ShardPlan",
     "ShardPlanner",
+    "ThreadedBitmapCounter",
+    "ThreadShardPlanner",
     "resolve_workers",
     "SupervisedPool",
     "WorkerPool",

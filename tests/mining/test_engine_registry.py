@@ -14,15 +14,17 @@ import pytest
 
 import repro  # ensures repro.parallel registered its backend
 from repro.data import TransactionDatabase
-from repro.mining import HashTreeCounter, SubsetCounter
+from repro.mining import BitmapCounter, HashTreeCounter, SubsetCounter
 from repro.mining.counting import (
+    ENGINE_ENV,
     TidsetCounter,
     make_counter,
     make_pool,
     register_engine,
     registered_engines,
+    resolve_engine,
 )
-from repro.parallel import ParallelCounter
+from repro.parallel import ParallelCounter, ThreadedBitmapCounter
 
 assert repro  # imported for its registration side effect
 
@@ -37,7 +39,7 @@ def tiny_db():
 class TestResolution:
     def test_all_engines_registered(self):
         assert set(registered_engines()) >= {
-            "subset", "tidset", "hashtree", "parallel",
+            "subset", "tidset", "hashtree", "parallel", "bitmap",
         }
 
     def test_serial_names_resolve(self):
@@ -53,6 +55,35 @@ class TestResolution:
             assert counter.workers == 2
         finally:
             counter.close()
+
+    def test_bitmap_name_resolves_serial(self):
+        counter = make_counter("bitmap")
+        assert isinstance(counter, BitmapCounter)
+        assert not isinstance(counter, ThreadedBitmapCounter)
+
+    def test_bitmap_with_workers_resolves_threads(self):
+        with make_counter("bitmap", workers=2) as counter:
+            assert isinstance(counter, ThreadedBitmapCounter)
+            assert counter.workers == 2
+
+    def test_bitmap_segment_sizes_forwarded(self):
+        with make_counter(
+            "bitmap", workers=2, segment_sizes=[2, 1]
+        ) as counter:
+            assert counter.segment_sizes == (2, 1)
+
+    def test_resolve_engine_defaults(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine(None) == "subset"
+        assert resolve_engine(None, 4) == "parallel"
+        assert resolve_engine("tidset", 4) == "tidset"
+
+    def test_resolve_engine_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "bitmap")
+        assert resolve_engine(None) == "bitmap"
+        assert resolve_engine(None, 4) == "bitmap"
+        # An explicit engine beats the environment.
+        assert resolve_engine("subset", 4) == "subset"
 
     def test_serial_name_with_workers_shards(self):
         counter = make_counter("subset", workers=2)
@@ -101,11 +132,18 @@ class TestResolution:
 
 
 @pytest.fixture(
-    params=["subset", "tidset", "hashtree", "parallel"],
+    params=[
+        "subset", "tidset", "hashtree", "parallel",
+        "bitmap", "bitmap-threaded",
+    ],
 )
 def registry_engine(request):
-    kwargs = {"workers": 2} if request.param == "parallel" else {}
-    counter = make_counter(request.param, **kwargs)
+    if request.param == "parallel":
+        counter = make_counter("parallel", workers=2)
+    elif request.param == "bitmap-threaded":
+        counter = make_counter("bitmap", workers=2)
+    else:
+        counter = make_counter(request.param)
     yield counter
     closer = getattr(counter, "close", None)
     if closer is not None:

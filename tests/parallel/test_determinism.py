@@ -93,6 +93,34 @@ def test_repeated_runs_are_byte_identical(workload):
     assert len(prints) == 1
 
 
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_bitmap_output_byte_identical_across_thread_counts(
+    workload, serial_fingerprint, workers
+):
+    """The bitmap engine leaves no thread-count residue either.
+
+    Same invariant as the process path, one level down: per-shard
+    popcount vectors are int64 and summed in shard order, so the
+    fingerprint must equal the serial Apriori's byte for byte.
+    """
+    from repro.parallel import ThreadShardPlanner, ThreadedBitmapCounter
+
+    counter = ThreadedBitmapCounter(
+        workers=workers, planner=ThreadShardPlanner(min_words=1, n_shards=3)
+    )
+    with counter:
+        result = Apriori(counter=counter, max_level=3).mine(workload, 5)
+    assert fingerprint(result) == serial_fingerprint
+
+
+def test_bitmap_engine_flag_matches_serial(workload, serial_fingerprint):
+    for workers in (None, 2):
+        result = Apriori(
+            max_level=3, engine="bitmap", workers=workers
+        ).mine(workload, 5)
+        assert fingerprint(result) == serial_fingerprint
+
+
 def test_dhp_and_partition_match_their_serial_runs(workload):
     for serial, parallel in (
         (

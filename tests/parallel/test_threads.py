@@ -1,0 +1,209 @@
+"""The thread-sharded bitmap path: planner, exactness, thread safety.
+
+Word-column shards partition the transaction bits, so the threaded
+reduce must equal the serial bitmap reduce — which
+``tests/mining/test_bitmap.py`` proves equal to every other engine.
+Here the extra obligations are the planner's boundary arithmetic, the
+executor lifecycle, and safety under *caller-side* concurrency: one
+shared counter serving many threads at once.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.mining import BitmapCounter
+from repro.parallel import ThreadedBitmapCounter, ThreadShardPlanner
+
+from ._support import N_ITEMS, make_db
+
+
+def random_db(n_transactions, seed=0):
+    rng = np.random.default_rng(seed)
+    return TransactionDatabase(
+        [
+            tuple(np.nonzero(rng.integers(0, 2, size=N_ITEMS))[0])
+            for _ in range(n_transactions)
+        ],
+        n_items=N_ITEMS,
+    )
+
+
+# -- planner -------------------------------------------------------------
+
+
+class TestThreadShardPlanner:
+    def test_empty_collection(self):
+        plan = ThreadShardPlanner().plan(0, 4)
+        assert plan.n_shards == 0
+
+    def test_small_matrix_collapses_to_one_shard(self):
+        # 8 words < min_words(16): fan-out would be pure overhead.
+        plan = ThreadShardPlanner().plan(8, 4)
+        assert plan.n_shards == 1
+        assert plan.boundaries == (0, 8)
+
+    def test_even_split_covers_all_words(self):
+        plan = ThreadShardPlanner(min_words=1).plan(100, 4)
+        assert plan.n_shards == 4
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries[-1] == 100
+        assert all(size > 0 for size in plan.sizes)
+
+    def test_explicit_shard_count(self):
+        plan = ThreadShardPlanner(n_shards=3, min_words=1).plan(10, 8)
+        assert plan.n_shards == 3
+        assert sum(plan.sizes) == 10
+
+    def test_min_words_caps_shards(self):
+        plan = ThreadShardPlanner(min_words=16).plan(40, 8)
+        # 40 // 16 == 2 shards at most, whatever the worker count.
+        assert plan.n_shards == 2
+
+    def test_never_more_shards_than_words(self):
+        plan = ThreadShardPlanner(min_words=1).plan(3, 8)
+        assert plan.n_shards == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ThreadShardPlanner(n_shards=0)
+        with pytest.raises(ValueError):
+            ThreadShardPlanner(min_words=0)
+        with pytest.raises(ValueError):
+            ThreadShardPlanner().plan(-1, 2)
+        with pytest.raises(ValueError):
+            ThreadShardPlanner().plan(10, 0)
+
+
+# -- exactness across worker and shard counts ---------------------------
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4))
+@pytest.mark.parametrize("n_shards", (None, 2, 5))
+def test_threaded_equals_serial_bitmap(workers, n_shards):
+    db = random_db(1000, seed=workers)
+    candidates = list(combinations(range(N_ITEMS), 2))
+    reference = BitmapCounter().count(db, candidates)
+    planner = ThreadShardPlanner(n_shards=n_shards, min_words=1)
+    with ThreadedBitmapCounter(workers=workers, planner=planner) as counter:
+        assert counter.count(db, candidates) == reference
+
+
+def test_uneven_word_split_is_exact():
+    # 1001 transactions -> 16 words; 3 shards cannot split evenly.
+    db = random_db(1001, seed=9)
+    candidates = list(combinations(range(N_ITEMS), 3))
+    reference = {c: db.support(c) for c in candidates}
+    planner = ThreadShardPlanner(n_shards=3, min_words=1)
+    with ThreadedBitmapCounter(workers=3, planner=planner) as counter:
+        assert counter.count(db, candidates) == reference
+
+
+def test_tiny_database_stays_serial():
+    db = make_db([{0, 1}, {1, 2}])
+    with ThreadedBitmapCounter(workers=4) as counter:
+        assert counter.count(db, [(1,)]) == {(1,): 2}
+        # One word -> one shard -> no executor was ever built.
+        assert counter._executor is None
+
+
+# -- lifecycle -----------------------------------------------------------
+
+
+def test_close_is_idempotent_and_context_managed():
+    counter = ThreadedBitmapCounter(workers=2)
+    counter.close()
+    counter.close()
+    with ThreadedBitmapCounter(workers=2) as managed:
+        db = random_db(2000, seed=1)
+        managed.count(db, [(0, 1)])
+        assert managed._executor is not None
+    assert managed._executor is None
+
+
+def test_workers_resolved_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    counter = ThreadedBitmapCounter()
+    try:
+        assert counter.workers == 3
+    finally:
+        counter.close()
+
+
+# -- caller-side thread safety ------------------------------------------
+
+
+def test_concurrent_callers_match_serial():
+    """N caller threads hammering one shared counter stay exact.
+
+    Every thread issues interleaved ``count()`` and ``upper_bounds()``
+    calls against the same instance (shared pack cache, shared
+    executor); every result must equal the serial reference.
+    """
+    sizes = [400, 0, 350, 250]
+    db = random_db(1000, seed=5)
+    pairs = list(combinations(range(N_ITEMS), 2))
+    triples = list(combinations(range(N_ITEMS), 3))
+    serial = BitmapCounter(segment_sizes=sizes)
+    ref_pairs = serial.count(db, pairs)
+    ref_triples = serial.count(db, triples)
+    ref_bounds = serial.upper_bounds(db, pairs)
+
+    counter = ThreadedBitmapCounter(
+        workers=2,
+        segment_sizes=sizes,
+        planner=ThreadShardPlanner(min_words=1),
+    )
+    n_callers = 8
+    barrier = threading.Barrier(n_callers)
+    failures: list[str] = []
+
+    def caller(index):
+        barrier.wait()
+        for round_ in range(3):
+            if (index + round_) % 2:
+                got = counter.count(db, pairs)
+                expected = ref_pairs
+                kind = "pairs"
+            else:
+                got = counter.count(db, triples)
+                expected = ref_triples
+                kind = "triples"
+            if got != expected:
+                failures.append(f"caller {index} round {round_}: {kind}")
+            bounds = counter.upper_bounds(db, pairs)
+            if not np.array_equal(bounds, ref_bounds):
+                failures.append(f"caller {index} round {round_}: bounds")
+
+    try:
+        with ThreadPoolExecutor(max_workers=n_callers) as callers:
+            list(callers.map(caller, range(n_callers)))
+    finally:
+        counter.close()
+    assert not failures, failures
+
+
+def test_concurrent_first_count_packs_once():
+    """The pack-cache lock: racing first counts pack exactly once."""
+    db = random_db(500, seed=2)
+    counter = ThreadedBitmapCounter(workers=2)
+    barrier = threading.Barrier(4)
+
+    def first_count(_):
+        barrier.wait()
+        return counter.count(db, [(0, 1)])
+
+    try:
+        with ThreadPoolExecutor(max_workers=4) as callers:
+            results = list(callers.map(first_count, range(4)))
+        assert all(r == results[0] for r in results)
+        packed = counter._packed
+        assert packed is not None
+        counter.count(db, [(1, 2)])
+        assert counter._packed is packed
+    finally:
+        counter.close()

@@ -32,8 +32,14 @@ def db():
 
 def _mine_with_workers(db, workers: int) -> dict:
     registry = MetricsRegistry()
+    # Engine pinned: this file proves the *process pool's* delta
+    # transport, so it must not be rerouted by a REPRO_ENGINE override
+    # (the bitmap CI leg) onto the thread path, which has no worker
+    # processes to ship deltas from.
     with use_registry(registry):
-        result = Apriori(workers=workers, max_level=3).mine(db, 0.02)
+        result = Apriori(
+            workers=workers, engine="tidset", max_level=3
+        ).mine(db, 0.02)
     return {"result": result, "snapshot": registry.snapshot()}
 
 

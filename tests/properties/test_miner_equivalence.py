@@ -6,14 +6,17 @@ arbitrary databases at arbitrary thresholds.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import OSSM
-from repro.data import TransactionDatabase
+from repro.data import TransactionDatabase, generate_quest
 from repro.mining import (
     DHP,
+    Apriori,
     OSSMPruner,
+    Partition,
     apriori,
     depth_project,
     dhp,
@@ -75,3 +78,52 @@ def test_dhp_options_never_change_output(txns, threshold):
         for trim in (False, True):
             miner = DHP(n_buckets=n_buckets, trim=trim)
             assert miner.mine(db, threshold).frequent == expected
+
+
+# -- engine axis: serial vs bitmap, per level ----------------------------
+
+
+@pytest.fixture(scope="module")
+def engine_workload():
+    return generate_quest(
+        n_transactions=250,
+        n_items=12,
+        avg_transaction_len=5,
+        n_patterns=30,
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_serial_results(engine_workload):
+    return {
+        "apriori": Apriori(max_level=4).mine(engine_workload, 5),
+        "partition": Partition(n_partitions=3, max_level=4).mine(
+            engine_workload, 5
+        ),
+    }
+
+
+@pytest.mark.parametrize("workers", (None, 1, 2, 4))
+@pytest.mark.parametrize("engine", ("subset", "bitmap"))
+@pytest.mark.parametrize("kind", ("apriori", "partition"))
+def test_miners_identical_across_engines_and_workers(
+    kind, engine, workers, engine_workload, engine_serial_results
+):
+    """Per-level MiningResult identity: miner × engine × workers.
+
+    ``MiningResult`` equality covers the frequent sets with supports;
+    ``levels`` pins the per-level candidate accounting too, so an
+    engine that merely reached the same fixpoint differently would
+    still fail.
+    """
+    if kind == "apriori":
+        miner = Apriori(max_level=4, engine=engine, workers=workers)
+    else:
+        miner = Partition(
+            n_partitions=3, max_level=4, engine=engine, workers=workers
+        )
+    serial = engine_serial_results[kind]
+    result = miner.mine(engine_workload, 5)
+    assert result.frequent == serial.frequent
+    assert result.levels == serial.levels

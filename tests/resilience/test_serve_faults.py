@@ -1,13 +1,22 @@
-"""Injected serve-layer faults: evaluation retry and latency."""
+"""Injected serve-layer faults: evaluation retry and latency.
+
+Plus the bitmap engine's degradation path: a poisoned thread shard
+abandons the fan-out and falls back to the serial bitmap reduce —
+exactly once per failing call, exactly, and without poisoning later
+calls.
+"""
 
 import asyncio
 import time
+from itertools import combinations
 
 import pytest
 
 from repro.core import GreedySegmenter
 from repro.data import PagedDatabase, generate_quest
+from repro.mining import BitmapCounter
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import ThreadedBitmapCounter, ThreadShardPlanner
 from repro.resilience import FaultPlan, InjectedFault, use_faults
 from repro.serve import BoundQueryService, QueryTimeout, canonical_itemset
 
@@ -85,3 +94,47 @@ class TestServeFaults:
         with use_faults(plan):
             with pytest.raises(QueryTimeout):
                 run(main())
+
+
+class TestBitmapShardFaults:
+    @pytest.fixture
+    def workload(self):
+        return generate_quest(
+            n_transactions=1200, n_items=12,
+            avg_transaction_len=5.0, n_patterns=30, seed=21,
+        )
+
+    def _counter(self):
+        return ThreadedBitmapCounter(
+            workers=2, planner=ThreadShardPlanner(min_words=1)
+        )
+
+    def test_poisoned_shard_falls_back_to_serial_once(self, workload):
+        candidates = list(combinations(range(12), 2))
+        reference = BitmapCounter().count(workload, candidates)
+        plan = FaultPlan.from_spec("bitmap.shard_error:times=1", seed=0)
+        registry = MetricsRegistry()
+        with use_faults(plan), use_registry(registry), self._counter() as c:
+            first = c.count(workload, candidates)
+            second = c.count(workload, candidates)
+        # Both calls exact: the fallback recounted serially.
+        assert first == reference
+        assert second == reference
+        fallbacks = registry.counter("resilience.engine.fallbacks")
+        assert fallbacks.snapshot() == 1
+        # The second call fanned out over threads again — degradation
+        # is per-call, not sticky.
+        assert registry.counter("bitmap.count.fanouts").snapshot() == 1
+
+    def test_every_shard_poisoned_still_exact(self, workload):
+        candidates = list(combinations(range(12), 3))
+        reference = BitmapCounter().count(workload, candidates)
+        plan = FaultPlan.from_spec("bitmap.shard_error:times=100", seed=0)
+        registry = MetricsRegistry()
+        with use_faults(plan), use_registry(registry), self._counter() as c:
+            for _ in range(3):
+                assert c.count(workload, candidates) == reference
+        assert (
+            registry.counter("resilience.engine.fallbacks").snapshot() == 3
+        )
+        assert registry.counter("bitmap.count.fanouts").snapshot() == 0

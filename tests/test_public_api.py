@@ -59,6 +59,7 @@ def test_key_symbols_reachable_from_top_level():
         "OSSMPruner", "generate_rules", "recommend",
         "ParallelCounter", "ParallelOSSMPruner", "parallel_build_ossm",
         "ShardPlanner", "Session", "make_counter", "registered_engines",
+        "BitmapCounter", "ThreadedBitmapCounter", "ThreadShardPlanner",
         "BoundQueryService", "EpochLRUCache", "Overloaded",
         "QueryTimeout", "ServiceClosed",
         "OpsServer", "SlidingQuantile", "render_prometheus",
