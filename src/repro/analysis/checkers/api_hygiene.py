@@ -12,6 +12,11 @@
   ``from __future__ import annotations``: annotations evaluate eagerly,
   which both costs import time and breaks ``X | None`` syntax on older
   interpreters the package still claims to support.
+* ``api-removed-alias`` — a public function re-grows a parameter name
+  the API went through a deprecation cycle to remove (e.g.
+  ``segment(n_user=)``, removed in favour of ``n_segments=`` after
+  PRs 4-8): once a name has been walked back, it must not silently
+  return.
 """
 
 from __future__ import annotations
@@ -25,6 +30,14 @@ __all__ = ["ApiHygieneChecker"]
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+#: (function name, parameter name) pairs retired through a completed
+#: deprecation cycle, mapped to their replacement. Scoped per function
+#: so legitimate uses of the bare name elsewhere (``RecipeInputs``'s
+#: Figure 7 ``n_user`` field, private helpers) stay legal.
+_REMOVED_ALIASES: dict[tuple[str, str], str] = {
+    ("segment", "n_user"): "n_segments",
+}
 
 
 def _top_level_bindings(tree: ast.Module) -> set[str]:
@@ -127,6 +140,7 @@ class ApiHygieneChecker(Checker):
         Rule("api-all-missing", "public definition missing from __all__"),
         Rule("api-mutable-default", "mutable default argument"),
         Rule("api-future-import", "annotations without the future import"),
+        Rule("api-removed-alias", "re-grown parameter removed from the API"),
     )
 
     def check(self, context: FileContext) -> list[Finding]:
@@ -176,6 +190,22 @@ class ApiHygieneChecker(Checker):
         for node in ast.walk(tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 args = node.args
+                if not node.name.startswith("_"):
+                    every = (
+                        args.posonlyargs + args.args + args.kwonlyargs
+                    )
+                    for arg in every:
+                        replacement = _REMOVED_ALIASES.get(
+                            (node.name, arg.arg)
+                        )
+                        if replacement is not None:
+                            report(
+                                "api-removed-alias",
+                                f"`{node.name}({arg.arg}=)` was removed "
+                                "after a deprecation cycle; the supported "
+                                f"name is `{replacement}=`",
+                                arg,
+                            )
                 for default in list(args.defaults) + [
                     d for d in args.kw_defaults if d is not None
                 ]:

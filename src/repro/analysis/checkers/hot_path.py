@@ -46,6 +46,11 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "parallel/pool.py",
     "serve/cache.py",
     "serve/service.py",
+    # The gateway plane: admission, tenant bookkeeping, and the HTTP
+    # edge all sit on the per-request path of the serving loop.
+    "serve/admission.py",
+    "serve/gateway.py",
+    "serve/tenants.py",
     # The export plane: quantile observation rides every serve request
     # and the exposition/ops handlers live beside the service loop.
     "obs/quantiles.py",

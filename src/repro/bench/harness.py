@@ -151,10 +151,10 @@ def baseline(
 
 
 def segment(
-    paged: PagedDatabase, segmenter: Segmenter, n_user: int
+    paged: PagedDatabase, segmenter: Segmenter, n_segments: int
 ) -> SegmentationResult:
     """Run one segmentation (thin wrapper, kept for symmetry)."""
-    return segmenter.segment(paged, n_user)
+    return segmenter.segment(paged, n_segments)
 
 
 def evaluate(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 from collections.abc import Sequence
 
@@ -53,10 +54,12 @@ from .mining.pruning import NullPruner, OSSMPruner
 from .obs.instrument import record_ossm_build
 from .obs.export import OpsServer
 from .obs.log import configure_logging, get_logger
-from .obs.metrics import MetricsRegistry, use_registry
+from .obs.metrics import MetricsRegistry, get_registry, use_registry
 from .obs.trace import TraceRecorder, use_recorder
 from .resilience import ResilienceError
+from .serve.gateway import Gateway
 from .serve.service import BoundQueryService
+from .serve.tenants import TenantQuota, TenantRegistry
 
 __all__ = ["main"]
 
@@ -191,6 +194,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="expose /metrics, /health, /stats on "
                             "127.0.0.1:PORT while serving (0 = any "
                             "free port)")
+    serve.add_argument("--listen", default=None, metavar="[HOST:]PORT",
+                       help="run the multi-tenant HTTP gateway instead "
+                            "of a one-shot query pass (':0' = any free "
+                            "port on 127.0.0.1); the --ossm map becomes "
+                            "the --tenant tenant")
+    serve.add_argument("--tenant", default="default", metavar="NAME",
+                       help="tenant name the --ossm map is served under "
+                            "in --listen mode")
+    serve.add_argument("--rate", type=float, default=None,
+                       metavar="QPS",
+                       help="--listen mode: per-tenant sustained "
+                            "queries/second quota (default unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       metavar="N",
+                       help="--listen mode: per-tenant burst reservoir "
+                            "(default one second at --rate)")
 
     recipe = sub.add_parser(
         "recipe", help="Figure 7 recommendation", parents=[obs]
@@ -380,9 +399,78 @@ def _parse_query_lines(lines) -> list[tuple[int, ...]]:
     return queries
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    """``[HOST:]PORT`` → (host, port); bare ``:0``/``0`` binds loopback."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = "", spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid --listen {spec!r}: expected [HOST:]PORT"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid --listen port {port}")
+    return host or "127.0.0.1", port
+
+
+def _cmd_serve_gateway(args: argparse.Namespace, ossm: OSSM) -> int:
+    """``serve --listen``: run the multi-tenant HTTP gateway until
+    SIGINT/SIGTERM, serving the loaded map as the ``--tenant`` tenant."""
+    host, port = _parse_listen(args.listen)
+    quota = TenantQuota(rate=args.rate, burst=args.burst)
+
+    # The gateway's /metrics route renders the active registry; a
+    # long-running server should always export live counters, so
+    # activate one here unless --metrics-out already did.
+    metrics_scope: contextlib.AbstractContextManager[object]
+    if get_registry().enabled:
+        metrics_scope = contextlib.nullcontext()
+    else:
+        metrics_scope = use_registry(MetricsRegistry())
+
+    async def run() -> None:
+        registry = TenantRegistry(
+            max_pending_total=args.max_pending,
+            default_quota=quota,
+            workers=args.workers or None,
+            cache_size=args.cache_size,
+            timeout=args.timeout,
+            slo_target=args.slo_target,
+        )
+        async with registry:
+            registry.create(args.tenant, ossm)
+            async with Gateway(registry, host=host, port=port) as gateway:
+                print(
+                    f"gateway on {gateway.url}/ "
+                    f"serving tenant {args.tenant!r} at epoch {ossm.epoch}",
+                    flush=True,
+                )
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    loop.add_signal_handler(signum, stop.set)
+                try:
+                    await stop.wait()
+                finally:
+                    for signum in (signal.SIGINT, signal.SIGTERM):
+                        loop.remove_signal_handler(signum)
+
+    try:
+        with metrics_scope:
+            asyncio.run(run())
+    except KeyboardInterrupt:  # signal handler not installable
+        pass
+    print("gateway stopped")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     ossm = OSSM.load(args.ossm)
     record_ossm_build(ossm)
+    if args.listen is not None:
+        return _cmd_serve_gateway(args, ossm)
     if args.queries == "-":
         queries = _parse_query_lines(sys.stdin)
     else:

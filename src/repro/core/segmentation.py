@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import abc
 import time
-import warnings
 from dataclasses import dataclass
 from collections.abc import Sequence
 
@@ -193,26 +192,26 @@ class Segmenter(abc.ABC):
         self,
         source: PagedDatabase | np.ndarray,
         n_segments: int | None = None,
-        *,
-        n_user: int | None = None,
+        **removed: int,
     ) -> SegmentationResult:
         """Partition the pages of *source* into *n_segments* segments.
 
-        ``n_user`` (the paper's name for the segment budget) is accepted
-        as a deprecated keyword alias of ``n_segments``.
+        ``n_user`` (the paper's name for the segment budget) was a
+        deprecated keyword alias of ``n_segments`` through PR 8; the
+        alias is now removed.
         """
-        if n_user is not None:
-            if n_segments is not None:
-                raise TypeError(
-                    "pass n_segments= only; n_user= is its deprecated alias"
-                )
-            warnings.warn(
-                "the n_user= keyword of Segmenter.segment() is deprecated;"
-                " use n_segments=",
-                DeprecationWarning,
-                stacklevel=2,
+        if removed:
+            unknown = ", ".join(sorted(removed))
+            hint = (
+                " (n_user= was removed after a 5-PR deprecation cycle; "
+                "pass n_segments= instead)"
+                if "n_user" in removed
+                else ""
             )
-            n_segments = n_user
+            raise TypeError(
+                f"segment() got unexpected keyword argument(s): "
+                f"{unknown}{hint}"
+            )
         if n_segments is None:
             raise TypeError(
                 "segment() missing required argument: 'n_segments'"

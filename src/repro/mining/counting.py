@@ -302,6 +302,16 @@ def resolve_engine(engine: str | None, workers: int | None = None) -> str:
         return engine
     env = os.environ.get(ENGINE_ENV)
     if env:
+        # Validate here so a typo in the environment fails with the
+        # same listing error an explicit name gets from make_counter,
+        # instead of surfacing later as a bare lookup failure.
+        # ``parallel`` is always accepted: the variable may be read
+        # before repro.parallel registers its factory.
+        if env != PARALLEL_ENGINE and env not in _SERIAL_FACTORIES:
+            raise ValueError(
+                f"unknown counting engine {env!r} in ${ENGINE_ENV}; "
+                f"expected one of {', '.join(registered_engines())}"
+            )
         return env
     return PARALLEL_ENGINE if workers is not None else "subset"
 
@@ -368,7 +378,13 @@ def _degraded_serial(engine: str) -> SupportCounter:
     registry = get_registry()
     if registry.enabled:
         registry.inc("resilience.engine.degraded")
-    return _SERIAL_FACTORIES[engine]()
+    factory = _SERIAL_FACTORIES.get(engine)
+    if factory is None:
+        raise ValueError(
+            f"unknown counting engine {engine!r}; expected one of "
+            f"{', '.join(registered_engines())}"
+        )
+    return factory()
 
 
 def make_pool(

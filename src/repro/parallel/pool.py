@@ -123,7 +123,13 @@ def _shard_engine(shard_index: int, engine: str) -> SupportCounter:
     key = (shard_index, engine)
     counter = _ENGINE_CACHE.get(key)
     if counter is None:
-        counter = _ENGINE_FACTORIES[engine]()
+        factory = _ENGINE_FACTORIES.get(engine)
+        if factory is None:
+            raise ValueError(
+                f"unknown shard counting engine {engine!r}; expected "
+                f"one of {', '.join(ENGINES)}"
+            )
+        counter = factory()
         _ENGINE_CACHE[key] = counter
     return counter
 

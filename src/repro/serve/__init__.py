@@ -1,28 +1,58 @@
 """Online bound-query serving layer.
 
-Answers Equation (1) upper-bound queries over a live OSSM as an
-asyncio service: epoch-tagged caching, duplicate coalescing,
-back-pressure, timeouts, and parallel batch evaluation with serial
-fallback. See DESIGN.md §10 for the epoch/invalidation correctness
-argument and ``repro-ossm serve`` for the CLI front end.
+Answers Equation (1) upper-bound queries over live OSSMs as an asyncio
+service plane: epoch-tagged caching, duplicate coalescing,
+back-pressure, timeouts, parallel batch evaluation with serial
+fallback — and, above the single-map service, the multi-tenant HTTP
+gateway. See DESIGN.md §10 for the epoch/invalidation correctness
+argument, §15 for tenant isolation, and ``repro-ossm serve`` for the
+CLI front end.
 
-* :class:`~repro.serve.service.BoundQueryService` — the service.
+* :class:`~repro.serve.service.BoundQueryService` — one map's service.
 * :class:`~repro.serve.cache.EpochLRUCache` — the bound cache.
-* :mod:`repro.serve.errors` — :class:`Overloaded`,
-  :class:`QueryTimeout`, :class:`ServiceClosed`.
+* :class:`~repro.serve.tenants.TenantRegistry` /
+  :class:`~repro.serve.tenants.Tenant` — named services with
+  per-tenant quotas (:class:`~repro.serve.tenants.TenantQuota`,
+  :class:`~repro.serve.tenants.TokenBucket`).
+* :class:`~repro.serve.admission.BatchScheduler` — per-tenant quota
+  gate + cross-request batch coalescing.
+* :class:`~repro.serve.gateway.Gateway` — the stdlib-asyncio HTTP
+  edge (``/v1/tenants/...``).
+* :mod:`repro.serve.errors` — typed failures carrying
+  ``status_code``/``retry_after`` for mechanical HTTP mapping.
 """
 
+from .admission import BatchScheduler
 from .cache import CacheStats, EpochLRUCache
-from .errors import Overloaded, QueryTimeout, ServeError, ServiceClosed
+from .errors import (
+    InvalidRequest,
+    Overloaded,
+    QueryTimeout,
+    QuotaExceeded,
+    ServeError,
+    ServiceClosed,
+    UnknownTenant,
+)
+from .gateway import Gateway
 from .service import BoundQueryService, canonical_itemset
+from .tenants import Tenant, TenantQuota, TenantRegistry, TokenBucket
 
 __all__ = [
+    "BatchScheduler",
     "BoundQueryService",
     "CacheStats",
     "EpochLRUCache",
+    "Gateway",
+    "InvalidRequest",
     "Overloaded",
     "QueryTimeout",
+    "QuotaExceeded",
     "ServeError",
     "ServiceClosed",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "TokenBucket",
+    "UnknownTenant",
     "canonical_itemset",
 ]

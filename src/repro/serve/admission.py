@@ -1,0 +1,228 @@
+"""Admission control: per-tenant quota + cross-request batch coalescing.
+
+:class:`BatchScheduler` sits between a tenant's public query surface
+and its :class:`~repro.serve.service.BoundQueryService`. It does two
+things the service deliberately does not:
+
+* **quota** — each submission first passes the tenant's token bucket;
+  a submission past the sustained rate is shed *before* it touches the
+  service, with :class:`~repro.serve.errors.QuotaExceeded` carrying
+  the bucket's exact refill time as the ``Retry-After`` hint;
+* **coalescing across requests** — admitted itemsets from concurrent
+  requests are gathered for a short linger window (default 2 ms) and
+  flushed to ``service.query_batch`` as one batch, so a hundred
+  single-itemset HTTP requests cost one cache walk and one engine
+  fan-out instead of a hundred. The service's own same-key coalescing
+  and epoch-tagged cache then apply to the merged batch unchanged.
+
+The scheduler never reorders within a request: every caller gets its
+bounds aligned with its own input order, whatever batch they rode in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from .errors import QuotaExceeded, ServiceClosed
+from .service import BoundQueryService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tenants import TokenBucket
+
+__all__ = ["BatchScheduler"]
+
+logger = get_logger(__name__)
+
+
+class _Pending:
+    """One submitted request waiting for its flush."""
+
+    __slots__ = ("itemsets", "future")
+
+    def __init__(
+        self,
+        itemsets: list[Iterable[int]],
+        future: "asyncio.Future[list[int]]",
+    ) -> None:
+        self.itemsets = itemsets
+        self.future = future
+
+
+class BatchScheduler:
+    """Quota gate + linger-window batch coalescer for one tenant.
+
+    Parameters
+    ----------
+    service:
+        The tenant's bound-query service; flushed batches go through
+        its ``query_batch`` (back-pressure, cache, breaker included).
+    max_batch:
+        Largest merged batch per flush; excess requests roll into the
+        next flush immediately (no extra linger).
+    linger:
+        Seconds to hold the first request of a batch open for
+        followers. Zero flushes on the next event-loop tick.
+    bucket:
+        The tenant's quota bucket, or ``None`` for unlimited.
+    tenant:
+        Tenant name, used in error messages and per-tenant metrics.
+    """
+
+    def __init__(
+        self,
+        service: BoundQueryService,
+        *,
+        max_batch: int = 512,
+        linger: float = 0.002,
+        bucket: "TokenBucket | None" = None,
+        tenant: str = "default",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger < 0:
+            raise ValueError("linger must be >= 0")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.linger = float(linger)
+        self.bucket = bucket
+        self.tenant = tenant
+        self._queue: list[_Pending] = []
+        self._flusher: asyncio.Task[None] | None = None
+        self._tasks: set[asyncio.Task[None]] = set()
+        self._closed = False
+        self._requests = 0
+        self._queries = 0
+        self._quota_shed = 0
+        self._batches = 0
+        self._flushed_queries = 0
+
+    # -- submission ------------------------------------------------------
+
+    async def submit(
+        self, itemsets: Sequence[Iterable[int]]
+    ) -> list[int]:
+        """Bounds for *itemsets*, admission-controlled and coalesced.
+
+        Raises :class:`QuotaExceeded` when the tenant's bucket cannot
+        fund ``len(itemsets)`` queries right now (nothing is debited),
+        :class:`ServiceClosed` after :meth:`aclose`, and whatever the
+        underlying flush raised (``Overloaded``, ``QueryTimeout``,
+        ``ValueError``) otherwise.
+        """
+        if self._closed:
+            raise ServiceClosed("batch scheduler")
+        materialized = list(itemsets)
+        self._requests += 1
+        self._queries += len(materialized)
+        metrics = get_registry()
+        if self.bucket is not None and materialized:
+            delay = self.bucket.acquire(len(materialized))
+            if delay > 0.0:
+                self._quota_shed += 1
+                if metrics.enabled:
+                    metrics.inc(f"serve.tenant.{self.tenant}.quota_shed")
+                raise QuotaExceeded(self.tenant, delay)
+        if metrics.enabled:
+            metrics.inc(f"serve.tenant.{self.tenant}.requests")
+            metrics.inc(
+                f"serve.tenant.{self.tenant}.queries", len(materialized)
+            )
+        if not materialized:
+            return []
+        future: asyncio.Future[list[int]] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.append(_Pending(materialized, future))
+        if self._flusher is None or self._flusher.done():
+            task = asyncio.create_task(self._flush_after_linger())
+            self._flusher = task
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return await future
+
+    # -- flushing --------------------------------------------------------
+
+    async def _flush_after_linger(self) -> None:
+        """Hold the window open for followers, then flush the queue."""
+        if self.linger > 0:
+            await asyncio.sleep(self.linger)
+        else:
+            # Yield once so same-tick submitters can still join.
+            await asyncio.sleep(0)
+        while self._queue:
+            batch: list[_Pending] = []
+            size = 0
+            while self._queue and size < self.max_batch:
+                batch.append(self._queue.pop(0))
+                size += len(batch[-1].itemsets)
+            await self._flush(batch)
+
+    async def _flush(self, batch: list[_Pending]) -> None:
+        """Evaluate one merged batch and scatter results to waiters."""
+        merged: list[Iterable[int]] = []
+        for pending in batch:
+            merged.extend(pending.itemsets)
+        self._batches += 1
+        self._flushed_queries += len(merged)
+        try:
+            bounds = await self.service.query_batch(merged)
+        except BaseException as exc:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            if not isinstance(exc, Exception):
+                raise
+            return
+        offset = 0
+        for pending in batch:
+            span = len(pending.itemsets)
+            if not pending.future.done():
+                pending.future.set_result(bounds[offset:offset + span])
+            offset += span
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Requests sitting in the current linger window."""
+        return len(self._queue)
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-friendly admission counters (snake_case, units suffixed)."""
+        return {
+            "requests": self._requests,
+            "queries": self._queries,
+            "quota_shed": self._quota_shed,
+            "batches": self._batches,
+            "coalesced_queries_per_batch": (
+                self._flushed_queries / self._batches
+                if self._batches else 0.0
+            ),
+            "queued": len(self._queue),
+            "max_batch": self.max_batch,
+            "linger_seconds": self.linger,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Flush or fail everything queued; refuse new submissions."""
+        self._closed = True
+        if self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+        leftovers = self._queue
+        self._queue = []
+        closed = ServiceClosed("batch scheduler")
+        for pending in leftovers:
+            if not pending.future.done():
+                pending.future.set_exception(closed)
+
+    async def __aenter__(self) -> "BatchScheduler":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

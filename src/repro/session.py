@@ -24,6 +24,7 @@ their caches invalidate per DESIGN.md §10.
 
 from __future__ import annotations
 
+import asyncio
 import os
 from collections.abc import Sequence
 from typing import Any
@@ -241,14 +242,20 @@ class Session:
         max_pending: int = 1024,
         timeout: float | None = None,
         workers: int | None = None,
+        parallel_threshold: int | None = None,
         slo_target: float | None = None,
         slo_objective: float = 0.99,
     ) -> BoundQueryService:
         """A :class:`BoundQueryService` over the session's map.
 
-        The session keeps a reference so :meth:`extend` can push
-        epoch-advanced maps into it.
+        Keyword names match the service constructor one for one — the
+        session only forwards. The session keeps a reference so
+        :meth:`extend` can push epoch-advanced maps into it and
+        :meth:`close` can release it.
         """
+        kwargs: dict[str, Any] = {}
+        if parallel_threshold is not None:
+            kwargs["parallel_threshold"] = parallel_threshold
         service = BoundQueryService(
             self.ossm,
             cache_size=cache_size,
@@ -257,9 +264,43 @@ class Session:
             workers=self.workers if workers is None else workers,
             slo_target=slo_target,
             slo_objective=slo_objective,
+            **kwargs,
         )
         self._services.append(service)
         return service
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Close every service this session handed out (async callers)."""
+        services, self._services = self._services, []
+        for service in services:
+            await service.aclose()
+
+    def close(self) -> None:
+        """Close every service this session handed out.
+
+        Service teardown is async (worker pools close off-loop), so
+        this synchronous wrapper spins a private event loop. Inside a
+        running loop, ``await session.aclose()`` instead.
+        """
+        if not self._services:
+            return
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            asyncio.run(self.aclose())
+        else:
+            raise RuntimeError(
+                "Session.close() called inside a running event loop; "
+                "use 'await session.aclose()' instead"
+            )
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         db = len(self._database) if self._database is not None else None

@@ -22,3 +22,7 @@ async def async_mutable_default(*, cache={}):
 
 def annotated(count: int) -> int:
     return count
+
+
+def segment(source, n_user=None):
+    return (source, n_user)

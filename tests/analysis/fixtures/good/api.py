@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["Endpoint", "exists", "fresh_list", "annotated", "scrape"]
+__all__ = [
+    "Endpoint",
+    "exists",
+    "fresh_list",
+    "annotated",
+    "scrape",
+    "segment",
+]
 
 
 class Endpoint:
@@ -31,3 +38,13 @@ def fresh_list(values=None):
 
 def annotated(count: int) -> int:
     return count
+
+
+def segment(source, n_segments=None):
+    return _reduce(source, n_segments)
+
+
+def _reduce(state, n_user):
+    # Private helpers may keep the paper's name; only the public
+    # surface is held to the post-deprecation spelling.
+    return (state, n_user)

@@ -17,6 +17,7 @@ class TestFixtures:
             "api-all-missing",
             "api-mutable-default",
             "api-future-import",
+            "api-removed-alias",
         }
 
     def test_good_fixture_is_clean(self):
@@ -98,6 +99,36 @@ class TestMutableDefaults:
 
     def test_tuple_default_is_clean(self):
         source = "def f(items=()):\n    return items\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+
+class TestRemovedAliases:
+    """Names walked back through a deprecation cycle must stay gone."""
+
+    def test_public_segment_n_user_is_flagged(self):
+        source = "def segment(source, n_user=None):\n    return n_user\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-removed-alias"}
+
+    def test_kwonly_spelling_is_flagged_too(self):
+        source = "def segment(source, *, n_user=None):\n    return n_user\n"
+        result = lint_source(source, checkers=CHECKERS)
+        assert rules_of(result) == {"api-removed-alias"}
+
+    def test_private_def_may_keep_the_paper_name(self):
+        source = "def _reduce(state, n_user):\n    return n_user\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_other_functions_may_use_the_name(self):
+        # RecipeInputs-style APIs (Figure 7) legitimately take n_user.
+        source = "def recommend(n_user):\n    return n_user\n"
+        assert not lint_source(source, checkers=CHECKERS).failed
+
+    def test_supported_spelling_is_clean(self):
+        source = (
+            "def segment(source, n_segments=None):\n"
+            "    return n_segments\n"
+        )
         assert not lint_source(source, checkers=CHECKERS).failed
 
 

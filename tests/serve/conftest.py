@@ -1,0 +1,22 @@
+"""Shared fixtures for the serving-plane tests."""
+
+import pytest
+
+from repro.core import GreedySegmenter
+from repro.data import PagedDatabase, generate_quest
+
+N_ITEMS = 40
+
+
+@pytest.fixture(scope="session")
+def db():
+    return generate_quest(
+        n_transactions=400, n_items=N_ITEMS,
+        avg_transaction_len=6.0, n_patterns=50, seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def ossm(db):
+    paged = PagedDatabase(db, page_size=40)
+    return GreedySegmenter().segment(paged, n_segments=5).ossm

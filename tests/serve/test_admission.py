@@ -1,0 +1,158 @@
+"""BatchScheduler: quota gating and cross-request coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    BatchScheduler,
+    BoundQueryService,
+    QuotaExceeded,
+    ServiceClosed,
+    TokenBucket,
+)
+
+from .conftest import N_ITEMS
+
+
+class TestCoalescing:
+    def test_results_align_with_each_request(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                scheduler = BatchScheduler(service, linger=0.005)
+                async with scheduler:
+                    first = scheduler.submit([(1, 2), (3,)])
+                    second = scheduler.submit([(4, 5)])
+                    third = scheduler.submit([(3,), (1, 2), (6,)])
+                    a, b, c = await asyncio.gather(first, second, third)
+                assert a == [ossm.upper_bound((1, 2)),
+                             ossm.upper_bound((3,))]
+                assert b == [ossm.upper_bound((4, 5))]
+                assert c == [ossm.upper_bound((3,)),
+                             ossm.upper_bound((1, 2)),
+                             ossm.upper_bound((6,))]
+                # All three rode one linger window: one service batch.
+                assert scheduler.stats()["batches"] == 1
+                assert service.stats()["slo"]["requests"] == 1
+
+        asyncio.run(main())
+
+    def test_zero_linger_still_coalesces_same_tick(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                async with BatchScheduler(service, linger=0.0) as sched:
+                    results = await asyncio.gather(
+                        *(sched.submit([(i,)]) for i in range(8))
+                    )
+                assert [r[0] for r in results] == [
+                    ossm.upper_bound((i,)) for i in range(8)
+                ]
+                assert sched.stats()["batches"] <= 2
+
+        asyncio.run(main())
+
+    def test_max_batch_splits_flushes(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                scheduler = BatchScheduler(
+                    service, linger=0.005, max_batch=3
+                )
+                async with scheduler:
+                    results = await asyncio.gather(
+                        *(scheduler.submit([(i,), (i + 1,)])
+                          for i in range(5))
+                    )
+                assert all(
+                    r == [ossm.upper_bound((i,)),
+                          ossm.upper_bound((i + 1,))]
+                    for i, r in enumerate(results)
+                )
+                assert scheduler.stats()["batches"] >= 2
+
+        asyncio.run(main())
+
+    def test_empty_submission_is_free(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                async with BatchScheduler(service) as scheduler:
+                    assert await scheduler.submit([]) == []
+                    assert scheduler.stats()["batches"] == 0
+
+        asyncio.run(main())
+
+
+class TestQuotaGate:
+    def test_shed_before_the_service_sees_it(self, ossm):
+        clock_now = [0.0]
+        bucket = TokenBucket(rate=10, burst=2, clock=lambda: clock_now[0])
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                scheduler = BatchScheduler(
+                    service, bucket=bucket, tenant="acme"
+                )
+                async with scheduler:
+                    await scheduler.submit([(1,), (2,)])
+                    with pytest.raises(QuotaExceeded) as info:
+                        await scheduler.submit([(3,)])
+                    assert info.value.status_code == 429
+                    assert info.value.retry_after == pytest.approx(0.1)
+                    # The shed request never reached the service.
+                    assert service.stats()["slo"]["requests"] == 1
+                    assert scheduler.stats()["quota_shed"] == 1
+                    # The bucket refills; the same request then admits.
+                    clock_now[0] += 0.1
+                    bounds = await scheduler.submit([(3,)])
+                    assert bounds == [ossm.upper_bound((3,))]
+
+        asyncio.run(main())
+
+    def test_rejection_debits_nothing(self, ossm):
+        clock_now = [0.0]
+        bucket = TokenBucket(rate=1, burst=1, clock=lambda: clock_now[0])
+
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                async with BatchScheduler(
+                    service, bucket=bucket, tenant="acme"
+                ) as scheduler:
+                    await scheduler.submit([(1,)])
+                    for _ in range(5):
+                        with pytest.raises(QuotaExceeded):
+                            await scheduler.submit([(2,)])
+                    clock_now[0] += 1.0
+                    assert await scheduler.submit([(2,)]) == [
+                        ossm.upper_bound((2,))
+                    ]
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_closed_scheduler_rejects(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                scheduler = BatchScheduler(service)
+                await scheduler.aclose()
+                with pytest.raises(ServiceClosed):
+                    await scheduler.submit([(1,)])
+
+        asyncio.run(main())
+
+    def test_service_errors_reach_every_waiter(self, ossm):
+        async def main():
+            async with BoundQueryService(ossm) as service:
+                async with BatchScheduler(service, linger=0.005) as sched:
+                    bad = N_ITEMS + 5
+                    waits = [
+                        sched.submit([(bad,)]),
+                        sched.submit([(bad, bad + 1)]),
+                    ]
+                    results = await asyncio.gather(
+                        *waits, return_exceptions=True
+                    )
+                assert all(
+                    isinstance(r, ValueError) for r in results
+                ), results
+
+        asyncio.run(main())

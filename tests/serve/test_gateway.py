@@ -1,0 +1,473 @@
+"""HTTP contract tests for every gateway route.
+
+Each route is pinned down over a real socket: status codes, JSON error
+bodies with ``Retry-After``, keep-alive semantics, artifact-upload
+verification, quota shedding, and the epoch-bump-during-batch
+guarantee (a publish landing mid-flight drops nothing and mislabels
+nothing).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import OSSM, extend_ossm
+from repro.data import generate_quest
+from repro.resilience import FaultPlan, FaultRule, use_faults
+from repro.serve import Gateway, TenantQuota, TenantRegistry
+
+from .conftest import N_ITEMS
+
+
+async def http(
+    gateway, method, path, body=b"", headers=None, connection=None
+):
+    """One HTTP/1.1 exchange; returns (status, headers, body bytes)."""
+    if connection is None:
+        reader, writer = await asyncio.open_connection(
+            gateway.host, gateway.port
+        )
+        close = True
+    else:
+        reader, writer = connection
+        close = False
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {gateway.host}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    for key, value in (headers or {}).items():
+        head += f"{key}: {value}\r\n"
+    if close:
+        head += "Connection: close\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    response_headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        response_headers[key.strip().lower()] = value.strip()
+    length = int(response_headers.get("content-length", "0"))
+    payload = await reader.readexactly(length) if length else b""
+    if close:
+        writer.close()
+        await writer.wait_closed()
+    return status, response_headers, payload
+
+
+def post_json(gateway, path, payload, connection=None):
+    return http(
+        gateway, "POST", path, json.dumps(payload).encode("utf-8"),
+        connection=connection,
+    )
+
+
+@pytest.fixture()
+def artifact(ossm, tmp_path):
+    path = tmp_path / "map.npz"
+    ossm.save(path)
+    return path.read_bytes()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestUploadRoute:
+    def test_put_creates_then_replaces(self, ossm, artifact):
+        async def main():
+            async with Gateway() as gateway:
+                status, _, body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                assert status == 201
+                payload = json.loads(body)
+                assert payload == {
+                    "tenant": "acme", "epoch": 0, "created": True,
+                    "n_segments": ossm.n_segments,
+                    "n_items": ossm.n_items,
+                }
+                # Replacing publishes behind an epoch bump.
+                status, _, body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["created"] is False
+                assert payload["epoch"] == 1
+
+        run(main())
+
+    def test_corrupt_artifact_rejected_with_400(self, artifact):
+        damaged = artifact[:-7] + b"garbage"
+
+        async def main():
+            async with Gateway() as gateway:
+                status, _, body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", damaged
+                )
+                assert status == 400
+                assert json.loads(body)["error"] == "InvalidRequest"
+                # The failed upload provisioned nothing.
+                status, _, body = await http(
+                    gateway, "GET", "/v1/tenants"
+                )
+                assert json.loads(body)["tenants"] == []
+
+        run(main())
+
+    def test_empty_upload_rejected(self):
+        async def main():
+            async with Gateway() as gateway:
+                status, _, body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", b""
+                )
+                assert status == 400
+                assert "empty upload" in json.loads(body)["message"]
+
+        run(main())
+
+
+class TestBoundsRoute:
+    def test_single_and_batch_are_exact(self, ossm, artifact):
+        async def main():
+            async with Gateway() as gateway:
+                await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                status, _, body = await post_json(
+                    gateway, "/v1/tenants/acme/bounds",
+                    {"itemset": [1, 2]},
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["bound"] == ossm.upper_bound((1, 2))
+                assert payload["epoch"] == 0
+                assert "bounds" not in payload
+
+                batch = [[0], [3, 4], [], [1, 2, 3]]
+                status, _, body = await post_json(
+                    gateway, "/v1/tenants/acme/bounds",
+                    {"itemsets": batch},
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["bounds"] == [
+                    ossm.upper_bound(tuple(s)) for s in batch
+                ]
+
+        run(main())
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            (b"not json", "not valid JSON"),
+            (b"[1, 2]", "JSON object"),
+            (b"{}", "exactly one of"),
+            (
+                json.dumps(
+                    {"itemset": [0], "itemsets": [[1]]}
+                ).encode(),
+                "exactly one of",
+            ),
+            (json.dumps({"itemsets": "nope"}).encode(), "JSON array"),
+            (json.dumps({"itemsets": [3]}).encode(), "itemset #0"),
+            (
+                json.dumps({"itemset": [1.5]}).encode(),
+                "non-integer",
+            ),
+            (
+                json.dumps({"itemset": [True]}).encode(),
+                "non-integer",
+            ),
+            (
+                json.dumps({"itemset": [10**6]}).encode(),
+                "out of range",
+            ),
+            (
+                json.dumps({"itemset": [-1]}).encode(),
+                "out of range",
+            ),
+        ],
+    )
+    def test_malformed_requests_get_400(self, artifact, body, fragment):
+        async def main():
+            async with Gateway() as gateway:
+                await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                status, _, response = await http(
+                    gateway, "POST", "/v1/tenants/acme/bounds", body
+                )
+                assert status == 400, response
+                payload = json.loads(response)
+                assert payload["error"] == "InvalidRequest"
+                assert fragment in payload["message"]
+                assert "retry_after" not in payload
+
+        run(main())
+
+    def test_unknown_tenant_is_404(self):
+        async def main():
+            async with Gateway() as gateway:
+                status, _, body = await post_json(
+                    gateway, "/v1/tenants/ghost/bounds", {"itemset": [1]}
+                )
+                assert status == 404
+                payload = json.loads(body)
+                assert payload["error"] == "UnknownTenant"
+                assert "ghost" in payload["message"]
+
+        run(main())
+
+    def test_quota_exhaustion_is_429_with_retry_after(self, ossm):
+        async def main():
+            registry = TenantRegistry(
+                default_quota=TenantQuota(rate=1.0, burst=2)
+            )
+            async with registry:
+                registry.create("metered", ossm)
+                async with Gateway(registry) as gateway:
+                    for _ in range(2):
+                        status, _, _body = await post_json(
+                            gateway, "/v1/tenants/metered/bounds",
+                            {"itemset": [1]},
+                        )
+                        assert status == 200
+                    status, headers, body = await post_json(
+                        gateway, "/v1/tenants/metered/bounds",
+                        {"itemset": [2]},
+                    )
+                    assert status == 429
+                    payload = json.loads(body)
+                    assert payload["error"] == "QuotaExceeded"
+                    assert payload["retry_after"] > 0
+                    assert int(headers["retry-after"]) >= 1
+
+        run(main())
+
+
+class TestEpochBumpDuringBatch:
+    def test_publish_mid_flight_drops_nothing(self, ossm, db, tmp_path):
+        """A PUT landing while a bounds batch is evaluating: the batch
+        completes against the map it was admitted under, labeled with
+        that map's epoch, and nothing is shed or timed out."""
+        extra = generate_quest(
+            n_transactions=100, n_items=N_ITEMS,
+            avg_transaction_len=6.0, n_patterns=50, seed=99,
+        )
+        grown = extend_ossm(ossm, extra, page_size=40)
+        grown_path = tmp_path / "grown.npz"
+        OSSM(grown.matrix, segment_sizes=grown.segment_sizes).save(
+            grown_path
+        )
+        grown_blob = grown_path.read_bytes()
+        batch = [[i % N_ITEMS, (i + 3) % N_ITEMS] for i in range(12)]
+        plan = FaultPlan(
+            [FaultRule(point="serve.latency", times=1, delay=0.4)]
+        )
+
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("acme", ossm)
+                inflight = asyncio.create_task(
+                    post_json(
+                        gateway, "/v1/tenants/acme/bounds",
+                        {"itemsets": batch},
+                    )
+                )
+                await asyncio.sleep(0.15)  # batch is mid-evaluation
+                status, _, body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", grown_blob
+                )
+                assert status == 200
+                assert json.loads(body)["epoch"] == 1
+                status, _, body = await inflight
+                assert status == 200
+                payload = json.loads(body)
+                # Answered exactly, against the admitted (old) map.
+                assert payload["epoch"] == 0
+                assert payload["bounds"] == [
+                    ossm.upper_bound(tuple(s)) for s in batch
+                ]
+                stats = gateway.tenants.get("acme").stats()
+                assert stats["epoch"] == 1
+                assert stats["slo"]["violations"] == 0
+                # Fresh queries see the new map immediately.
+                status, _, body = await post_json(
+                    gateway, "/v1/tenants/acme/bounds",
+                    {"itemset": [1, 2]},
+                )
+                payload = json.loads(body)
+                assert payload["epoch"] == 1
+                assert payload["bound"] == grown.upper_bound((1, 2))
+
+        with use_faults(plan):
+            run(main())
+
+
+class TestStatsAndOps:
+    def test_tenant_stats_route(self, ossm, artifact):
+        async def main():
+            async with Gateway() as gateway:
+                await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                await post_json(
+                    gateway, "/v1/tenants/acme/bounds", {"itemset": [1]}
+                )
+                status, _, body = await http(
+                    gateway, "GET", "/v1/tenants/acme/stats"
+                )
+                assert status == 200
+                stats = json.loads(body)
+                assert stats["tenant"] == "acme"
+                assert stats["admission"]["requests"] == 1
+                assert stats["quota"]["rate"] is None
+                assert "latency" in stats and "slo" in stats
+
+        run(main())
+
+    def test_registry_routes(self, ossm):
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("a1", ossm)
+                gateway.tenants.create("a2", ossm)
+                status, _, body = await http(gateway, "GET", "/v1/tenants")
+                assert status == 200
+                assert json.loads(body)["tenants"] == ["a1", "a2"]
+                status, _, body = await http(gateway, "GET", "/stats")
+                payload = json.loads(body)
+                assert payload["tenant_count"] == 2
+                assert set(payload["tenants"]) == {"a1", "a2"}
+                status, _, body = await http(gateway, "GET", "/health")
+                assert json.loads(body) == {
+                    "status": "ok", "tenants": 2
+                }
+
+        run(main())
+
+    def test_metrics_route_exposes_tenant_counters(self, ossm):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("acme", ossm)
+                await post_json(
+                    gateway, "/v1/tenants/acme/bounds", {"itemset": [1]}
+                )
+                status, headers, body = await http(
+                    gateway, "GET", "/metrics"
+                )
+                assert status == 200
+                assert headers["content-type"].startswith("text/plain")
+                text = body.decode("utf-8")
+                assert "repro_serve_tenant_acme_requests_total" in text
+                assert "repro_serve_gateway_requests_total" in text
+
+        with use_registry(registry):
+            run(main())
+
+
+class TestHttpPlumbing:
+    def test_keep_alive_serves_many_requests(self, ossm, artifact):
+        async def main():
+            async with Gateway() as gateway:
+                await http(
+                    gateway, "PUT", "/v1/tenants/acme/ossm", artifact
+                )
+                connection = await asyncio.open_connection(
+                    gateway.host, gateway.port
+                )
+                try:
+                    for item in range(5):
+                        status, headers, body = await post_json(
+                            gateway, "/v1/tenants/acme/bounds",
+                            {"itemset": [item]}, connection=connection,
+                        )
+                        assert status == 200
+                        assert headers["connection"] == "keep-alive"
+                        assert json.loads(body)["bound"] == \
+                            ossm.upper_bound((item,))
+                finally:
+                    connection[1].close()
+                    await connection[1].wait_closed()
+
+        run(main())
+
+    def test_unknown_route_and_method(self, ossm):
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("acme", ossm)
+                status, _, _body = await http(gateway, "GET", "/nope")
+                assert status == 404
+                status, _, _body = await http(
+                    gateway, "GET", "/v1/tenants/acme/bounds"
+                )
+                assert status == 405
+                status, _, _body = await http(
+                    gateway, "POST", "/v1/tenants/acme/ossm", b"x"
+                )
+                assert status == 405
+                status, _, _body = await http(
+                    gateway, "PUT", "/v1/tenants/acme/stats", b""
+                )
+                assert status == 405
+                status, _, _body = await http(
+                    gateway, "GET", "/v1/tenants/acme/nothing"
+                )
+                assert status == 404
+
+        run(main())
+
+    def test_bad_tenant_name_is_400(self):
+        async def main():
+            async with Gateway() as gateway:
+                status, _, body = await http(
+                    gateway, "GET", "/v1/tenants/-bad-/stats"
+                )
+                assert status == 400
+                assert json.loads(body)["error"] == "InvalidRequest"
+
+        run(main())
+
+    def test_oversized_content_length_is_413(self):
+        async def main():
+            async with Gateway() as gateway:
+                reader, writer = await asyncio.open_connection(
+                    gateway.host, gateway.port
+                )
+                writer.write(
+                    b"PUT /v1/tenants/a/ossm HTTP/1.1\r\n"
+                    b"Content-Length: 999999999999\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b"413" in status_line
+                writer.close()
+                await writer.wait_closed()
+
+        run(main())
+
+    def test_delete_then_404(self, ossm):
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("acme", ossm)
+                status, _, body = await http(
+                    gateway, "DELETE", "/v1/tenants/acme"
+                )
+                assert status == 204
+                assert body == b""
+                status, _, _body = await http(
+                    gateway, "DELETE", "/v1/tenants/acme"
+                )
+                assert status == 404
+
+        run(main())

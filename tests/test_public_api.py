@@ -62,6 +62,9 @@ def test_key_symbols_reachable_from_top_level():
         "BitmapCounter", "ThreadedBitmapCounter", "ThreadShardPlanner",
         "BoundQueryService", "EpochLRUCache", "Overloaded",
         "QueryTimeout", "ServiceClosed",
+        "Gateway", "TenantRegistry", "Tenant", "TenantQuota",
+        "TokenBucket", "BatchScheduler", "QuotaExceeded",
+        "UnknownTenant", "InvalidRequest",
         "OpsServer", "SlidingQuantile", "render_prometheus",
     ):
         assert hasattr(repro, name), name

@@ -132,26 +132,26 @@ class TestSessionServing:
         asyncio.run(main())
 
 
-class TestDeprecatedNames:
-    def test_n_user_keyword_warns_once_and_delegates(self, db):
+class TestRemovedNames:
+    """PR 4 deprecated ``segment(n_user=)``; the cycle is now complete
+    and the alias raises a pointed TypeError instead of warning."""
+
+    def test_n_user_keyword_raises_pointed_type_error(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with pytest.raises(TypeError, match="n_segments"):
+            GreedySegmenter().segment(paged, n_user=4)
+        with pytest.raises(TypeError, match="deprecation cycle"):
+            GreedySegmenter().segment(paged, n_user=4)
+
+    def test_supported_spelling_is_silent(self, db):
         paged = PagedDatabase(db, page_size=50)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            old = GreedySegmenter().segment(paged, n_user=4)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "n_segments" in str(deprecations[0].message)
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            new = GreedySegmenter().segment(paged, n_segments=4)
+            result = GreedySegmenter().segment(paged, n_segments=4)
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
-        assert old.ossm == new.ossm
-        assert old.groups == new.groups
+        assert result.n_segments == 4
 
     def test_positional_still_works_silently(self, db):
         paged = PagedDatabase(db, page_size=50)
@@ -163,8 +163,13 @@ class TestDeprecatedNames:
 
     def test_both_names_rejected(self, db):
         paged = PagedDatabase(db, page_size=50)
-        with pytest.raises(TypeError, match="deprecated alias"):
+        with pytest.raises(TypeError, match="n_user"):
             GreedySegmenter().segment(paged, 4, n_user=4)
+
+    def test_other_unknown_keywords_rejected_plainly(self, db):
+        paged = PagedDatabase(db, page_size=50)
+        with pytest.raises(TypeError, match="bogus"):
+            GreedySegmenter().segment(paged, 4, bogus=1)
 
     def test_missing_segment_count_rejected(self, db):
         paged = PagedDatabase(db, page_size=50)
