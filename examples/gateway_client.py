@@ -27,22 +27,51 @@ import asyncio
 import json
 import sys
 import tempfile
+import time
 import urllib.error
 import urllib.request
 
 from repro import Gateway, Session, generate_quest
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.resilience import Backoff
+
+MAX_RETRIES = 5
 
 
 def call(base, method, path, body=b"", expect=200):
-    request = urllib.request.Request(
-        base + path, data=body, method=method
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=10) as response:
-            status, payload = response.status, response.read()
-    except urllib.error.HTTPError as error:
-        status, payload = error.code, error.read()
+    """One HTTP call, retrying 429/503 as the gateway instructs.
+
+    A well-behaved client treats 429 (quota shed) and 503 (draining)
+    as "come back later", not errors: it honors the ``Retry-After``
+    header the gateway attaches, falling back to — and never below —
+    a seeded exponential :class:`~repro.resilience.Backoff`, for a
+    bounded number of attempts.
+    """
+    backoff = Backoff(base=0.05, max_delay=2.0, seed=0)
+    for attempt in range(MAX_RETRIES + 1):
+        request = urllib.request.Request(
+            base + path, data=body, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status, payload = response.status, response.read()
+                headers = response.headers
+        except urllib.error.HTTPError as error:
+            status, payload = error.code, error.read()
+            headers = error.headers
+        retryable = status in (429, 503) and status != expect
+        if not retryable or attempt == MAX_RETRIES:
+            break
+        try:
+            retry_after = float(headers.get("Retry-After") or 0.0)
+        except ValueError:
+            retry_after = 0.0
+        delay = min(max(retry_after, backoff.next_delay()), 5.0)
+        print(
+            f"  {method} {path} -> {status}; retrying in {delay:.2f}s "
+            f"(attempt {attempt + 1}/{MAX_RETRIES})"
+        )
+        time.sleep(delay)
     assert status == expect, (method, path, status, payload)
     if payload.strip().startswith((b"{", b"[")):
         return json.loads(payload)

@@ -51,6 +51,11 @@ DEFAULT_HOT_MODULES: tuple[str, ...] = (
     "serve/admission.py",
     "serve/gateway.py",
     "serve/tenants.py",
+    # The durability plane: the WAL append rides every publish and the
+    # replay loop gates boot, so both must keep telemetry guarded and
+    # imports at module scope.
+    "serve/durability.py",
+    "resilience/chaos.py",
     # The export plane: quantile observation rides every serve request
     # and the exposition/ops handlers live beside the service loop.
     "obs/quantiles.py",

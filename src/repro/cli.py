@@ -57,6 +57,8 @@ from .obs.log import configure_logging, get_logger
 from .obs.metrics import MetricsRegistry, get_registry, use_registry
 from .obs.trace import TraceRecorder, use_recorder
 from .resilience import ResilienceError
+from .resilience.faults import get_injector
+from .serve.durability import TenantStore
 from .serve.gateway import Gateway
 from .serve.service import BoundQueryService
 from .serve.tenants import TenantQuota, TenantRegistry
@@ -210,6 +212,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="--listen mode: per-tenant burst reservoir "
                             "(default one second at --rate)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="--listen mode: durable control-plane root "
+                            "(write-ahead log + artifact directory); "
+                            "tenants recover from it at boot and SIGHUP "
+                            "re-reads its quotas.json overrides")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="--listen mode: max seconds to drain "
+                            "in-flight work after SIGTERM/SIGINT before "
+                            "exiting anyway")
 
     recipe = sub.add_parser(
         "recipe", help="Figure 7 recommendation", parents=[obs]
@@ -415,9 +427,33 @@ def _parse_listen(spec: str) -> tuple[str, int]:
     return host or "127.0.0.1", port
 
 
+def _sighup_quota_reload(registry: TenantRegistry) -> None:
+    """SIGHUP: re-read ``quotas.json`` overrides without dropping
+    connections (a no-op with a warning when no state dir is attached)."""
+    if registry.store is None:
+        logger.warning(
+            "SIGHUP ignored: no --state-dir to re-read quota "
+            "overrides from"
+        )
+        return
+    try:
+        applied = registry.apply_quota_overrides()
+    except ValueError as exc:
+        logger.warning("SIGHUP quota overrides not applied: %s", exc)
+        return
+    logger.info("SIGHUP: applied %d quota override(s)", applied)
+
+
 def _cmd_serve_gateway(args: argparse.Namespace, ossm: OSSM) -> int:
     """``serve --listen``: run the multi-tenant HTTP gateway until
-    SIGINT/SIGTERM, serving the loaded map as the ``--tenant`` tenant."""
+    SIGINT/SIGTERM, serving the loaded map as the ``--tenant`` tenant.
+
+    With ``--state-dir`` the control plane is durable: boot recovers
+    every tenant from the write-ahead log + artifact directory, every
+    create/publish/delete is WAL-logged before it takes effect, and
+    shutdown drains in-flight work under ``--drain-timeout`` with the
+    gateway's ``/ready`` flipped to 503 so load balancers fail over.
+    """
     host, port = _parse_listen(args.listen)
     quota = TenantQuota(rate=args.rate, burst=args.burst)
 
@@ -430,32 +466,86 @@ def _cmd_serve_gateway(args: argparse.Namespace, ossm: OSSM) -> int:
     else:
         metrics_scope = use_registry(MetricsRegistry())
 
+    registry_kwargs: dict[str, object] = dict(
+        max_pending_total=args.max_pending,
+        default_quota=quota,
+        workers=args.workers or None,
+        cache_size=args.cache_size,
+        timeout=args.timeout,
+        slo_target=args.slo_target,
+    )
+
     async def run() -> None:
-        registry = TenantRegistry(
-            max_pending_total=args.max_pending,
-            default_quota=quota,
-            workers=args.workers or None,
-            cache_size=args.cache_size,
-            timeout=args.timeout,
-            slo_target=args.slo_target,
-        )
-        async with registry:
-            registry.create(args.tenant, ossm)
+        if args.state_dir is not None:
+            registry = TenantRegistry.recover(
+                TenantStore(args.state_dir), **registry_kwargs
+            )
+        else:
+            registry = TenantRegistry(**registry_kwargs)
+        recovered = len(registry)
+        try:
+            if args.tenant in registry:
+                # The WAL wins: the recovered epoch keeps serving and
+                # the --ossm map stays the bootstrap-only default.
+                epoch = registry.get(args.tenant).epoch
+            else:
+                epoch = registry.create(args.tenant, ossm).epoch
             async with Gateway(registry, host=host, port=port) as gateway:
+                suffix = (
+                    f" ({recovered} tenant(s) recovered "
+                    f"from {args.state_dir})"
+                    if args.state_dir is not None
+                    else ""
+                )
                 print(
                     f"gateway on {gateway.url}/ "
-                    f"serving tenant {args.tenant!r} at epoch {ossm.epoch}",
+                    f"serving tenant {args.tenant!r} at epoch {epoch}"
+                    f"{suffix}",
                     flush=True,
                 )
                 stop = asyncio.Event()
                 loop = asyncio.get_running_loop()
                 for signum in (signal.SIGINT, signal.SIGTERM):
                     loop.add_signal_handler(signum, stop.set)
+                loop.add_signal_handler(
+                    signal.SIGHUP, _sighup_quota_reload, registry
+                )
                 try:
                     await stop.wait()
                 finally:
-                    for signum in (signal.SIGINT, signal.SIGTERM):
+                    for signum in (
+                        signal.SIGINT, signal.SIGTERM, signal.SIGHUP
+                    ):
                         loop.remove_signal_handler(signum)
+                # Graceful drain: readiness off first (load balancers
+                # stop routing within a probe interval), then let
+                # in-flight batches finish under the deadline; the
+                # listener itself closes when the Gateway context
+                # exits, so health probes get answers throughout.
+                gateway.begin_drain()
+                injector = get_injector()
+                if injector.enabled:
+                    # Off-loop so /ready keeps answering 503 (and
+                    # /health 200) while the chaos harness holds the
+                    # gateway in this window.
+                    await asyncio.to_thread(
+                        injector.maybe_sleep, "serve.drain.mid"
+                    )
+                try:
+                    await asyncio.wait_for(
+                        registry.aclose(), args.drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    logger.warning(
+                        "drain deadline (%.1fs) elapsed with work "
+                        "still in flight; exiting anyway",
+                        args.drain_timeout,
+                    )
+        finally:
+            # Backstop for error paths and deadline exits: the WAL is
+            # flushed and closed no matter how the gateway came down.
+            if registry.store is not None:
+                registry.store.close()
 
     try:
         with metrics_scope:

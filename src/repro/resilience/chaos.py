@@ -1,0 +1,517 @@
+"""Kill−9 chaos harness for the durable serving gateway.
+
+Crash-consistency claims are only as good as the crashes they survive,
+so this module manufactures *real* ones: it boots the actual CLI
+gateway (``python -m repro serve --listen --state-dir``) as a
+subprocess, uses the seeded ``REPRO_FAULTS`` machinery to wedge it at
+a named fault point — mid-WAL-append with half a frame durable,
+post-artifact-pre-WAL, or mid-drain — SIGKILLs it inside the injected
+sleep window, restarts it cleanly, and asserts the recovery invariants
+of DESIGN.md §16:
+
+* every pre-crash tenant is served again, and a replay of seeded
+  queries returns bounds **bit-identical** to ``OSSM.upper_bound`` on
+  the map the reported epoch names;
+* a kill mid-publish leaves the tenant on exactly the old or the new
+  epoch — never a torn in-between;
+* epochs never move backwards across a crash.
+
+The harness is deliberately black-box: it talks to the gateway only
+over HTTP and inspects only the state directory, exactly like an
+operator would. It is importable (``tests/resilience/test_chaos.py``
+runs each scenario under pytest) and runnable
+(``python -m repro.resilience.chaos``) for the CI chaos job.
+
+This module is *not* imported by ``repro.resilience.__init__`` — it
+reaches up into :mod:`repro.core` for the expected-bound oracle, and
+the resilience package must stay a leaf the core can depend on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.greedy import GreedySegmenter
+from ..core.ossm import OSSM
+from ..data.pages import PagedDatabase
+from ..data.quest import generate_quest
+from ..obs.log import get_logger
+
+__all__ = [
+    "KILL_POINTS",
+    "ChaosError",
+    "GatewayProcess",
+    "ScenarioResult",
+    "build_map",
+    "main",
+    "run_all_scenarios",
+    "run_kill_scenario",
+    "seeded_itemsets",
+]
+
+logger = get_logger(__name__)
+
+#: Scenario name -> ``REPRO_FAULTS`` spec that wedges the gateway in a
+#: long injected sleep at that point (the SIGKILL window).
+KILL_POINTS = {
+    "mid_wal_append": "serve.wal.mid_append:times=1,delay=30",
+    "post_artifact_pre_wal": "serve.publish.pre_wal:times=1,delay=30",
+    "mid_drain": "serve.drain.mid:times=1,delay=30",
+}
+
+_BOOT_LINE = re.compile(r"^gateway on (http://[^/]+)/")
+
+#: Per-request client timeout; recovery polling gets its own budgets.
+_HTTP_TIMEOUT = 10.0
+
+
+class ChaosError(AssertionError):
+    """A recovery invariant did not hold (or the harness lost the
+    gateway); the message carries the scenario and the evidence."""
+
+
+def build_map(seed: int, *, n_items: int = 40, n_segments: int = 5) -> OSSM:
+    """A small deterministic OSSM — the bit-exactness oracle.
+
+    Same shape as the serving-plane test fixtures: a seeded quest
+    workload, greedily segmented. Distinct seeds give maps with
+    distinct bounds, so a recovered tenant serving the wrong epoch's
+    map cannot pass the query replay by accident.
+    """
+    db = generate_quest(
+        n_transactions=400, n_items=n_items,
+        avg_transaction_len=6.0, n_patterns=50, seed=seed,
+    )
+    paged = PagedDatabase(db, page_size=40)
+    return GreedySegmenter().segment(paged, n_segments=n_segments).ossm
+
+
+def seeded_itemsets(
+    seed: int, count: int, n_items: int
+) -> list[list[int]]:
+    """*count* seeded query itemsets (size 1-3) over ``n_items``."""
+    rng = random.Random(seed)
+    itemsets: list[list[int]] = []
+    for _ in range(count):
+        size = rng.randint(1, 3)
+        itemsets.append(sorted(rng.sample(range(n_items), size)))
+    return itemsets
+
+
+class GatewayProcess:
+    """One CLI gateway subprocess, driven black-box over HTTP.
+
+    Boots ``python -m repro serve --ossm ... --listen 127.0.0.1:0
+    --state-dir ...`` with ``src/`` prepended to ``PYTHONPATH`` (so
+    the harness works from a checkout without installation), reads the
+    boot line back for the kernel-assigned port, and exposes plain
+    request helpers plus SIGTERM/SIGKILL controls.
+    """
+
+    def __init__(
+        self,
+        ossm_path: str | os.PathLike,
+        state_dir: str | os.PathLike | None,
+        *,
+        tenant: str = "default",
+        drain_timeout: float = 10.0,
+        env: dict[str, str] | None = None,
+    ) -> None:
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--ossm", os.fspath(ossm_path),
+            "--listen", "127.0.0.1:0",
+            "--drain-timeout", str(drain_timeout),
+        ]
+        if state_dir is not None:
+            command += ["--state-dir", os.fspath(state_dir)]
+        src_dir = Path(__file__).resolve().parents[2]
+        full_env = dict(os.environ)
+        existing = full_env.get("PYTHONPATH", "")
+        full_env["PYTHONPATH"] = (
+            f"{src_dir}{os.pathsep}{existing}" if existing else str(src_dir)
+        )
+        if env:
+            full_env.update(env)
+        self.tenant = tenant
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=full_env,
+        )
+        self.lines: list[str] = []
+        self.url: str | None = None
+        self._url_ready = threading.Event()
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+
+    def _pump(self) -> None:
+        stream = self.proc.stdout
+        assert stream is not None
+        for line in stream:
+            self.lines.append(line.rstrip("\n"))
+            match = _BOOT_LINE.match(line)
+            if match is not None:
+                self.url = match.group(1)
+                self._url_ready.set()
+        # EOF: wake any waiter even if the boot line never appeared.
+        self._url_ready.set()
+
+    # -- client helpers ---------------------------------------------------
+
+    def wait_url(self, timeout: float = 30.0) -> str:
+        """The base URL from the boot line (raises if it never prints)."""
+        self._url_ready.wait(timeout)
+        if self.url is None:
+            raise ChaosError(
+                "gateway printed no boot line; output was:\n"
+                + "\n".join(self.lines)
+            )
+        return self.url
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        timeout: float = _HTTP_TIMEOUT,
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip; ``(status, body)`` even on 4xx/5xx."""
+        req = urllib.request.Request(
+            self.wait_url() + path, data=body or None, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def get_json(self, path: str) -> dict:
+        status, payload = self.request("GET", path)
+        if status != 200:
+            raise ChaosError(f"GET {path} -> {status}: {payload!r}")
+        return json.loads(payload)
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Poll ``/ready`` until it answers 200."""
+        deadline = time.monotonic() + timeout
+        last: tuple[int, bytes] | OSError | None = None
+        while time.monotonic() < deadline:
+            try:
+                last = self.request("GET", "/ready", timeout=2.0)
+            except OSError as exc:
+                last = exc
+            else:
+                if last[0] == 200:
+                    return
+            time.sleep(0.05)
+        raise ChaosError(f"gateway never became ready: {last!r}")
+
+    def put_tenant(self, name: str, ossm: OSSM) -> dict:
+        """Upload *ossm* as tenant *name* (create or publish)."""
+        with tempfile.NamedTemporaryFile(suffix=".npz") as artifact:
+            ossm.save(artifact.name)
+            blob = Path(artifact.name).read_bytes()
+        status, payload = self.request(
+            "PUT", f"/v1/tenants/{name}/ossm", blob
+        )
+        if status not in (200, 201):
+            raise ChaosError(
+                f"PUT tenant {name!r} -> {status}: {payload!r}"
+            )
+        return json.loads(payload)
+
+    # -- process control --------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL — the crash under test; nothing gets to clean up."""
+        self.proc.send_signal(signal.SIGKILL)
+
+    def terminate(self) -> None:
+        """SIGTERM — ask for a graceful drain."""
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 30.0) -> int:
+        """Reap the process; its exit code."""
+        code = self.proc.wait(timeout)
+        if self._reader.is_alive():
+            self._reader.join(timeout=5.0)
+        return code
+
+    def __enter__(self) -> "GatewayProcess":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.proc.poll() is None:
+            self.kill()
+        self.proc.wait(timeout=30.0)
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+@dataclass
+class ScenarioResult:
+    """What one kill scenario observed; the caller asserts on it."""
+
+    point: str
+    epochs: dict[str, int] = field(default_factory=dict)
+    queries_verified: int = 0
+    recovery_seconds: float = 0.0
+    drain_exit_code: int | None = None
+
+
+def _poll(
+    predicate, timeout: float, what: str, interval: float = 0.02
+) -> None:
+    """Busy-wait for *predicate* (the wedge detectors are file stats)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise ChaosError(f"timed out waiting for {what}")
+
+
+def _verify_recovery(
+    gateway: GatewayProcess,
+    maps: dict[str, dict[int, OSSM]],
+    expected_epochs: dict[str, set[int]],
+    queries_per_tenant: int,
+) -> tuple[dict[str, int], int]:
+    """Replay seeded queries against every recovered tenant.
+
+    Returns ``(reported epochs, total queries verified)``; raises
+    :class:`ChaosError` on any mismatch.
+    """
+    listed = set(gateway.get_json("/v1/tenants")["tenants"])
+    missing = set(maps) - listed
+    if missing:
+        raise ChaosError(f"tenants lost across the crash: {sorted(missing)}")
+    epochs: dict[str, int] = {}
+    verified = 0
+    for name, versions in sorted(maps.items()):
+        n_items = next(iter(versions.values())).n_items
+        itemsets = seeded_itemsets(
+            seed=len(name) * 1000 + queries_per_tenant,
+            count=queries_per_tenant,
+            n_items=n_items,
+        )
+        body = json.dumps({"itemsets": itemsets}).encode()
+        status, payload = gateway.request(
+            "POST", f"/v1/tenants/{name}/bounds", body
+        )
+        if status != 200:
+            raise ChaosError(
+                f"bounds for recovered tenant {name!r} -> {status}: "
+                f"{payload!r}"
+            )
+        answer = json.loads(payload)
+        epoch = answer["epoch"]
+        epochs[name] = epoch
+        if epoch not in expected_epochs[name]:
+            raise ChaosError(
+                f"tenant {name!r} recovered at epoch {epoch}, expected "
+                f"one of {sorted(expected_epochs[name])} — a torn epoch"
+            )
+        oracle = versions[epoch]
+        expected = [oracle.upper_bound(tuple(s)) for s in itemsets]
+        if answer["bounds"] != expected:
+            raise ChaosError(
+                f"tenant {name!r} bounds diverged from the epoch-{epoch} "
+                f"map after recovery"
+            )
+        verified += len(itemsets)
+    return epochs, verified
+
+
+def run_kill_scenario(
+    point: str,
+    workdir: str | os.PathLike,
+    *,
+    n_tenants: int = 3,
+    queries_per_tenant: int = 60,
+) -> ScenarioResult:
+    """SIGKILL the gateway at *point*, restart, assert recovery.
+
+    Three phases, all through the real CLI:
+
+    A. clean boot with ``--state-dir``: provision ``n_tenants`` maps
+       at epoch 0, SIGTERM, expect a graceful exit 0;
+    B. boot with ``REPRO_FAULTS`` wedging *point*, trigger the
+       transition that reaches it (a publish of tenant ``t0``, or the
+       drain itself), and SIGKILL inside the injected sleep;
+    C. clean boot again: every tenant must answer seeded queries
+       bit-identically to the map its reported epoch names, with the
+       published tenant on exactly the old or the new epoch.
+    """
+    if point not in KILL_POINTS:
+        raise ValueError(
+            f"unknown kill point {point!r}; choose from "
+            f"{sorted(KILL_POINTS)}"
+        )
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    state_dir = workdir / "state"
+    result = ScenarioResult(point=point)
+
+    # The maps each tenant may legitimately serve after the crash,
+    # keyed by epoch. t0 gets a distinct v1 map published in phase B.
+    maps: dict[str, dict[int, OSSM]] = {
+        f"t{i}": {0: build_map(seed=100 + i)} for i in range(n_tenants)
+    }
+    maps["t0"][1] = build_map(seed=777)
+    # The CLI's own bootstrap tenant participates too: it must also
+    # survive the crash bit-exactly.
+    default_map = build_map(seed=55)
+    maps["default"] = {0: default_map}
+    boot_artifact = workdir / "boot.npz"
+    default_map.save(boot_artifact)
+
+    expected: dict[str, set[int]] = {name: {0} for name in maps}
+    if point != "mid_drain":
+        # A kill mid-publish must leave t0 on exactly the old or the
+        # new epoch.
+        expected["t0"] = {0, 1}
+
+    # -- phase A: provision everything, exit gracefully -------------------
+    with GatewayProcess(boot_artifact, state_dir) as gateway:
+        gateway.wait_ready()
+        for name in sorted(maps):
+            if name != "default":
+                gateway.put_tenant(name, maps[name][0])
+        gateway.terminate()
+        code = gateway.wait()
+        if code != 0:
+            raise ChaosError(
+                f"graceful shutdown exited {code}; output:\n"
+                + "\n".join(gateway.lines)
+            )
+        if not any("gateway stopped" in line for line in gateway.lines):
+            raise ChaosError("clean shutdown printed no stop line")
+
+    # -- phase B: wedge at the fault point, SIGKILL -----------------------
+    faults = {"REPRO_FAULTS": KILL_POINTS[point], "REPRO_FAULTS_SEED": "7"}
+    wal_path = state_dir / "wal.log"
+    wal_size = wal_path.stat().st_size
+    with GatewayProcess(boot_artifact, state_dir, env=faults) as gateway:
+        gateway.wait_ready()
+        if point == "mid_drain":
+            gateway.terminate()
+            # The drain wedge: /ready flips to 503 while /health stays
+            # 200 — the liveness/readiness split under test.
+            _poll(
+                lambda: gateway.request("GET", "/ready")[0] == 503,
+                timeout=15.0, what="readiness to flip during drain",
+            )
+            status, _ = gateway.request("GET", "/health")
+            if status != 200:
+                raise ChaosError(
+                    f"/health answered {status} during drain; liveness "
+                    "must hold while readiness sheds"
+                )
+        else:
+            publisher = threading.Thread(
+                target=_swallow_publish,
+                args=(gateway, maps["t0"][1]),
+                daemon=True,
+            )
+            publisher.start()
+            if point == "mid_wal_append":
+                # Half the frame is already fsynced when the sleep
+                # starts — the WAL file visibly grows.
+                _poll(
+                    lambda: wal_path.stat().st_size > wal_size,
+                    timeout=15.0, what="the torn half-frame to land",
+                )
+            else:  # post_artifact_pre_wal
+                new_artifact = (
+                    state_dir / "artifacts" / "t0" / "epoch_00000001.npz"
+                )
+                _poll(
+                    lambda: new_artifact.exists()
+                    and wal_path.stat().st_size == wal_size,
+                    timeout=15.0,
+                    what="the epoch-1 artifact before any WAL append",
+                )
+        gateway.kill()
+        gateway.wait()
+
+    # -- phase C: clean restart, verify the invariants --------------------
+    restarted = time.monotonic()
+    with GatewayProcess(boot_artifact, state_dir) as gateway:
+        gateway.wait_ready()
+        result.recovery_seconds = time.monotonic() - restarted
+        result.epochs, result.queries_verified = _verify_recovery(
+            gateway, maps, expected, queries_per_tenant
+        )
+        gateway.terminate()
+        result.drain_exit_code = gateway.wait()
+        if result.drain_exit_code != 0:
+            raise ChaosError(
+                f"post-recovery shutdown exited {result.drain_exit_code}"
+            )
+    logger.info(
+        "chaos %s: recovered %d tenants in %.2fs, %d queries bit-exact",
+        point, len(result.epochs), result.recovery_seconds,
+        result.queries_verified,
+    )
+    return result
+
+
+def _swallow_publish(gateway: GatewayProcess, ossm: OSSM) -> None:
+    """Fire the publish that will die with the gateway.
+
+    The request is *expected* to never complete — the process is
+    SIGKILLed while wedged — so transport errors are the success case
+    here, not a swallowed failure.
+    """
+    try:
+        gateway.put_tenant("t0", ossm)
+    except (ChaosError, OSError):
+        pass
+
+
+def run_all_scenarios(
+    workdir: str | os.PathLike, **kwargs: int
+) -> list[ScenarioResult]:
+    """Every named kill point, each in its own state directory."""
+    results = []
+    for point in sorted(KILL_POINTS):
+        results.append(
+            run_kill_scenario(
+                point, Path(workdir) / point, **kwargs
+            )
+        )
+    return results
+
+
+def main() -> int:
+    """CLI entry (``python -m repro.resilience.chaos``) for the CI job."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        for result in run_all_scenarios(workdir):
+            print(
+                f"chaos {result.point}: epochs {result.epochs} "
+                f"({result.queries_verified} queries bit-exact, "
+                f"recovery {result.recovery_seconds:.2f}s)"
+            )
+    print("chaos: all kill points recovered")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

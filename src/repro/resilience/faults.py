@@ -24,6 +24,15 @@ point                     effect when the rule fires
                           ``after=`` to pick which level hit)
 ``serve.eval_error``      one service batch evaluation raises
 ``serve.latency``         one service batch evaluation sleeps ``delay``
+``serve.wal.mid_append``  a WAL append sleeps ``delay`` with only the
+                          first half of the frame durable — a SIGKILL
+                          in the window leaves a real torn tail
+``serve.publish.pre_wal``  a publish sleeps ``delay`` after the
+                          artifact fsync but before the WAL append —
+                          a kill here must recover to the OLD epoch
+``serve.drain.mid``       the gateway sleeps ``delay`` mid-drain
+                          (after readiness flips, before the WAL
+                          closes)
 ========================  ==================================================
 
 Determinism: a rule fires on hits ``after <= n < after + times`` of its

@@ -158,8 +158,10 @@ def verified_load_npz(
     keeps raising ``FileNotFoundError``; every other low-level failure
     — truncated zip, damaged member, unreadable header — surfaces as
     :class:`CorruptArtifact`, and checksum/kind/version violations as
-    :class:`CorruptArtifact`/:class:`IntegrityError`. Pre-versioning
-    archives (no meta keys) load without verification.
+    :class:`CorruptArtifact`/:class:`IntegrityError`. Every rejection
+    names the offending path in its message and bumps the
+    ``resilience.integrity.rejected`` counter. Pre-versioning archives
+    (no meta keys) load without verification.
     """
     metrics = get_registry()
     try:
@@ -189,16 +191,21 @@ def verified_load_npz(
         # — means the bytes on disk are damaged.
         if metrics.enabled:
             metrics.inc("resilience.artifacts.corrupt")
+            metrics.inc("resilience.integrity.rejected")
         raise CorruptArtifact(path, f"unreadable archive ({exc})") from exc
     if version is None:
         # Legacy archive from before the integrity format: accept as-is.
         return payload
     if version > ARTIFACT_VERSION:
+        if metrics.enabled:
+            metrics.inc("resilience.integrity.rejected")
         raise IntegrityError(
             f"artifact {path} uses format version {version}; this build "
             f"reads up to {ARTIFACT_VERSION}"
         )
     if stored_kind is not None and stored_kind != kind:
+        if metrics.enabled:
+            metrics.inc("resilience.integrity.rejected")
         raise IntegrityError(
             f"artifact {path} holds a {stored_kind!r} payload, "
             f"expected {kind!r}"
@@ -206,6 +213,7 @@ def verified_load_npz(
     if stored_crc is not None and payload_checksum(payload) != stored_crc:
         if metrics.enabled:
             metrics.inc("resilience.artifacts.corrupt")
+            metrics.inc("resilience.integrity.rejected")
         raise CorruptArtifact(path, "checksum mismatch")
     if metrics.enabled:
         metrics.inc("resilience.artifacts.verified")

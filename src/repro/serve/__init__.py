@@ -17,14 +17,20 @@ CLI front end.
 * :class:`~repro.serve.admission.BatchScheduler` — per-tenant quota
   gate + cross-request batch coalescing.
 * :class:`~repro.serve.gateway.Gateway` — the stdlib-asyncio HTTP
-  edge (``/v1/tenants/...``).
+  edge (``/v1/tenants/...``), with ``/ready``-vs-``/health`` graceful
+  drain.
+* :class:`~repro.serve.durability.TenantStore` — the crash-consistent
+  control plane: CRC-framed write-ahead log + atomic artifact
+  directory behind ``TenantRegistry.recover`` (DESIGN.md §16).
 * :mod:`repro.serve.errors` — typed failures carrying
   ``status_code``/``retry_after`` for mechanical HTTP mapping.
 """
 
 from .admission import BatchScheduler
 from .cache import CacheStats, EpochLRUCache
+from .durability import RecoveredTenant, TenantStore
 from .errors import (
+    Draining,
     InvalidRequest,
     Overloaded,
     QueryTimeout,
@@ -41,17 +47,20 @@ __all__ = [
     "BatchScheduler",
     "BoundQueryService",
     "CacheStats",
+    "Draining",
     "EpochLRUCache",
     "Gateway",
     "InvalidRequest",
     "Overloaded",
     "QueryTimeout",
     "QuotaExceeded",
+    "RecoveredTenant",
     "ServeError",
     "ServiceClosed",
     "Tenant",
     "TenantQuota",
     "TenantRegistry",
+    "TenantStore",
     "TokenBucket",
     "UnknownTenant",
     "canonical_itemset",

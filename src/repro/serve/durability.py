@@ -1,0 +1,521 @@
+"""Durable control plane for the serving gateway: WAL + artifact store.
+
+Everything the multi-tenant gateway knows — which tenants exist, their
+quotas, which OSSM epoch each one serves — lived in process memory
+until this module existed, so a crash silently lost every tenant.
+:class:`TenantStore` makes that state crash-consistent with the same
+discipline the checkpoint layer applies to mining state (Grahne & Zhu's
+secondary-memory blueprint: disk is a first-class tier, not a cache):
+
+* **artifact directory** — every published map is an
+  ``atomic_savez``-written, CRC-verified ``.npz`` under
+  ``<state_dir>/artifacts/<tenant>/epoch_NNNNNNNN.npz``; the write is
+  temp + fsync + rename, so a crash leaves the old artifact or the new
+  one, never a torn hybrid (:mod:`repro.resilience.integrity`);
+* **write-ahead log** — control-plane transitions (create / publish /
+  delete / quota) are appended to ``<state_dir>/wal.log`` as
+  CRC32-framed JSON records (the ``RPCK`` framing of
+  :mod:`repro.resilience.checkpoint`, with a ``RPWL`` magic), each
+  append flushed and ``fsync``\\ ed before the in-memory swap;
+* **ordering** — publish is *artifact-fsync → WAL-append → memory
+  swap*. A WAL record therefore always names an artifact that is
+  already durable: a crash before the WAL append leaves the tenant on
+  the old epoch, a crash after it recovers to the new one, and no
+  interleaving can yield a torn epoch (DESIGN.md §16);
+* **replay** — :meth:`TenantStore.replay` restores the longest valid
+  record prefix. A damaged *final* record is a torn tail from a crash
+  mid-append: it is skipped (``serve.wal.torn``), truncated away, and
+  recovery proceeds. Damage *followed by* further records cannot be
+  produced by an append crash and propagates as the typed
+  :class:`~repro.resilience.errors.CorruptArtifact`.
+
+The store knows nothing about registries or services; it persists and
+replays plain records. :meth:`repro.serve.tenants.TenantRegistry.recover`
+folds a replay back into live tenants.
+
+Operator-facing extras: ``<state_dir>/quotas.json`` may hold
+per-tenant quota overrides (``{"tenant": {"rate": ..., "burst": ...,
+"max_pending_share": ...}}``); the CLI re-reads it on SIGHUP without
+dropping connections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+from ..core.ossm import OSSM
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..resilience.errors import CorruptArtifact
+from ..resilience.faults import get_injector
+
+__all__ = ["RecoveredTenant", "TenantStore", "WAL_VERSION"]
+
+logger = get_logger(__name__)
+
+#: WAL record format version; replay refuses newer.
+WAL_VERSION = 1
+
+_MAGIC = b"RPWL"
+_HEADER = struct.Struct(">IQ")  # crc32, payload length
+_PREFIX = len(_MAGIC) + 1 + _HEADER.size
+
+#: Control-plane operations a WAL record may carry.
+_OPS = frozenset({"create", "publish", "delete", "quota"})
+
+#: Keys a serialized quota may carry (mirrors TenantQuota's fields).
+_QUOTA_KEYS = frozenset({"rate", "burst", "max_pending_share"})
+
+
+@dataclass(frozen=True)
+class RecoveredTenant:
+    """One tenant's control-plane state as folded from a WAL replay.
+
+    ``quota`` is the raw serialized mapping (or ``None`` for the
+    registry default) — the registry side turns it back into a
+    :class:`~repro.serve.tenants.TenantQuota`; keeping it plain here
+    lets the store stay ignorant of the serving layer.
+    """
+
+    name: str
+    epoch: int
+    artifact: str
+    quota: dict[str, Any] | None = None
+
+
+class TenantStore:
+    """Crash-consistent on-disk home of the gateway control plane.
+
+    Parameters
+    ----------
+    root:
+        The state directory (created if missing). Layout::
+
+            <root>/wal.log            append-only control-plane log
+            <root>/artifacts/<t>/...  per-(tenant, epoch) .npz maps
+            <root>/quotas.json        optional operator quota overrides
+
+    fsync:
+        When True (the default, and what every production caller
+        wants), each WAL append is flushed and ``fsync``\\ ed before
+        returning. False exists only for benchmarks that want to price
+        the fsync itself.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, fsync: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.artifacts_dir = self.root.joinpath("artifacts")
+        self.artifacts_dir.mkdir(exist_ok=True)
+        self.wal_path = self.root.joinpath("wal.log")
+        self.quotas_path = self.root.joinpath("quotas.json")
+        self._fsync = bool(fsync)
+        self._handle: IO[bytes] | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- WAL: appending ---------------------------------------------------
+
+    def _frame(self, record: Mapping[str, Any]) -> bytes:
+        payload = json.dumps(
+            dict(record), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return (
+            _MAGIC
+            + bytes([WAL_VERSION])
+            + _HEADER.pack(zlib.crc32(payload), len(payload))
+            + payload
+        )
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one framed *record*, flushed and fsynced, atomically
+        with respect to this store's other appenders.
+
+        Under an active fault plan the frame is written in two halves
+        with the first half already durable and a
+        ``serve.wal.mid_append`` sleep between them, so the chaos
+        harness can SIGKILL the process while a torn record sits on
+        disk — the exact state a real crash mid-append leaves.
+        """
+        op = record.get("op")
+        if op not in _OPS:
+            raise ValueError(f"unknown WAL op {op!r}")
+        blob = self._frame(record)
+        injector = get_injector()
+        with self._lock:
+            if self._closed:
+                raise ValueError("tenant store is closed")
+            if self._handle is None:
+                self._handle = open(self.wal_path, "ab")
+            handle = self._handle
+            if injector.enabled:
+                half = max(1, len(blob) // 2)
+                handle.write(blob[:half])
+                handle.flush()
+                os.fsync(handle.fileno())
+                injector.maybe_sleep("serve.wal.mid_append")
+                handle.write(blob[half:])
+            else:
+                handle.write(blob)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("serve.wal.appends")
+            metrics.inc("serve.wal.bytes", len(blob))
+
+    def record_create(
+        self,
+        name: str,
+        epoch: int,
+        artifact: str,
+        quota: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Log that *name* now exists, serving *artifact* at *epoch*."""
+        record: dict[str, Any] = {
+            "op": "create", "tenant": name,
+            "epoch": int(epoch), "artifact": artifact,
+        }
+        if quota is not None:
+            record["quota"] = dict(quota)
+        self.append(record)
+
+    def record_publish(self, name: str, epoch: int, artifact: str) -> None:
+        """Log that *name* advanced to *epoch*, serving *artifact*."""
+        self.append({
+            "op": "publish", "tenant": name,
+            "epoch": int(epoch), "artifact": artifact,
+        })
+
+    def record_delete(self, name: str) -> None:
+        """Log that *name* was torn down (a tombstone; replay honors it)."""
+        self.append({"op": "delete", "tenant": name})
+
+    def record_quota(self, name: str, quota: Mapping[str, Any]) -> None:
+        """Log a quota change for *name* so recovery restores it."""
+        self.append({"op": "quota", "tenant": name, "quota": dict(quota)})
+
+    # -- WAL: replay ------------------------------------------------------
+
+    def replay(self) -> list[dict[str, Any]]:
+        """The longest valid record prefix of the WAL, in append order.
+
+        A damaged final record (truncated frame, failed CRC, garbled
+        payload) is the signature of a crash mid-append: it is counted
+        (``serve.wal.torn``), logged, truncated off the file so later
+        appends extend a clean log, and replay succeeds with the
+        records before it. Damage with valid data *after* it cannot
+        come from an append crash and raises
+        :class:`~repro.resilience.errors.CorruptArtifact`.
+        """
+        try:
+            data = self.wal_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, Any]] = []
+        offset = 0
+        size = len(data)
+        torn: str | None = None
+        while offset < size:
+            if size - offset < _PREFIX:
+                torn = "truncated frame header"
+                break
+            if data[offset:offset + len(_MAGIC)] != _MAGIC:
+                raise CorruptArtifact(
+                    self.wal_path,
+                    f"bad record magic at byte {offset}",
+                )
+            version = data[offset + len(_MAGIC)]
+            if version > WAL_VERSION:
+                raise CorruptArtifact(
+                    self.wal_path,
+                    f"WAL record version {version} is newer than "
+                    f"{WAL_VERSION}",
+                )
+            crc, length = _HEADER.unpack_from(
+                data, offset + len(_MAGIC) + 1
+            )
+            end = offset + _PREFIX + length
+            if end > size:
+                torn = (
+                    f"truncated payload ({size - offset - _PREFIX}"
+                    f"/{length} bytes)"
+                )
+                break
+            payload = data[offset + _PREFIX:end]
+            damage: str | None = None
+            record: dict[str, Any] | None = None
+            if zlib.crc32(payload) != crc:
+                damage = "checksum mismatch"
+            else:
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except ValueError as exc:
+                    damage = f"unparseable payload ({exc})"
+            if damage is not None:
+                if end >= size:
+                    torn = damage
+                    break
+                raise CorruptArtifact(
+                    self.wal_path,
+                    f"record at byte {offset}: {damage}",
+                )
+            if not isinstance(record, dict) or record.get("op") not in _OPS:
+                raise CorruptArtifact(
+                    self.wal_path,
+                    f"record at byte {offset} holds no known op",
+                )
+            records.append(record)
+            offset = end
+        if torn is not None:
+            self._drop_torn_tail(offset, torn)
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("serve.wal.records_replayed", len(records))
+        return records
+
+    def _drop_torn_tail(self, valid: int, reason: str) -> None:
+        """Truncate the WAL back to its *valid* prefix length."""
+        logger.warning(
+            "dropping torn WAL tail of %s after byte %d (%s)",
+            self.wal_path, valid, reason,
+        )
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.inc("serve.wal.torn")
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            with open(self.wal_path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def recovered_tenants(self) -> dict[str, RecoveredTenant]:
+        """Fold :meth:`replay` into the per-tenant end state.
+
+        Creates (re)define a tenant, publishes advance its epoch and
+        artifact, quota records replace its quota, and deletes remove
+        it — a deleted tenant stays deleted until a later create. A
+        publish or quota record for a tenant the fold does not know is
+        impossible under the artifact-before-WAL ordering and raises
+        :class:`~repro.resilience.errors.CorruptArtifact`.
+        """
+        state: dict[str, RecoveredTenant] = {}
+        for record in self.replay():
+            op = record["op"]
+            name = str(record.get("tenant", ""))
+            if op == "create":
+                state[name] = RecoveredTenant(
+                    name=name,
+                    epoch=int(record["epoch"]),
+                    artifact=str(record["artifact"]),
+                    quota=self._valid_quota(record.get("quota")),
+                )
+            elif op == "delete":
+                state.pop(name, None)
+            elif name not in state:
+                raise CorruptArtifact(
+                    self.wal_path,
+                    f"{op!r} record for unknown tenant {name!r}",
+                )
+            elif op == "publish":
+                previous = state[name]
+                epoch = int(record["epoch"])
+                if epoch <= previous.epoch:
+                    raise CorruptArtifact(
+                        self.wal_path,
+                        f"epoch moved backwards for tenant {name!r} "
+                        f"({previous.epoch} -> {epoch})",
+                    )
+                state[name] = RecoveredTenant(
+                    name=name,
+                    epoch=epoch,
+                    artifact=str(record["artifact"]),
+                    quota=previous.quota,
+                )
+            else:  # op == "quota"
+                previous = state[name]
+                state[name] = RecoveredTenant(
+                    name=name,
+                    epoch=previous.epoch,
+                    artifact=previous.artifact,
+                    quota=self._valid_quota(record.get("quota")),
+                )
+        return state
+
+    def _valid_quota(self, quota: Any) -> dict[str, Any] | None:
+        if quota is None:
+            return None
+        if not isinstance(quota, dict) or not set(quota) <= _QUOTA_KEYS:
+            raise CorruptArtifact(
+                self.wal_path, f"malformed quota record {quota!r}"
+            )
+        return quota
+
+    # -- artifacts --------------------------------------------------------
+
+    def artifact_path(self, relpath: str) -> Path:
+        """Absolute path of a WAL-recorded artifact, confinement-checked."""
+        path = self.artifacts_dir.joinpath(relpath)
+        resolved = path.resolve()
+        if not resolved.is_relative_to(self.artifacts_dir.resolve()):
+            raise CorruptArtifact(
+                self.wal_path,
+                f"artifact path {relpath!r} escapes the store",
+            )
+        return path
+
+    def save_artifact(self, name: str, ossm: OSSM) -> str:
+        """Durably publish *ossm* for tenant *name*; the WAL-able relpath.
+
+        Goes through :meth:`OSSM.save` (atomic temp + fsync + rename
+        with an embedded kind tag and CRC), so the artifact named by a
+        subsequent WAL record is durable and verifiable before the
+        record exists.
+        """
+        relpath = os.path.join(name, f"epoch_{ossm.epoch:08d}.npz")
+        final = self.artifacts_dir.joinpath(relpath)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        ossm.save(final)
+        return relpath
+
+    def load_artifact(self, relpath: str) -> OSSM:
+        """Load and verify a WAL-recorded artifact back into an OSSM.
+
+        A WAL record only ever names an artifact that was fsynced
+        before the record existed (the §16 ordering), so a missing
+        file is not a benign race — it is reported as the same typed
+        :class:`~repro.resilience.errors.CorruptArtifact` a damaged
+        one would be.
+        """
+        path = self.artifact_path(relpath)
+        try:
+            return OSSM.load(path)
+        except FileNotFoundError:
+            raise CorruptArtifact(
+                path, "artifact named by the WAL is missing"
+            ) from None
+
+    def drop_artifacts(self, name: str) -> None:
+        """Best-effort removal of a deleted tenant's artifact files.
+
+        Runs *after* the delete tombstone is durable — a crash part-way
+        leaves orphaned files that replay already ignores, never a
+        live tenant with missing maps.
+        """
+        directory = self.artifacts_dir.joinpath(name)
+        if not directory.is_dir():
+            return
+        left_behind: list[str] = []
+        for path in sorted(directory.glob("*.npz")):
+            try:
+                path.unlink()
+            except OSError as exc:
+                left_behind.append(f"{path}: {exc}")
+        if left_behind:
+            logger.warning(
+                "leaving artifact(s) behind: %s", "; ".join(left_behind)
+            )
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+
+    def sweep_temp_files(self) -> int:
+        """Remove stray ``.tmp`` files a SIGKILL mid-publish left behind.
+
+        ``atomic_path`` cleans up after *exceptions*; only a hard kill
+        between temp-write and rename can orphan one. They are never
+        referenced by any WAL record, so removal is always safe.
+        """
+        swept = 0
+        unswept: list[str] = []
+        for path in self.artifacts_dir.rglob("*.tmp"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError as exc:
+                unswept.append(f"{path}: {exc}")
+        if unswept:
+            logger.warning(
+                "could not sweep temp file(s): %s", "; ".join(unswept)
+            )
+        if swept:
+            logger.warning(
+                "swept %d torn temp artifact(s) under %s",
+                swept, self.artifacts_dir,
+            )
+        return swept
+
+    # -- operator overrides ----------------------------------------------
+
+    def quota_overrides(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant quota overrides from ``quotas.json`` (may be empty).
+
+        Raises :class:`ValueError` on an unreadable or malformed file —
+        the SIGHUP path turns that into a warning instead of applying a
+        half-parsed policy.
+        """
+        try:
+            text = self.quotas_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"unparseable quota overrides {self.quotas_path}: {exc}"
+            ) from None
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"quota overrides {self.quotas_path} must be a JSON "
+                "object of tenant -> quota"
+            )
+        overrides: dict[str, dict[str, Any]] = {}
+        for name, quota in raw.items():
+            if not isinstance(quota, dict) or not set(quota) <= _QUOTA_KEYS:
+                raise ValueError(
+                    f"quota override for tenant {name!r} must be an "
+                    f"object with keys from {sorted(_QUOTA_KEYS)}"
+                )
+            overrides[str(name)] = quota
+        return overrides
+
+    # -- lifecycle --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush and fsync any buffered WAL bytes."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync, and close the WAL handle; idempotent."""
+        with self._lock:
+            handle = self._handle
+            self._handle = None
+            self._closed = True
+            if handle is not None:
+                handle.flush()
+                os.fsync(handle.fileno())
+                handle.close()
+
+    def __enter__(self) -> "TenantStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TenantStore({str(self.root)!r})"

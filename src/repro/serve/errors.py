@@ -22,6 +22,7 @@ is served by the gateway exactly like the built-in ones.
 from __future__ import annotations
 
 __all__ = [
+    "Draining",
     "InvalidRequest",
     "Overloaded",
     "QueryTimeout",
@@ -136,3 +137,20 @@ class ServiceClosed(ServeError):
 
     def __init__(self, what: str = "bound-query service") -> None:
         super().__init__(f"{what} is closed")
+
+
+class Draining(ServeError):
+    """The gateway is shutting down gracefully and sheds new work.
+
+    Raised for requests arriving after SIGTERM flipped ``/ready`` to
+    503 but before the drain deadline closed the listener. In-flight
+    requests still complete; the client should retry against another
+    replica (load balancers watching ``/ready`` stop routing here
+    within one probe interval, hence the short hint).
+    """
+
+    status_code = 503
+
+    def __init__(self, retry_after: float = 1.0) -> None:
+        super().__init__("gateway is draining; retry against a peer")
+        self.retry_after = float(retry_after)

@@ -9,6 +9,7 @@ dependencies) into a small versioned API over a
 Method    Path                            Meaning
 ========  ==============================  =================================
 GET       ``/health``                     liveness + tenant count
+GET       ``/ready``                      readiness (503 while draining)
 GET       ``/metrics``                    Prometheus text exposition
 GET       ``/stats``                      registry-wide stats snapshot
 GET       ``/v1/tenants``                 registered tenant names
@@ -32,6 +33,13 @@ Connections are HTTP/1.1 keep-alive: one handler loops over requests
 until the client closes, sends ``Connection: close``, or idles past
 the per-request read deadline — the closed-loop bench drives hundreds
 of clients over persistent connections.
+
+Graceful shutdown separates *liveness* from *readiness*:
+:meth:`Gateway.begin_drain` flips ``/ready`` to 503 (load balancers
+stop routing here) while ``/health`` stays 200 (orchestrators do not
+kill the draining process), and query/mutation routes answer with the
+typed :class:`~repro.serve.errors.Draining` 503 so clients fail over;
+in-flight work then finishes under the CLI's drain deadline.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from ..obs.export import render_prometheus
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..resilience import CorruptArtifact, IntegrityError
-from .errors import InvalidRequest, ServeError
+from .errors import Draining, InvalidRequest, ServeError
 from .tenants import TenantRegistry, validate_tenant_name
 
 __all__ = ["Gateway"]
@@ -207,6 +215,7 @@ class Gateway:
         self._host = host
         self._port = int(port)
         self._server: asyncio.AbstractServer | None = None
+        self._draining = False
 
     # -- lifecycle --------------------------------------------------------
 
@@ -236,6 +245,26 @@ class Gateway:
             self._port = sockets[0].getsockname()[1]
         logger.info("gateway on %s:%d", self._host, self._port)
         return self
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has flipped readiness off."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip ``/ready`` to 503 and shed new query/mutation work.
+
+        Idempotent and synchronous (safe from a signal handler's
+        ``call_soon``). The listener stays open so health probes and
+        already-connected clients get answers; in-flight batches keep
+        running until :meth:`aclose` / the registry drain completes.
+        """
+        if not self._draining:
+            self._draining = True
+            logger.info("gateway draining: readiness now 503")
+            metrics = self._active_registry()
+            if metrics.enabled:
+                metrics.set_gauge("serve.gateway.draining", 1)
 
     async def aclose(self) -> None:
         """Stop listening; close the registry too if this gateway owns it."""
@@ -395,6 +424,16 @@ class Gateway:
                 return self._method_not_allowed()
             payload = {"status": "ok", "tenants": len(self.tenants)}
             return 200, _JSON, _json_body(payload), {}
+        if path == "/ready":
+            # Liveness vs readiness: /health stays 200 through a drain
+            # (don't kill me), /ready goes 503 (don't route to me).
+            if method != "GET":
+                return self._method_not_allowed()
+            if self._draining:
+                payload = {"status": "draining"}
+                return 503, _JSON, _json_body(payload), {}
+            payload = {"status": "ready", "tenants": len(self.tenants)}
+            return 200, _JSON, _json_body(payload), {}
         if path == "/metrics":
             if method != "GET":
                 return self._method_not_allowed()
@@ -420,15 +459,21 @@ class Gateway:
         if leaf is None:
             if method != "DELETE":
                 return self._method_not_allowed()
+            if self._draining:
+                raise Draining()
             await self.tenants.remove(name)
             return 204, _JSON, b"", {}
         if leaf == "bounds":
             if method != "POST":
                 return self._method_not_allowed()
+            if self._draining:
+                raise Draining()
             return await self._handle_bounds(name, body)
         if leaf == "ossm":
             if method != "PUT":
                 return self._method_not_allowed()
+            if self._draining:
+                raise Draining()
             return await self._handle_upload(name, body)
         if leaf == "stats":
             if method != "GET":

@@ -37,7 +37,10 @@ from typing import Any
 from ..core.ossm import OSSM
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
+from ..resilience.errors import CorruptArtifact
+from ..resilience.faults import get_injector
 from .admission import BatchScheduler
+from .durability import TenantStore
 from .errors import InvalidRequest, UnknownTenant
 from .service import BoundQueryService
 
@@ -184,6 +187,19 @@ class TenantQuota:
             return None
         return TokenBucket(self.rate, self.burst, clock=clock)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form, round-tripped by :meth:`from_dict`."""
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_pending_share": self.max_pending_share,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "TenantQuota":
+        """Rebuild a quota from :meth:`to_dict` output (validating)."""
+        return cls(**raw)
+
 
 class Tenant:
     """One tenant's serving stack: service + scheduler + quota.
@@ -269,6 +285,13 @@ class TenantRegistry:
         :class:`~repro.serve.admission.BatchScheduler`.
     clock:
         Monotonic time source for quota buckets, injectable for tests.
+    store:
+        Optional :class:`~repro.serve.durability.TenantStore`. When
+        set, every control-plane transition is made durable *before*
+        the in-memory swap (artifact-fsync → WAL-append → swap,
+        DESIGN.md §16) and :meth:`recover` can rebuild the registry
+        after a crash. When ``None`` the registry is purely in-memory,
+        exactly as before.
     """
 
     def __init__(
@@ -284,6 +307,7 @@ class TenantRegistry:
         max_batch: int = 512,
         linger: float = 0.002,
         clock: Callable[[], float] = time.monotonic,
+        store: TenantStore | None = None,
     ) -> None:
         if max_pending_total < 1:
             raise ValueError("max_pending_total must be >= 1")
@@ -297,29 +321,22 @@ class TenantRegistry:
         self.max_batch = int(max_batch)
         self.linger = float(linger)
         self._clock = clock
+        self.store = store
         self._tenants: dict[str, Tenant] = {}
         self._lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
 
-    def create(
+    def _build_tenant(
         self,
         name: str,
         ossm: OSSM,
-        *,
-        quota: TenantQuota | None = None,
-        cache_size: int | None = None,
-        workers: int | None = None,
+        quota: TenantQuota,
+        cache_size: int | None,
+        workers: int | None,
     ) -> Tenant:
-        """Provision *name* serving *ossm*; rejects duplicates.
-
-        Raises :class:`InvalidRequest` on a malformed name or a name
-        already registered (replace a live tenant's map with
-        :meth:`publish`, not by re-creating it).
-        """
-        validate_tenant_name(name)
-        quota = quota or self.default_quota
+        """Assemble a tenant's serving stack (no registration, no WAL)."""
         max_pending = max(
             1, int(quota.max_pending_share * self.max_pending_total)
         )
@@ -339,20 +356,55 @@ class TenantRegistry:
             bucket=quota.bucket(self._clock),
             tenant=name,
         )
-        tenant = Tenant(name, service, scheduler, quota)
+        return Tenant(name, service, scheduler, quota)
+
+    def _install(self, tenant: Tenant) -> None:
+        """Register an assembled tenant, rejecting duplicates."""
         with self._lock:
             if self._closed:
                 raise InvalidRequest("tenant registry is closed")
-            if name in self._tenants:
+            if tenant.name in self._tenants:
                 raise InvalidRequest(
-                    f"tenant {name!r} already exists; PUT a new map to "
-                    "replace what it serves"
+                    f"tenant {tenant.name!r} already exists; PUT a new "
+                    "map to replace what it serves"
                 )
-            self._tenants[name] = tenant
+            self._tenants[tenant.name] = tenant
         metrics = get_registry()
         if metrics.enabled:
             metrics.inc("serve.tenant.created")
             metrics.set_gauge("serve.tenants", len(self._tenants))
+
+    def create(
+        self,
+        name: str,
+        ossm: OSSM,
+        *,
+        quota: TenantQuota | None = None,
+        cache_size: int | None = None,
+        workers: int | None = None,
+    ) -> Tenant:
+        """Provision *name* serving *ossm*; rejects duplicates.
+
+        Raises :class:`InvalidRequest` on a malformed name or a name
+        already registered (replace a live tenant's map with
+        :meth:`publish`, not by re-creating it). With a store attached
+        the artifact and the WAL create record are durable before the
+        tenant becomes visible.
+        """
+        validate_tenant_name(name)
+        quota = quota or self.default_quota
+        if name in self._tenants:
+            raise InvalidRequest(
+                f"tenant {name!r} already exists; PUT a new map to "
+                "replace what it serves"
+            )
+        tenant = self._build_tenant(name, ossm, quota, cache_size, workers)
+        if self.store is not None:
+            relpath = self.store.save_artifact(name, ossm)
+            self.store.record_create(
+                name, ossm.epoch, relpath, quota=quota.to_dict()
+            )
+        self._install(tenant)
         logger.info(
             "tenant %r created at epoch %d (%d segments, %d items)",
             name, ossm.epoch, ossm.n_segments, ossm.n_items,
@@ -368,6 +420,10 @@ class TenantRegistry:
         ``serving_epoch + 1`` so the swap always invalidates the
         tenant's bound cache. In-flight queries finish against the map
         they started with (DESIGN.md §15). Returns the new epoch.
+
+        With a store attached the order is artifact-fsync →
+        WAL-append → in-memory swap: a crash at any point leaves the
+        tenant serving exactly the old or the new epoch (§16).
         """
         tenant = self.get(name)
         current = tenant.service.epoch
@@ -377,6 +433,15 @@ class TenantRegistry:
                 segment_sizes=ossm.segment_sizes,
                 epoch=current + 1,
             )
+        if self.store is not None:
+            relpath = self.store.save_artifact(name, ossm)
+            injector = get_injector()
+            if injector.enabled:
+                # Chaos window: the artifact is durable, the WAL
+                # record is not — a kill here must recover to the OLD
+                # epoch.
+                injector.maybe_sleep("serve.publish.pre_wal")
+            self.store.record_publish(name, ossm.epoch, relpath)
         tenant.service.update(ossm)
         metrics = get_registry()
         if metrics.enabled:
@@ -385,16 +450,135 @@ class TenantRegistry:
         return ossm.epoch
 
     async def remove(self, name: str) -> None:
-        """Tear down *name*: drain its scheduler and close its service."""
+        """Tear down *name*: drain its scheduler and close its service.
+
+        With a store attached the delete tombstone is WAL-durable
+        before the tenant disappears from memory, so a DELETEd tenant
+        stays deleted across restarts; its artifact files are removed
+        best-effort afterwards (orphans are ignored by replay).
+        """
         with self._lock:
-            tenant = self._tenants.pop(name, None)
-        if tenant is None:
-            raise UnknownTenant(name)
+            if name not in self._tenants:
+                raise UnknownTenant(name)
+            if self.store is not None:
+                self.store.record_delete(name)
+            tenant = self._tenants.pop(name)
         await tenant.aclose()
+        if self.store is not None:
+            self.store.drop_artifacts(name)
         metrics = get_registry()
         if metrics.enabled:
             metrics.inc("serve.tenant.removed")
             metrics.set_gauge("serve.tenants", len(self._tenants))
+
+    @classmethod
+    def recover(cls, store: TenantStore, **kwargs: Any) -> "TenantRegistry":
+        """Rebuild a registry from *store*'s WAL and artifact directory.
+
+        Replays the control-plane log (a torn tail from a crash
+        mid-append is dropped; real corruption raises
+        :class:`~repro.resilience.errors.CorruptArtifact`), reloads
+        each surviving tenant's artifact through the CRC-verified
+        loader, checks the artifact's epoch against the WAL's, and
+        re-applies ``quotas.json`` overrides. ``kwargs`` are the
+        normal registry constructor arguments.
+        """
+        started = time.monotonic()
+        store.sweep_temp_files()
+        registry = cls(store=store, **kwargs)
+        for name, state in sorted(store.recovered_tenants().items()):
+            ossm = store.load_artifact(state.artifact)
+            if ossm.epoch != state.epoch:
+                raise CorruptArtifact(
+                    store.artifact_path(state.artifact),
+                    f"artifact epoch {ossm.epoch} does not match WAL "
+                    f"epoch {state.epoch} for tenant {name!r}",
+                )
+            quota = (
+                TenantQuota.from_dict(state.quota)
+                if state.quota is not None
+                else registry.default_quota
+            )
+            registry._install(
+                registry._build_tenant(name, ossm, quota, None, None)
+            )
+            metrics = get_registry()
+            if metrics.enabled:
+                metrics.inc("serve.tenant.restored")
+        try:
+            registry.apply_quota_overrides()
+        except ValueError as exc:
+            logger.warning("ignoring quota overrides at boot: %s", exc)
+        elapsed = time.monotonic() - started
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.observe("serve.recovery.seconds", elapsed)
+            metrics.set_gauge("serve.recovery.tenants", len(registry))
+        logger.info(
+            "recovered %d tenant(s) from %s in %.3fs",
+            len(registry), store.root, elapsed,
+        )
+        return registry
+
+    # -- quota management -------------------------------------------------
+
+    def set_quota(
+        self, name: str, quota: TenantQuota, *, persist: bool = True
+    ) -> None:
+        """Replace *name*'s quota on the live tenant, without a drop.
+
+        The token bucket is swapped and the service's pending budget
+        resized in place; queued and in-flight queries are untouched.
+        With a store attached and ``persist=True`` the change is
+        WAL-logged first so recovery restores it.
+        """
+        tenant = self.get(name)
+        if persist and self.store is not None:
+            self.store.record_quota(name, quota.to_dict())
+        tenant.quota = quota
+        tenant.scheduler.bucket = quota.bucket(self._clock)
+        tenant.service.max_pending = max(
+            1, int(quota.max_pending_share * self.max_pending_total)
+        )
+        logger.info(
+            "tenant %r quota now rate=%s burst=%s max_pending_share=%s",
+            name, quota.rate, quota.burst, quota.max_pending_share,
+        )
+
+    def apply_quota_overrides(self) -> int:
+        """Re-read ``quotas.json`` overrides; how many were applied.
+
+        Invalid per-tenant entries and overrides for unknown tenants
+        are warned about and skipped — a SIGHUP must never take the
+        gateway down. An unreadable file propagates as ``ValueError``
+        for the caller to warn about. No-op without a store.
+        """
+        if self.store is None:
+            return 0
+        applied = 0
+        unknown: list[str] = []
+        invalid: list[str] = []
+        for name, raw in sorted(self.store.quota_overrides().items()):
+            if name not in self._tenants:
+                unknown.append(name)
+                continue
+            try:
+                quota = TenantQuota.from_dict(raw)
+            except (TypeError, ValueError) as exc:
+                invalid.append(f"{name!r}: {exc}")
+                continue
+            self.set_quota(name, quota, persist=False)
+            applied += 1
+        if unknown:
+            logger.warning(
+                "quota overrides for unknown tenant(s) ignored: %s",
+                ", ".join(repr(name) for name in unknown),
+            )
+        if invalid:
+            logger.warning(
+                "invalid quota override(s) skipped: %s", "; ".join(invalid)
+            )
+        return applied
 
     async def aclose(self) -> None:
         """Close every tenant; the registry accepts no more creates."""
@@ -404,6 +588,8 @@ class TenantRegistry:
             self._tenants.clear()
         for tenant in tenants:
             await tenant.aclose()
+        if self.store is not None:
+            self.store.close()
 
     async def __aenter__(self) -> "TenantRegistry":
         return self

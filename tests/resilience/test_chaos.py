@@ -1,0 +1,87 @@
+"""Kill−9 chaos scenarios against the real CLI gateway.
+
+Each test boots ``python -m repro serve --listen --state-dir`` as a
+subprocess, wedges it at a named fault point with ``REPRO_FAULTS``,
+SIGKILLs it inside the injected sleep, restarts it, and asserts the
+§16 recovery invariants — every pre-crash tenant answers ≥50 seeded
+queries bit-identically to ``OSSM.upper_bound`` on the map its
+reported epoch names, and a kill mid-publish leaves exactly the old
+or the new epoch. SIGHUP quota reload rides the same harness.
+
+These are the slowest tests in the suite (several real process boots
+each); they are also the only ones that prove the durability story
+against genuine ``SIGKILL``, not a simulated one.
+"""
+
+import json
+import signal
+import time
+
+import pytest
+
+from repro.resilience.chaos import (
+    KILL_POINTS,
+    GatewayProcess,
+    build_map,
+    run_kill_scenario,
+)
+
+
+@pytest.mark.parametrize("point", sorted(KILL_POINTS))
+def test_kill_scenario_recovers_bit_exact(point, tmp_path):
+    result = run_kill_scenario(point, tmp_path, queries_per_tenant=50)
+    # 3 provisioned tenants + the CLI's bootstrap tenant, ≥50 queries
+    # each, every one checked against the local Equation (1) oracle.
+    assert result.queries_verified >= 50 * 4
+    assert set(result.epochs) == {"default", "t0", "t1", "t2"}
+    assert all(epoch in (0, 1) for epoch in result.epochs.values())
+    assert result.drain_exit_code == 0
+
+
+def test_sighup_reloads_quotas_without_restart(tmp_path):
+    state = tmp_path / "state"
+    boot = tmp_path / "boot.npz"
+    build_map(seed=55).save(boot)
+    with GatewayProcess(boot, state) as gateway:
+        gateway.wait_ready()
+        stats = gateway.get_json("/v1/tenants/default/stats")
+        assert stats["quota"]["rate"] is None
+        (state / "quotas.json").write_text(
+            json.dumps({"default": {"rate": 123.0, "burst": 9.0}})
+        )
+        gateway.proc.send_signal(signal.SIGHUP)
+        deadline = time.monotonic() + 10.0
+        rate = None
+        while time.monotonic() < deadline:
+            rate = gateway.get_json(
+                "/v1/tenants/default/stats"
+            )["quota"]["rate"]
+            if rate == 123.0:
+                break
+            time.sleep(0.05)
+        assert rate == 123.0
+        # The reload dropped nothing: the same gateway still serves.
+        status, payload = gateway.request(
+            "POST", "/v1/tenants/default/bounds",
+            json.dumps({"itemset": [1, 2]}).encode(),
+        )
+        assert status == 200, payload
+        gateway.terminate()
+        assert gateway.wait() == 0
+
+
+def test_sighup_without_state_dir_is_a_warning_noop(tmp_path):
+    boot = tmp_path / "boot.npz"
+    build_map(seed=55).save(boot)
+    with GatewayProcess(boot, None) as gateway:
+        gateway.wait_ready()
+        gateway.proc.send_signal(signal.SIGHUP)
+        # Still alive and serving after the no-op reload.
+        time.sleep(0.2)
+        status, payload = gateway.request(
+            "POST", "/v1/tenants/default/bounds",
+            json.dumps({"itemset": [3]}).encode(),
+        )
+        assert status == 200, payload
+        gateway.terminate()
+        assert gateway.wait() == 0

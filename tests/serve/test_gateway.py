@@ -471,3 +471,54 @@ class TestHttpPlumbing:
                 assert status == 404
 
         run(main())
+
+
+class TestReadinessAndDrain:
+    def test_ready_flips_on_drain_while_health_holds(self, ossm):
+        """Liveness and readiness must diverge during a drain: the
+        orchestrator keeps the process, the balancer stops routing."""
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("demo", ossm)
+                status, _, payload = await http(gateway, "GET", "/ready")
+                assert status == 200
+                assert json.loads(payload)["status"] == "ready"
+                gateway.begin_drain()
+                gateway.begin_drain()  # idempotent
+                status, _, payload = await http(gateway, "GET", "/ready")
+                assert status == 503
+                assert json.loads(payload)["status"] == "draining"
+                status, _, _payload = await http(gateway, "GET", "/health")
+                assert status == 200
+
+        run(main())
+
+    def test_draining_sheds_mutations_keeps_reads(self, ossm, artifact):
+        async def main():
+            async with Gateway() as gateway:
+                gateway.tenants.create("demo", ossm)
+                gateway.begin_drain()
+                status, headers, payload = await post_json(
+                    gateway, "/v1/tenants/demo/bounds", {"itemset": [1]}
+                )
+                assert status == 503
+                body = json.loads(payload)
+                assert body["error"] == "Draining"
+                assert "retry-after" in headers
+                status, _, _p = await http(
+                    gateway, "PUT", "/v1/tenants/demo/ossm", artifact
+                )
+                assert status == 503
+                status, _, _p = await http(
+                    gateway, "DELETE", "/v1/tenants/demo"
+                )
+                assert status == 503
+                # Introspection stays available for the operator.
+                status, _, _p = await http(
+                    gateway, "GET", "/v1/tenants/demo/stats"
+                )
+                assert status == 200
+                status, _, _p = await http(gateway, "GET", "/metrics")
+                assert status == 200
+
+        run(main())
